@@ -1,0 +1,28 @@
+//! # rlir-baselines — comparison estimators
+//!
+//! The two measurement baselines the paper discusses (§5) as the context
+//! for RLI/RLIR, implemented on the same substrates so they can run on
+//! identical simulator output:
+//!
+//! * [`lda`] — the Lossy Difference Aggregator (SIGCOMM 2009):
+//!   loss-tolerant, aggregate-only mean latency from paired
+//!   timestamp-sum/count banks.
+//! * [`multiflow`] — the NetFlow "Multiflow" estimator (Infocom 2010):
+//!   per-flow but crude (two samples per flow: its first and last packet).
+//! * [`trajectory`] — trajectory sampling (ToN 2000): consistent hash-based
+//!   sampling at every point, exact delays for the sampled subset.
+//!
+//! RLIR's pitch is the gap between these: per-flow fidelity (unlike LDA)
+//! with per-packet interpolation accuracy (unlike Multiflow), at partial
+//! deployment cost.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod lda;
+pub mod multiflow;
+pub mod trajectory;
+
+pub use lda::{Lda, LdaConfig, LdaEstimate};
+pub use multiflow::{estimate_all, estimate_flow, MultiflowEstimate};
+pub use trajectory::{join as trajectory_join, TrajectoryConfig, TrajectoryJoin, TrajectoryPoint};

@@ -1,0 +1,44 @@
+//! Benchmark for the Fig. 4 accuracy pipeline: one full two-hop run
+//! (trace → sender instrumentation → tandem simulation → receiver →
+//! per-flow error extraction) per policy, at a reduced duration so a
+//! Criterion sample stays sub-second.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rlir::experiment::{run_two_hop_on, CrossSpec, TwoHopConfig};
+use rlir_net::time::SimDuration;
+use rlir_rli::{AdaptiveConfig, PolicyKind};
+use rlir_trace::generate;
+
+fn bench_fig4(c: &mut Criterion) {
+    let duration = SimDuration::from_millis(10);
+    let base = TwoHopConfig::paper(42, duration);
+    let regular = generate(&base.regular_trace());
+    let cross = generate(&base.cross_trace());
+    let mut group = c.benchmark_group("fig4_accuracy");
+    group.sample_size(10);
+    for (name, policy) in [
+        ("static_1_100", PolicyKind::Static { n: 100 }),
+        ("adaptive", PolicyKind::Adaptive(AdaptiveConfig::paper_default())),
+    ] {
+        for target in [0.67f64, 0.93] {
+            group.bench_function(format!("{name}_{:.0}pct", target * 100.0), |b| {
+                b.iter_batched(
+                    || {
+                        let mut cfg = base.clone();
+                        cfg.policy = policy.clone();
+                        cfg.cross = CrossSpec::Uniform {
+                            target_utilization: target,
+                        };
+                        cfg
+                    },
+                    |cfg| run_two_hop_on(&cfg, &regular, &cross),
+                    BatchSize::LargeInput,
+                )
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Benchmark for the Fig. 5 interference measurement: one paired
+//! (with/without references) utilization point.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rlir::experiment::{run_loss_sweep_on, LossSweepConfig, TwoHopConfig};
+use rlir_net::time::SimDuration;
+use rlir_rli::PolicyKind;
+use rlir_trace::generate;
+
+fn bench_fig5(c: &mut Criterion) {
+    let duration = SimDuration::from_millis(10);
+    let base = TwoHopConfig {
+        policy: PolicyKind::Static { n: 100 },
+        ..TwoHopConfig::paper(42, duration)
+    };
+    let regular = generate(&base.regular_trace());
+    let cross = generate(&base.cross_trace());
+    let mut group = c.benchmark_group("fig5_interference");
+    group.sample_size(10);
+    group.bench_function("paired_point_93pct", |b| {
+        b.iter(|| {
+            let sweep = LossSweepConfig {
+                base: base.clone(),
+                targets: vec![0.93],
+            };
+            run_loss_sweep_on(&sweep, &regular, &cross)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

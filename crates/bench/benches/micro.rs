@@ -1,0 +1,171 @@
+//! Micro-benchmarks for the per-packet hot paths: ECMP hashing, LPM lookup,
+//! queue offers, interpolation, LDA updates, wire encode/decode, and
+//! workload generation.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rlir_baselines::{Lda, LdaConfig};
+use rlir_net::packet::{Packet, ReferenceInfo, SenderId};
+use rlir_net::time::{SimDuration, SimTime};
+use rlir_net::wire::{decode_reference_packet, encode_reference_packet};
+use rlir_net::{FlowKey, HashAlgo, Ipv4Prefix, PrefixTrie};
+use rlir_rli::{DelaySample, Interpolator};
+use rlir_sim::{FifoQueue, QueueConfig};
+use rlir_stats::StreamingStats;
+use rlir_trace::{generate, TraceConfig};
+use std::net::Ipv4Addr;
+
+fn keys(n: u32) -> Vec<FlowKey> {
+    (0..n)
+        .map(|i| {
+            let h = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            FlowKey::tcp(
+                Ipv4Addr::from(0x0A00_0000 | (h as u32 & 0xFFFF)),
+                (h >> 16) as u16,
+                Ipv4Addr::new(10, 3, 0, 2),
+                80,
+            )
+        })
+        .collect()
+}
+
+fn bench_hash(c: &mut Criterion) {
+    let ks = keys(1024);
+    let mut group = c.benchmark_group("ecmp_hash");
+    group.throughput(Throughput::Elements(ks.len() as u64));
+    for algo in [
+        HashAlgo::Crc32 { seed: 7 },
+        HashAlgo::Fnv { seed: 7 },
+        HashAlgo::XorFold { seed: 7 },
+    ] {
+        group.bench_function(format!("{algo:?}"), |b| {
+            b.iter(|| ks.iter().map(|k| algo.select(k, 4)).sum::<usize>())
+        });
+    }
+    group.finish();
+}
+
+fn bench_trie(c: &mut Criterion) {
+    let mut trie = PrefixTrie::new();
+    for pod in 0..64u8 {
+        for tor in 0..32u8 {
+            let p = Ipv4Prefix::new(Ipv4Addr::new(10, pod, tor, 0), 24).unwrap();
+            trie.insert(p, (pod, tor));
+        }
+    }
+    let addrs: Vec<Ipv4Addr> = (0..1024u32)
+        .map(|i| Ipv4Addr::new(10, (i % 64) as u8, (i % 32) as u8, (i % 250) as u8))
+        .collect();
+    let mut group = c.benchmark_group("lpm_trie");
+    group.throughput(Throughput::Elements(addrs.len() as u64));
+    group.bench_function("lookup_2048_prefixes", |b| {
+        b.iter(|| addrs.iter().filter(|a| trie.lookup(**a).is_some()).count())
+    });
+    group.finish();
+}
+
+fn bench_queue(c: &mut Criterion) {
+    let ks = keys(1);
+    let mut group = c.benchmark_group("fifo_queue");
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("offer_10k", |b| {
+        b.iter(|| {
+            let mut q = FifoQueue::new(QueueConfig::oc192());
+            let mut accepted = 0u64;
+            for i in 0..10_000u64 {
+                let p = Packet::regular(i, ks[0], 700, SimTime::from_nanos(i * 700));
+                if matches!(q.offer(p.created_at, &p), rlir_sim::Verdict::Departs(_)) {
+                    accepted += 1;
+                }
+            }
+            accepted
+        })
+    });
+    group.finish();
+}
+
+fn bench_interpolation(c: &mut Criterion) {
+    let left = DelaySample::new(SimTime::from_nanos(0), 3000.0);
+    let right = DelaySample::new(SimTime::from_nanos(100_000), 5000.0);
+    let mut group = c.benchmark_group("interpolation");
+    group.throughput(Throughput::Elements(1000));
+    group.bench_function("linear_1k", |b| {
+        b.iter(|| {
+            (0..1000u64)
+                .map(|i| {
+                    Interpolator::Linear.estimate(left, right, SimTime::from_nanos(i * 100))
+                })
+                .sum::<f64>()
+        })
+    });
+    group.finish();
+}
+
+fn bench_lda(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lda");
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("record_10k", |b| {
+        b.iter(|| {
+            let mut lda = Lda::new(LdaConfig::default());
+            for i in 0..10_000u64 {
+                lda.record(i, SimTime::from_nanos(i * 700));
+            }
+            lda.recorded()
+        })
+    });
+    group.finish();
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let flow = keys(1)[0];
+    let info = ReferenceInfo {
+        sender: SenderId(3),
+        seq: 12345,
+        tx_timestamp: SimTime::from_nanos(987_654_321),
+    };
+    let encoded = encode_reference_packet(&flow, &info, 0);
+    let mut group = c.benchmark_group("wire");
+    group.bench_function("encode_reference", |b| {
+        b.iter(|| encode_reference_packet(&flow, &info, 0))
+    });
+    group.bench_function("decode_reference", |b| {
+        b.iter(|| decode_reference_packet(&encoded).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_stats(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stats");
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("welford_push_10k", |b| {
+        b.iter(|| {
+            let mut s = StreamingStats::new();
+            for i in 0..10_000 {
+                s.push(i as f64 * 0.37);
+            }
+            s.variance()
+        })
+    });
+    group.finish();
+}
+
+fn bench_trace_gen(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_gen");
+    group.sample_size(10);
+    group.bench_function("paper_regular_10ms", |b| {
+        b.iter(|| generate(&TraceConfig::paper_regular(42, SimDuration::from_millis(10))))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_hash,
+    bench_trie,
+    bench_queue,
+    bench_interpolation,
+    bench_lda,
+    bench_wire,
+    bench_stats,
+    bench_trace_gen
+);
+criterion_main!(benches);

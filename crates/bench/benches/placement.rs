@@ -1,0 +1,25 @@
+//! Benchmarks for the §3.1 placement analysis: closed-form table vs
+//! brute-force enumeration over constructed fat-trees.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rlir_net::HashAlgo;
+use rlir_topo::placement::{enumerate_cores_between, placement_table};
+use rlir_topo::FatTree;
+
+fn bench_placement(c: &mut Criterion) {
+    let mut group = c.benchmark_group("placement");
+    group.bench_function("table_k4_to_k64", |b| {
+        b.iter(|| placement_table(&[4, 8, 16, 32, 64]))
+    });
+    group.bench_function("fattree_build_k16", |b| {
+        b.iter(|| FatTree::new(16, HashAlgo::default()))
+    });
+    let tree = FatTree::new(8, HashAlgo::Crc32 { seed: 1 });
+    group.bench_function("enumerate_cores_k8", |b| {
+        b.iter(|| enumerate_cores_between(&tree, tree.tor(0, 0), tree.tor(7, 0)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_placement);
+criterion_main!(benches);

@@ -1,0 +1,339 @@
+//! Regenerate every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! experiments <command>
+//!
+//!   fig4a       Fig. 4(a): per-flow mean-error CDFs (adaptive/static × 67/93%)
+//!   fig4b       Fig. 4(b): per-flow std-dev-error CDFs (same runs)
+//!   fig4c       Fig. 4(c): bursty vs random cross traffic (34%, 67%)
+//!   fig5        Fig. 5: reference-packet interference (loss-rate difference)
+//!   placement   §3.1 partial-placement complexity table
+//!   demux       A1/A3: naive vs marking vs reverse-ECMP demultiplexing
+//!   interp      A2: interpolation-estimator ablation
+//!   sync        A4: clock-synchronisation-error sensitivity
+//!   baselines   A6: RLI vs LDA vs Multiflow on an identical run
+//!   localize    A5: latency-anomaly localization demo
+//!   all         everything above
+//! ```
+//!
+//! Scale via `RLIR_SCALE={quick,default,full}`, `RLIR_DURATION_MS`,
+//! `RLIR_SEEDS`, `RLIR_SEED`; output directory via `RLIR_RESULTS_DIR`
+//! (default `results/`). CSV series are written per curve.
+
+use rlir_bench::{
+    baselines_comparison, demux_ablation, fig4a, fig4a_shape_checks, fig4b, fig4c,
+    fig4c_shape_checks, fig5, fig5_shape_checks, interp_ablation, localization_demo,
+    placement_rows, quantile_accuracy, sync_ablation, write_csv, AccuracyCurve, OutputDir,
+    Scale, ShapeCheck,
+};
+
+const HELP: &str = "experiments <fig4a|fig4b|fig4c|fig5|placement|demux|interp|sync|baselines|quantiles|localize|all>
+Scale: RLIR_SCALE={quick,default,full} RLIR_DURATION_MS=<ms> RLIR_SEEDS=<n> RLIR_SEED=<n>
+Output: RLIR_RESULTS_DIR=<dir> (default results/)";
+
+fn print_checks(checks: &[ShapeCheck]) {
+    for c in checks {
+        println!(
+            "  [{}] {} — {}",
+            if c.holds { "PASS" } else { "MISS" },
+            c.claim,
+            c.detail
+        );
+    }
+}
+
+fn emit_accuracy_figure(
+    name: &str,
+    title: &str,
+    curves: &[AccuracyCurve],
+    out: &OutputDir,
+) -> std::io::Result<()> {
+    println!("== {title} ==");
+    for c in curves {
+        println!("  {}", c.summary());
+        let file = format!(
+            "{name}_{}.csv",
+            c.label.to_lowercase().replace([',', ' ', '%'], "")
+        );
+        out.write(&file, &format!("relative_error,cdf\n{}", c.cdf_csv()))?;
+    }
+    println!("  → CSVs in {}", out.root().display());
+    Ok(())
+}
+
+fn run(cmd: &str, scale: &Scale, out: &OutputDir) -> std::io::Result<()> {
+    match cmd {
+        "fig4a" => {
+            let curves = fig4a(scale);
+            emit_accuracy_figure(
+                "fig4a",
+                "Figure 4(a): per-flow MEAN latency — relative-error CDFs (random cross traffic)",
+                &curves,
+                out,
+            )?;
+            print_checks(&fig4a_shape_checks(&curves));
+        }
+        "fig4b" => {
+            let curves = fig4b(scale);
+            emit_accuracy_figure(
+                "fig4b",
+                "Figure 4(b): per-flow STD-DEV latency — relative-error CDFs (random cross traffic)",
+                &curves,
+                out,
+            )?;
+        }
+        "fig4c" => {
+            let curves = fig4c(scale);
+            emit_accuracy_figure(
+                "fig4c",
+                "Figure 4(c): mean-error CDFs — bursty vs random cross traffic",
+                &curves,
+                out,
+            )?;
+            print_checks(&fig4c_shape_checks(&curves));
+        }
+        "fig5" => {
+            let points = fig5(scale);
+            println!("== Figure 5: loss-rate difference caused by reference packets ==");
+            println!(
+                "  {:<10} {:>8} {:>10} {:>16} {:>12}",
+                "policy", "target", "realised", "loss diff", "base loss"
+            );
+            for p in &points {
+                println!(
+                    "  {:<10} {:>7.0}% {:>9.1}% {:>15.6}% {:>11.4}%",
+                    p.policy,
+                    p.target * 100.0,
+                    p.utilization * 100.0,
+                    p.loss_difference * 100.0,
+                    p.base_loss * 100.0
+                );
+            }
+            let csv = write_csv(
+                "policy,target_utilization,utilization,loss_difference,base_loss",
+                points.iter().map(|p| {
+                    format!(
+                        "{},{},{},{},{}",
+                        p.policy, p.target, p.utilization, p.loss_difference, p.base_loss
+                    )
+                }),
+            );
+            out.write("fig5_interference.csv", &csv)?;
+            print_checks(&fig5_shape_checks(&points));
+        }
+        "placement" => {
+            println!("== §3.1: partial-placement complexity on k-ary fat-trees ==");
+            println!(
+                "  {:>4} {:>10} {:>10} {:>14} {:>14} {:>16} {:>10}",
+                "k", "iface-pair", "tor-pair", "all-pairs", "(enumerated)", "full deploy", "reduction"
+            );
+            let rows = placement_rows();
+            for r in &rows {
+                println!(
+                    "  {:>4} {:>10} {:>10} {:>14} {:>14} {:>16} {:>9.1}x",
+                    r.k,
+                    r.interface_pair,
+                    r.tor_pair,
+                    r.all_tor_pairs_paper,
+                    r.all_tor_pairs_enumerated,
+                    r.full_deployment,
+                    r.reduction()
+                );
+            }
+            let csv = write_csv(
+                "k,interface_pair,tor_pair,all_tor_pairs_paper,all_tor_pairs_enumerated,full_deployment",
+                rows.iter().map(|r| {
+                    format!(
+                        "{},{},{},{},{},{}",
+                        r.k,
+                        r.interface_pair,
+                        r.tor_pair,
+                        r.all_tor_pairs_paper,
+                        r.all_tor_pairs_enumerated,
+                        r.full_deployment
+                    )
+                }),
+            );
+            out.write("placement_table.csv", &csv)?;
+        }
+        "demux" => {
+            println!("== A1/A3: demultiplexing ablation on the k=4 fat-tree ==");
+            println!(
+                "  {:<14} {:>10} {:>16} {:>16} {:>12}",
+                "mode", "assoc acc", "seg1 median err", "seg2 median err", "estimates"
+            );
+            let rows = demux_ablation(scale);
+            for r in &rows {
+                println!(
+                    "  {:<14} {:>9.1}% {:>15.2}% {:>15.2}% {:>12}",
+                    r.mode,
+                    r.accuracy * 100.0,
+                    r.seg1_median_error * 100.0,
+                    r.seg2_median_error * 100.0,
+                    r.seg2_estimates
+                );
+            }
+            let csv = write_csv(
+                "mode,accuracy,seg1_median_error,seg2_median_error,seg2_estimates",
+                rows.iter().map(|r| {
+                    format!(
+                        "{},{},{},{},{}",
+                        r.mode, r.accuracy, r.seg1_median_error, r.seg2_median_error, r.seg2_estimates
+                    )
+                }),
+            );
+            out.write("demux_ablation.csv", &csv)?;
+        }
+        "interp" => {
+            println!("== A2: interpolation-estimator ablation (93% utilization, static 1-and-100) ==");
+            let rows = interp_ablation(scale);
+            for r in &rows {
+                println!(
+                    "  {:<16} median {:>6.2}%   p90 {:>7.2}%",
+                    r.interpolator,
+                    r.median_error * 100.0,
+                    r.p90_error * 100.0
+                );
+            }
+            let csv = write_csv(
+                "interpolator,median_error,p90_error",
+                rows.iter()
+                    .map(|r| format!("{},{},{}", r.interpolator, r.median_error, r.p90_error)),
+            );
+            out.write("interp_ablation.csv", &csv)?;
+        }
+        "sync" => {
+            println!("== A4: clock-synchronisation sensitivity (93% utilization) ==");
+            let rows = sync_ablation(scale);
+            for r in &rows {
+                println!(
+                    "  {:<34} median {:>7.2}%   mean |err| {:>9.1} ns",
+                    r.scenario,
+                    r.median_error * 100.0,
+                    r.mean_abs_error_ns
+                );
+            }
+            let csv = write_csv(
+                "scenario,median_error,mean_abs_error_ns",
+                rows.iter()
+                    .map(|r| format!("{},{},{}", r.scenario, r.median_error, r.mean_abs_error_ns)),
+            );
+            out.write("sync_ablation.csv", &csv)?;
+        }
+        "baselines" => {
+            println!("== A6: RLI vs LDA vs Multiflow (identical 93% run) ==");
+            let rows = baselines_comparison(scale);
+            for r in &rows {
+                let per_flow = if r.per_flow_median_error.is_nan() {
+                    "      n/a".to_string()
+                } else {
+                    format!("{:>8.2}%", r.per_flow_median_error * 100.0)
+                };
+                println!(
+                    "  {:<32} per-flow median {per_flow}   aggregate err {:>7.2}%   flows {:>7}",
+                    r.estimator,
+                    r.aggregate_error * 100.0,
+                    r.flows_covered
+                );
+            }
+            let csv = write_csv(
+                "estimator,per_flow_median_error,aggregate_error,flows_covered",
+                rows.iter().map(|r| {
+                    format!(
+                        "{},{},{},{}",
+                        r.estimator, r.per_flow_median_error, r.aggregate_error, r.flows_covered
+                    )
+                }),
+            );
+            out.write("baselines_comparison.csv", &csv)?;
+        }
+        "quantiles" => {
+            println!("== A7: per-flow p90 tail-latency accuracy (93% utilization) ==");
+            let rows = quantile_accuracy(scale);
+            for r in &rows {
+                println!(
+                    "  {:<10} p{:.0} median err {:>6.2}%   (mean-est median {:>6.2}%)   flows {:>7}",
+                    r.policy,
+                    r.p * 100.0,
+                    r.median_error * 100.0,
+                    r.mean_median_error * 100.0,
+                    r.flows
+                );
+            }
+            let csv = write_csv(
+                "policy,p,median_error,mean_median_error,flows",
+                rows.iter().map(|r| {
+                    format!(
+                        "{},{},{},{},{}",
+                        r.policy, r.p, r.median_error, r.mean_median_error, r.flows
+                    )
+                }),
+            );
+            out.write("quantile_accuracy.csv", &csv)?;
+        }
+        "localize" => {
+            println!("== A5: anomaly localization on the fat-tree ==");
+            let o = localization_demo(scale);
+            println!("  injected fault at core {}", o.injected);
+            for (name, est, truth) in &o.segments {
+                println!(
+                    "    segment {:<16} est {:>9.1} µs   true {:>9.1} µs",
+                    name, est, truth
+                );
+            }
+            println!("  flagged: {:?}", o.flagged);
+            println!(
+                "  verdict: {}",
+                if o.correct { "LOCALIZED CORRECTLY" } else { "MISSED" }
+            );
+            let csv = write_csv(
+                "segment,est_mean_us,true_mean_us",
+                o.segments.iter().map(|(n, e, t)| format!("{n},{e},{t}")),
+            );
+            out.write("localization_segments.csv", &csv)?;
+        }
+        "all" => {
+            for c in [
+                "placement",
+                "fig4a",
+                "fig4b",
+                "fig4c",
+                "fig5",
+                "demux",
+                "interp",
+                "sync",
+                "baselines",
+                "quantiles",
+                "localize",
+            ] {
+                run(c, scale, out)?;
+                println!();
+            }
+        }
+        other => {
+            eprintln!("unknown command {other:?}\n{HELP}");
+            std::process::exit(2);
+        }
+    }
+    Ok(())
+}
+
+fn main() -> std::io::Result<()> {
+    let args: Vec<String> = std::env::args().collect();
+    let cmd = args.get(1).map(String::as_str).unwrap_or("all");
+    if cmd == "--help" || cmd == "-h" {
+        println!("{HELP}");
+        return Ok(());
+    }
+    let scale = Scale::from_env();
+    let out = OutputDir::from_env()?;
+    eprintln!(
+        "scale: accuracy {} | interference {} | fat-tree {} | seeds {} | base seed {}",
+        scale.accuracy_duration,
+        scale.interference_duration,
+        scale.fattree_duration,
+        scale.seeds,
+        scale.base_seed
+    );
+    run(cmd, &scale, &out)
+}

@@ -1,0 +1,18 @@
+//! # rlir-bench — figure regeneration harness
+//!
+//! Shared machinery between the `experiments` binary (which regenerates
+//! every table and figure of the paper's evaluation as CSV + terminal
+//! summaries) and the Criterion benchmarks. Each `fig*` function runs the
+//! corresponding experiment at a configurable scale and returns structured
+//! rows; the `output` helpers persist them under `results/`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod figures;
+pub mod output;
+pub mod scale;
+
+pub use figures::*;
+pub use output::{write_csv, OutputDir};
+pub use scale::Scale;

@@ -1,0 +1,612 @@
+//! RLIR on the fat-tree: the architecture of §3 end-to-end.
+//!
+//! Measured traffic flows from several source ToRs to one destination ToR
+//! (the paper's T1 → T7) across a fabric loaded with background traffic.
+//! RLIR instances are deployed per [`crate::deployment::Deployment`]: the
+//! path is split into two segments at the cores, `ToR → core` and
+//! `core → ToR`, each measured by its own sender/receiver pairs with the
+//! receiver-side demultiplexing of §3.1.
+//!
+//! The experiment runs in two simulation phases: phase 1 (no references)
+//! yields every core's regular-packet crossing times, from which the core
+//! senders' 1-and-n injection schedules are derived; phase 2 runs the full
+//! workload with all reference streams and feeds the measurement plane from
+//! the delivered ground truth.
+//!
+//! Outputs cover the demux ablation (A1/A3: naive vs marking vs
+//! reverse-ECMP association accuracy and the resulting estimation error)
+//! and the per-segment observations consumed by the anomaly localizer (A5).
+
+use crate::demux::{CoreDemux, RlirDemux};
+use crate::deployment::{Deployment, CORE_SENDER_BASE};
+use crate::fabric::{build_network, FatTreeFabric};
+use crate::localization::SegmentObservation;
+use rlir_net::clock::ClockModel;
+use rlir_net::packet::{Packet, ReferenceInfo, SenderId};
+use rlir_net::time::{SimDuration, SimTime};
+use rlir_net::{FlowKey, HashAlgo};
+use rlir_rli::{FlowTable, Interpolator, PolicyKind, ReceiverConfig, RliReceiver, RliSender};
+use rlir_sim::{run_network, NetworkRun, QueueConfig};
+use rlir_topo::{FatTree, Role, TopoId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A deliberate latency fault injected at one core (for localization).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct CoreAnomaly {
+    /// Which core, as an ordinal into [`FatTree::cores`].
+    pub core_ordinal: usize,
+    /// Extra per-packet processing delay at that core.
+    pub extra_processing: SimDuration,
+}
+
+/// Fat-tree experiment configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FatTreeExpConfig {
+    /// Fat-tree arity (the paper's Fig. 1 is k = 4).
+    pub k: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Trace duration.
+    pub duration: SimDuration,
+    /// Base ECMP hash family.
+    pub hash: HashAlgo,
+    /// Number of measured source ToRs (taken from pods other than the
+    /// destination's).
+    pub n_src_tors: usize,
+    /// Offered load per measured source ToR (fraction of an edge link).
+    pub measured_load: f64,
+    /// Offered load per background ToR.
+    pub background_load: f64,
+    /// Injection policy for every sender.
+    pub policy: PolicyKind,
+    /// Downstream demultiplexing strategy.
+    pub demux: CoreDemux,
+    /// Queue parameters of every switch port.
+    pub queue: QueueConfig,
+    /// Link propagation delay.
+    pub link_delay: SimDuration,
+    /// Optional core fault.
+    pub anomaly: Option<CoreAnomaly>,
+    /// Flow filter for error CDFs.
+    pub min_flow_packets: u64,
+}
+
+impl FatTreeExpConfig {
+    /// Paper-flavoured defaults: k=4 fabric, static 1-and-100 senders,
+    /// reverse-ECMP demux, moderate load.
+    pub fn paper(seed: u64, duration: SimDuration) -> Self {
+        FatTreeExpConfig {
+            k: 4,
+            seed,
+            duration,
+            hash: HashAlgo::Crc32 { seed: 0xD47A },
+            n_src_tors: 2,
+            measured_load: 0.10,
+            background_load: 0.15,
+            policy: PolicyKind::Static { n: 100 },
+            demux: CoreDemux::ReverseEcmp,
+            queue: QueueConfig::oc192(),
+            link_delay: SimDuration::from_micros(1),
+            anomaly: None,
+            min_flow_packets: 1,
+        }
+    }
+}
+
+/// Outcome of one fat-tree run.
+#[derive(Debug, Clone)]
+pub struct FatTreeOutcome {
+    /// Segment-1 (source ToR → core) per-flow table, merged over receivers.
+    pub seg1_flows: FlowTable,
+    /// Segment-2 (core → destination ToR) per-flow table.
+    pub seg2_flows: FlowTable,
+    /// Per-flow mean relative errors, segment 1.
+    pub seg1_errors: Vec<f64>,
+    /// Per-flow mean relative errors, segment 2.
+    pub seg2_errors: Vec<f64>,
+    /// Measured regular packets judged by the downstream demux.
+    pub demux_total: u64,
+    /// …of which associated with the *correct* core.
+    pub demux_correct: u64,
+    /// …of which left unassociated (always all of them under naive).
+    pub demux_unassociated: u64,
+    /// Per-receiver segment observations (input to the localizer).
+    pub segments: Vec<SegmentObservation>,
+    /// Measured regular packets delivered end-to-end.
+    pub measured_delivered: u64,
+    /// References emitted by ToR senders / core senders.
+    pub refs_emitted: (u64, u64),
+}
+
+impl FatTreeOutcome {
+    /// Fraction of judged packets associated with the correct core.
+    pub fn demux_accuracy(&self) -> f64 {
+        if self.demux_total == 0 {
+            0.0
+        } else {
+            self.demux_correct as f64 / self.demux_total as f64
+        }
+    }
+}
+
+/// Synthetic sender id used by "mixed" (non-demultiplexed) receivers in the
+/// naive ablation.
+const NAIVE_ID: SenderId = SenderId(u16::MAX);
+
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    Reference(ReferenceInfo),
+    Regular {
+        flow: FlowKey,
+        truth: SimDuration,
+    },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Event {
+    at: SimTime,
+    order: u64,
+    ev: Ev,
+}
+
+fn measured_trace_cfg(
+    cfg: &FatTreeExpConfig,
+    tree: &FatTree,
+    idx: usize,
+    src: TopoId,
+    dst: TopoId,
+) -> rlir_trace::TraceConfig {
+    let mut tc = rlir_trace::TraceConfig::paper_regular(cfg.seed ^ (idx as u64 + 1), cfg.duration);
+    tc.link_rate_bps = cfg.queue.rate_bps;
+    tc.target_utilization = cfg.measured_load;
+    tc.src_prefix = tree.host_prefix(src);
+    tc.dst_prefix = tree.host_prefix(dst);
+    tc.first_packet_id = (idx as u64 + 1) << 34;
+    tc
+}
+
+/// Run the experiment.
+pub fn run_fattree(cfg: &FatTreeExpConfig) -> FatTreeOutcome {
+    let tree = FatTree::new(cfg.k, cfg.hash);
+    let half = tree.half();
+    let dst_pod = cfg.k - 1;
+    let dst_tor = tree.tor(dst_pod, 0);
+
+    // Measured sources: round-robin over pods other than the destination's.
+    let src_tors: Vec<TopoId> = (0..cfg.n_src_tors)
+        .map(|i| tree.tor(i % (cfg.k - 1), (i / (cfg.k - 1)) % half))
+        .collect();
+    let deployment = Deployment::for_destination(&tree, &src_tors, dst_tor);
+    let demux = RlirDemux::new(&tree, cfg.demux);
+
+    // ---- Workload -------------------------------------------------------
+    let mut injections: Vec<(usize, Packet)> = Vec::new();
+    let mut measured_traces = Vec::new();
+    for (i, &src) in src_tors.iter().enumerate() {
+        let trace = rlir_trace::generate(&measured_trace_cfg(cfg, &tree, i, src, dst_tor));
+        injections.extend(trace.packets.iter().map(|p| (src, *p)));
+        measured_traces.push((src, trace));
+    }
+    // Background: every other ToR sends to a rotated partner (never the
+    // destination ToR, never a measured source as origin).
+    let all_tors: Vec<TopoId> = tree.tors().collect();
+    for (bi, &tor) in all_tors.iter().enumerate() {
+        if tor == dst_tor || src_tors.contains(&tor) || cfg.background_load <= 0.0 {
+            continue;
+        }
+        let partner = all_tors
+            .iter()
+            .copied()
+            .cycle()
+            .skip(bi + half + 1)
+            .find(|&p| p != tor && p != dst_tor)
+            .expect("some partner exists");
+        let mut tc =
+            rlir_trace::TraceConfig::paper_regular(cfg.seed ^ 0xBAC0 ^ (bi as u64) << 3, cfg.duration);
+        tc.link_rate_bps = cfg.queue.rate_bps;
+        tc.target_utilization = cfg.background_load;
+        tc.src_prefix = tree.host_prefix(tor);
+        tc.dst_prefix = tree.host_prefix(partner);
+        tc.first_packet_id = (0x100 + bi as u64) << 34;
+        let trace = rlir_trace::generate(&tc);
+        injections.extend(trace.packets.iter().map(|p| (tor, *p)));
+    }
+
+    // ---- ToR-uplink senders (computable offline: the uplink a packet
+    // takes is a pure function of its flow key) --------------------------
+    let mut refs_tor = 0u64;
+    for (i, (src, trace)) in measured_traces.iter().enumerate() {
+        let mut senders: Vec<RliSender> = (0..half)
+            .map(|u| {
+                let spec = deployment.tor_sender(*src, u).expect("deployed");
+                RliSender::new(
+                    spec.id,
+                    ClockModel::perfect(),
+                    cfg.policy.build(),
+                    spec.targets.iter().map(|(_, k)| *k).collect(),
+                )
+            })
+            .collect();
+        let _ = i;
+        for p in &trace.packets {
+            let uplink = tree.node(*src).hash.select(&p.flow, half);
+            for r in senders[uplink].observe(p) {
+                refs_tor += 1;
+                injections.push((*src, r));
+            }
+        }
+    }
+
+    // ---- Simulation phases ---------------------------------------------
+    let overrides: Vec<(TopoId, QueueConfig)> = cfg
+        .anomaly
+        .iter()
+        .map(|a| {
+            let core = tree.cores().nth(a.core_ordinal).expect("core ordinal in range");
+            (
+                core,
+                QueueConfig {
+                    processing_delay: cfg.queue.processing_delay + a.extra_processing,
+                    ..cfg.queue
+                },
+            )
+        })
+        .collect();
+    let fabric = FatTreeFabric::new(&tree, matches!(cfg.demux, CoreDemux::Marking));
+
+    // Phase 1: derive core-crossing schedules (regular + background only,
+    // ToR references included so the load matches phase 2 closely).
+    let phase1 = run_network(
+        build_network(&tree, cfg.queue, cfg.link_delay, &overrides),
+        &fabric,
+        injections.clone(),
+    );
+    let mut crossings: HashMap<TopoId, Vec<(SimTime, u32)>> = HashMap::new();
+    for d in &phase1.deliveries {
+        if !d.packet.is_regular() {
+            continue;
+        }
+        for h in &d.hops {
+            if matches!(tree.node(h.node).role, Role::Core { .. }) {
+                crossings.entry(h.node).or_default().push((h.arrived, d.packet.size));
+            }
+        }
+    }
+
+    // Core senders: replay each core's crossing sequence through the policy.
+    let mut refs_core = 0u64;
+    for spec in &deployment.core_senders {
+        let mut sender = RliSender::new(
+            spec.id,
+            ClockModel::perfect(),
+            cfg.policy.build(),
+            vec![spec.target],
+        );
+        let Some(seq) = crossings.get_mut(&spec.core) else {
+            continue;
+        };
+        seq.sort_unstable();
+        for &(at, size) in seq.iter() {
+            let proxy = Packet::regular(0, spec.target, size, at);
+            for r in sender.observe(&proxy) {
+                refs_core += 1;
+                injections.push((spec.core, r));
+            }
+        }
+    }
+
+    // Phase 2: the full run.
+    let phase2 = run_network(
+        build_network(&tree, cfg.queue, cfg.link_delay, &overrides),
+        &fabric,
+        injections,
+    );
+
+    extract_measurements(cfg, &tree, &deployment, &demux, &phase2, (refs_tor, refs_core))
+}
+
+fn extract_measurements(
+    cfg: &FatTreeExpConfig,
+    tree: &FatTree,
+    deployment: &Deployment,
+    demux: &RlirDemux<'_>,
+    run: &NetworkRun,
+    refs_emitted: (u64, u64),
+) -> FatTreeOutcome {
+    let dst_tor = deployment.dst_tor;
+    let measured_src = |flow: &FlowKey| {
+        demux
+            .origin_tor(&Packet::regular(0, *flow, 0, SimTime::ZERO))
+            .filter(|t| deployment.src_tors.contains(t))
+    };
+    let naive = matches!(cfg.demux, CoreDemux::Naive);
+
+    // Event queues per receiver.
+    let mut seg1: HashMap<(TopoId, SenderId), Vec<Event>> = HashMap::new();
+    let mut seg2: HashMap<SenderId, Vec<Event>> = HashMap::new();
+    let mut demux_total = 0u64;
+    let mut demux_correct = 0u64;
+    let mut demux_unassociated = 0u64;
+    let mut measured_delivered = 0u64;
+
+    for (order, d) in run.deliveries.iter().enumerate() {
+        let order = order as u64;
+        match d.packet.reference_info() {
+            Some(info) if info.sender.0 < CORE_SENDER_BASE => {
+                // ToR-sender reference: received at the core it crosses.
+                if let Some(h) = d
+                    .hops
+                    .iter()
+                    .find(|h| matches!(tree.node(h.node).role, Role::Core { .. }))
+                {
+                    let key = if naive { NAIVE_ID } else { info.sender };
+                    let info = if naive {
+                        ReferenceInfo {
+                            sender: NAIVE_ID,
+                            ..*info
+                        }
+                    } else {
+                        *info
+                    };
+                    seg1.entry((h.node, key)).or_default().push(Event {
+                        at: h.arrived,
+                        order,
+                        ev: Ev::Reference(info),
+                    });
+                }
+            }
+            Some(info) => {
+                // Core-sender reference: received at the destination ToR.
+                if d.delivered_node == dst_tor {
+                    let key = if naive { NAIVE_ID } else { info.sender };
+                    let info = if naive {
+                        ReferenceInfo {
+                            sender: NAIVE_ID,
+                            ..*info
+                        }
+                    } else {
+                        *info
+                    };
+                    seg2.entry(key).or_default().push(Event {
+                        at: d.delivered_at,
+                        order,
+                        ev: Ev::Reference(info),
+                    });
+                }
+            }
+            None => {
+                // Regular packet: measured iff from a measured ToR to the
+                // destination block.
+                if d.delivered_node != dst_tor || !d.packet.is_regular() {
+                    continue;
+                }
+                let Some(origin) = measured_src(&d.packet.flow) else {
+                    continue;
+                };
+                let Some(core_hop) = d
+                    .hops
+                    .iter()
+                    .find(|h| matches!(tree.node(h.node).role, Role::Core { .. }))
+                else {
+                    continue; // intra-pod: not covered by this deployment
+                };
+                measured_delivered += 1;
+                let actual_core = core_hop.node;
+
+                // Segment 1 (origin ToR → core): the receiver at the actual
+                // core physically sees the packet; association picks the
+                // reference stream (upstream demux via prefix matching).
+                let seg1_truth = core_hop.arrived.saturating_since(d.injected_at);
+                let seg1_key = if naive {
+                    Some(NAIVE_ID)
+                } else {
+                    deployment.tor_sender_for(tree, origin, actual_core)
+                };
+                if let Some(k) = seg1_key {
+                    seg1.entry((actual_core, k)).or_default().push(Event {
+                        at: core_hop.arrived,
+                        order,
+                        ev: Ev::Regular {
+                            flow: d.packet.flow,
+                            truth: seg1_truth,
+                        },
+                    });
+                }
+
+                // Segment 2 (core → destination ToR): downstream demux must
+                // *infer* the core.
+                demux_total += 1;
+                let inferred = demux.traversed_core(&d.packet);
+                match inferred {
+                    Some(c) if c == actual_core => demux_correct += 1,
+                    Some(_) => {}
+                    None => demux_unassociated += 1,
+                }
+                let seg2_truth = d.delivered_at.saturating_since(core_hop.arrived);
+                let seg2_key = if naive {
+                    Some(NAIVE_ID)
+                } else {
+                    inferred.and_then(|c| deployment.core_sender(c).map(|s| s.id))
+                };
+                if let Some(k) = seg2_key {
+                    seg2.entry(k).or_default().push(Event {
+                        at: d.delivered_at,
+                        order,
+                        ev: Ev::Regular {
+                            flow: d.packet.flow,
+                            truth: seg2_truth,
+                        },
+                    });
+                }
+            }
+        }
+    }
+
+    // Drain the event queues through receiver instances.
+    let mut seg1_flows = FlowTable::new();
+    let mut seg2_flows = FlowTable::new();
+    let mut segments = Vec::new();
+    let mut drain = |events: &mut Vec<Event>, bound: SenderId, name: String, out: &mut FlowTable| {
+        events.sort_by_key(|e| (e.at, e.order));
+        let mut rx = RliReceiver::new(ReceiverConfig {
+            sender: bound,
+            clock: ClockModel::perfect(),
+            interpolator: Interpolator::Linear,
+            max_buffer: 1 << 22,
+            record_estimates: false,
+        });
+        for e in events.iter() {
+            match e.ev {
+                Ev::Reference(info) => rx.on_reference(e.at, &info),
+                Ev::Regular { flow, truth } => rx.on_regular(e.at, flow, Some(truth)),
+            }
+        }
+        let report = rx.finish();
+        if let (Some(est), Some(truth)) = (
+            report.flows.aggregate_est_mean(),
+            report.flows.aggregate_true_mean(),
+        ) {
+            segments.push(SegmentObservation {
+                name,
+                est_mean_ns: est,
+                true_mean_ns: truth,
+                packets: report.counters.estimated,
+            });
+        }
+        out.merge(report.flows);
+    };
+
+    let mut seg1_keys: Vec<(TopoId, SenderId)> = seg1.keys().copied().collect();
+    seg1_keys.sort();
+    for key in seg1_keys {
+        let (core, sender) = key;
+        let from = deployment
+            .tor_senders
+            .iter()
+            .find(|s| s.id == sender)
+            .map(|s| tree.node(s.tor).name.clone())
+            .unwrap_or_else(|| "mixed".to_string());
+        let name = format!("{from}→{}", tree.node(core).name);
+        let mut events = seg1.remove(&key).expect("key exists");
+        drain(&mut events, sender, name, &mut seg1_flows);
+    }
+    let mut seg2_keys: Vec<SenderId> = seg2.keys().copied().collect();
+    seg2_keys.sort();
+    for key in seg2_keys {
+        let from = deployment
+            .core_senders
+            .iter()
+            .find(|s| s.id == key)
+            .map(|s| tree.node(s.core).name.clone())
+            .unwrap_or_else(|| "mixed".to_string());
+        let name = format!("{from}→{}", tree.node(dst_tor).name);
+        let mut events = seg2.remove(&key).expect("key exists");
+        drain(&mut events, key, name, &mut seg2_flows);
+    }
+
+    let seg1_errors = seg1_flows.mean_relative_errors(cfg.min_flow_packets);
+    let seg2_errors = seg2_flows.mean_relative_errors(cfg.min_flow_packets);
+    FatTreeOutcome {
+        seg1_flows,
+        seg2_flows,
+        seg1_errors,
+        seg2_errors,
+        demux_total,
+        demux_correct,
+        demux_unassociated,
+        segments,
+        measured_delivered,
+        refs_emitted,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(demux: CoreDemux) -> FatTreeExpConfig {
+        let mut cfg = FatTreeExpConfig::paper(11, SimDuration::from_millis(20));
+        cfg.policy = PolicyKind::Static { n: 30 };
+        cfg.demux = demux;
+        cfg
+    }
+
+    #[test]
+    fn reverse_ecmp_demux_is_perfect() {
+        let out = run_fattree(&quick(CoreDemux::ReverseEcmp));
+        assert!(out.measured_delivered > 500, "{}", out.measured_delivered);
+        assert!(out.demux_total > 0);
+        assert_eq!(out.demux_correct, out.demux_total, "reverse ECMP must be exact");
+        assert_eq!(out.demux_unassociated, 0);
+        assert!(out.refs_emitted.0 > 0 && out.refs_emitted.1 > 0);
+    }
+
+    #[test]
+    fn marking_demux_is_perfect_too() {
+        let out = run_fattree(&quick(CoreDemux::Marking));
+        assert!(out.demux_total > 0);
+        assert_eq!(out.demux_correct, out.demux_total, "marking must be exact");
+    }
+
+    #[test]
+    fn naive_demux_associates_nothing() {
+        let out = run_fattree(&quick(CoreDemux::Naive));
+        assert!(out.demux_total > 0);
+        assert_eq!(out.demux_correct, 0);
+        assert_eq!(out.demux_unassociated, out.demux_total);
+        assert_eq!(out.demux_accuracy(), 0.0);
+        // Estimates still happen (mixed receivers) — they are just wrong
+        // more often; at minimum they must exist for the ablation contrast.
+        assert!(out.seg2_flows.estimate_count() > 0);
+    }
+
+    #[test]
+    fn segments_cover_sources_and_cores() {
+        let out = run_fattree(&quick(CoreDemux::ReverseEcmp));
+        // 2 src ToRs × (targets at up to 4 cores) + up to 4 core→dst rows.
+        assert!(out.segments.len() >= 4, "{:?}", out.segments.len());
+        for s in &out.segments {
+            assert!(s.name.contains('→'), "{}", s.name);
+            assert!(s.est_mean_ns.is_finite());
+        }
+    }
+
+    #[test]
+    fn estimation_errors_are_reasonable_with_demux() {
+        let out = run_fattree(&quick(CoreDemux::ReverseEcmp));
+        assert!(!out.seg2_errors.is_empty());
+        let med = rlir_stats::Ecdf::new(out.seg2_errors.clone()).median().unwrap();
+        assert!(med < 1.0, "median seg2 error {med}");
+    }
+
+    #[test]
+    fn anomaly_shows_up_in_the_right_segment() {
+        let mut cfg = quick(CoreDemux::ReverseEcmp);
+        cfg.anomaly = Some(CoreAnomaly {
+            core_ordinal: 0,
+            extra_processing: SimDuration::from_micros(400),
+        });
+        let out = run_fattree(&cfg);
+        let tree = FatTree::new(cfg.k, cfg.hash);
+        let bad_core = tree.cores().next().unwrap();
+        let bad_name = tree.node(bad_core).name.clone();
+        // The segment leaving the bad core must be among the slowest seg-2
+        // rows (the extra processing delays departures from that core).
+        let seg2_rows: Vec<_> = out
+            .segments
+            .iter()
+            .filter(|s| s.name.starts_with("C["))
+            .collect();
+        assert!(!seg2_rows.is_empty());
+        let slowest = seg2_rows
+            .iter()
+            .max_by(|a, b| a.est_mean_ns.partial_cmp(&b.est_mean_ns).unwrap())
+            .unwrap();
+        assert!(
+            slowest.name.starts_with(&bad_name),
+            "slowest seg2 {} is not the faulty core {bad_name}",
+            slowest.name
+        );
+    }
+}

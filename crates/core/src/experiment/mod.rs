@@ -1,0 +1,18 @@
+//! Ready-made experiment harnesses reproducing the paper's evaluation.
+//!
+//! * [`two_hop`] — the Fig. 3 controlled environment behind Figs. 4(a)–(c)
+//!   (per-flow accuracy under cross traffic) and Fig. 5 (reference-packet
+//!   interference).
+//! * [`loss_sweep`] — the paired with/without-references utilization sweep
+//!   of Fig. 5.
+//! * [`fattree`] — the §3 RLIR architecture on a k-ary fat-tree: partial
+//!   deployment, reference-stream engineering, demultiplexing ablations and
+//!   anomaly localization.
+
+pub mod fattree;
+pub mod loss_sweep;
+pub mod two_hop;
+
+pub use fattree::{run_fattree, CoreAnomaly, FatTreeExpConfig, FatTreeOutcome};
+pub use loss_sweep::{run_loss_sweep, run_loss_sweep_on, LossPoint, LossSweepConfig};
+pub use two_hop::{run_two_hop, run_two_hop_on, CrossSpec, TwoHopConfig, TwoHopOutcome};

@@ -1,0 +1,191 @@
+//! Bridging the fat-tree topology onto the event-driven simulator.
+//!
+//! [`build_network`] materialises a [`FatTree`] as a `rlir-sim` network —
+//! one simulator node per switch, ports in the topology's conventional
+//! order, host blocks as host-facing ports. [`FatTreeFabric`] implements the
+//! simulator's [`Forwarder`] using the topology's ECMP routing, and
+//! optionally performs RLIR's ToS packet marking at core switches.
+
+use crate::demux::core_mark;
+use rlir_net::packet::Packet;
+use rlir_net::time::SimDuration;
+use rlir_sim::{Forwarder, Network, NodeId, Port, PortId, QueueConfig, RouteDecision};
+use rlir_topo::{FatTree, NextHop, PortTarget, Role, TopoId};
+
+/// Build the simulator network for a fat-tree. Simulator node ids equal
+/// topology ids and port order matches [`rlir_topo::TopoNode::ports`].
+/// `overrides` lets experiments perturb individual switches (e.g. inject a
+/// latency anomaly at one core).
+pub fn build_network(
+    tree: &FatTree,
+    queue: QueueConfig,
+    link_delay: SimDuration,
+    overrides: &[(TopoId, QueueConfig)],
+) -> Network {
+    let mut net = Network::default();
+    for node in tree.nodes() {
+        net.add_node(node.name.clone());
+    }
+    for (id, node) in tree.nodes().iter().enumerate() {
+        let cfg = overrides
+            .iter()
+            .find(|(t, _)| *t == id)
+            .map(|(_, c)| *c)
+            .unwrap_or(queue);
+        for target in &node.ports {
+            match target {
+                PortTarget::Switch(next) => {
+                    net.add_port(id, Port::to_switch(cfg, *next, link_delay));
+                }
+                PortTarget::Hosts => {
+                    net.add_port(id, Port::to_host(cfg, link_delay));
+                }
+            }
+        }
+    }
+    net
+}
+
+/// The forwarding plane: topology ECMP + optional core marking.
+#[derive(Debug, Clone)]
+pub struct FatTreeFabric<'t> {
+    tree: &'t FatTree,
+    mark_at_core: bool,
+}
+
+impl<'t> FatTreeFabric<'t> {
+    /// Build; `mark_at_core` enables RLIR's packet-marking demux support.
+    pub fn new(tree: &'t FatTree, mark_at_core: bool) -> Self {
+        FatTreeFabric { tree, mark_at_core }
+    }
+}
+
+impl Forwarder for FatTreeFabric<'_> {
+    fn route(&self, node: NodeId, packet: &Packet) -> RouteDecision {
+        match self.tree.next_hop(node, &packet.flow) {
+            NextHop::Port(p) | NextHop::HostPort(p) => RouteDecision::Forward(p),
+            NextHop::Unroutable => RouteDecision::Drop,
+        }
+    }
+
+    fn on_forward(&self, node: NodeId, _port: PortId, packet: &mut Packet) {
+        if self.mark_at_core
+            && packet.mark == 0
+            && matches!(self.tree.node(node).role, Role::Core { .. })
+        {
+            packet.mark = core_mark(self.tree, node);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlir_net::time::SimTime;
+    use rlir_net::{FlowKey, HashAlgo};
+    use rlir_sim::run_network;
+
+    fn tree() -> FatTree {
+        FatTree::new(4, HashAlgo::default())
+    }
+
+    fn qcfg() -> QueueConfig {
+        QueueConfig {
+            rate_bps: 8_000_000_000,
+            capacity_bytes: 1 << 20,
+            processing_delay: SimDuration::ZERO,
+        }
+    }
+
+    fn flow(t: &FatTree, s: TopoId, d: TopoId, sport: u16) -> FlowKey {
+        FlowKey::tcp(t.host_addr(s, 0), sport, t.host_addr(d, 0), 80)
+    }
+
+    #[test]
+    fn network_mirrors_topology() {
+        let t = tree();
+        let net = build_network(&t, qcfg(), SimDuration::from_nanos(100), &[]);
+        assert_eq!(net.nodes.len(), t.len());
+        for (id, node) in t.nodes().iter().enumerate() {
+            assert_eq!(net.nodes[id].ports.len(), node.ports.len(), "{}", node.name);
+            assert_eq!(net.nodes[id].name, node.name);
+        }
+    }
+
+    #[test]
+    fn packets_follow_topology_paths() {
+        let t = tree();
+        let net = build_network(&t, qcfg(), SimDuration::from_nanos(100), &[]);
+        let fabric = FatTreeFabric::new(&t, false);
+        let (src, dst) = (t.tor(0, 0), t.tor(3, 1));
+        let f = flow(&t, src, dst, 777);
+        let expected = t.path(&f).unwrap();
+        let p = Packet::regular(1, f, 1000, SimTime::ZERO);
+        let run = run_network(net, &fabric, vec![(src, p)]);
+        assert_eq!(run.deliveries.len(), 1);
+        let hops: Vec<_> = run.deliveries[0].hops.iter().map(|h| h.node).collect();
+        assert_eq!(hops, expected, "sim path must equal topology path");
+        assert_eq!(run.deliveries[0].delivered_node, dst);
+    }
+
+    #[test]
+    fn marking_stamps_core_only_when_enabled() {
+        let t = tree();
+        let (src, dst) = (t.tor(0, 0), t.tor(2, 0));
+        let f = flow(&t, src, dst, 9);
+        let expected_core = t.core_of_path(&f).unwrap();
+        for (enabled, want_mark) in [(true, core_mark(&t, expected_core)), (false, 0)] {
+            let net = build_network(&t, qcfg(), SimDuration::ZERO, &[]);
+            let fabric = FatTreeFabric::new(&t, enabled);
+            let p = Packet::regular(1, f, 1000, SimTime::ZERO);
+            let run = run_network(net, &fabric, vec![(src, p)]);
+            assert_eq!(run.deliveries[0].packet.mark, want_mark, "enabled={enabled}");
+        }
+    }
+
+    #[test]
+    fn queue_override_slows_one_core() {
+        let t = tree();
+        let (src, dst) = (t.tor(0, 0), t.tor(2, 0));
+        let f = flow(&t, src, dst, 9);
+        let core = t.core_of_path(&f).unwrap();
+        let slow = QueueConfig {
+            processing_delay: SimDuration::from_micros(500),
+            ..qcfg()
+        };
+        let fabric = FatTreeFabric::new(&t, false);
+        let base = run_network(
+            build_network(&t, qcfg(), SimDuration::ZERO, &[]),
+            &fabric,
+            vec![(src, Packet::regular(1, f, 1000, SimTime::ZERO))],
+        );
+        let slowed = run_network(
+            build_network(&t, qcfg(), SimDuration::ZERO, &[(core, slow)]),
+            &fabric,
+            vec![(src, Packet::regular(1, f, 1000, SimTime::ZERO))],
+        );
+        let d0 = base.deliveries[0].true_delay().as_nanos();
+        let d1 = slowed.deliveries[0].true_delay().as_nanos();
+        assert_eq!(d1 - d0, 500_000, "anomaly must add exactly 500 µs");
+    }
+
+    #[test]
+    fn unroutable_packets_dropped_at_ingress() {
+        let t = tree();
+        let net = build_network(&t, qcfg(), SimDuration::ZERO, &[]);
+        let fabric = FatTreeFabric::new(&t, false);
+        let f = FlowKey::tcp(
+            t.host_addr(t.tor(0, 0), 0),
+            1,
+            "8.8.8.8".parse().unwrap(),
+            53,
+        );
+        let run = run_network(
+            net,
+            &fabric,
+            vec![(t.tor(0, 0), Packet::regular(1, f, 100, SimTime::ZERO))],
+        );
+        assert!(run.deliveries.is_empty());
+        assert_eq!(run.route_drops[t.tor(0, 0)], 1);
+    }
+}

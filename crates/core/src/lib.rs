@@ -1,0 +1,49 @@
+//! # rlir — Reference Latency Interpolation across Routers
+//!
+//! The paper's primary contribution (Singh, Lee, Kumar, Kompella,
+//! Hot-ICE 2011): flow-level latency measurement in data centers with RLI
+//! instances deployed at only *some* routers (ToR uplinks + cores of a
+//! fat-tree), trading localization granularity for deployment cost.
+//!
+//! * [`demux`] — the receiver-side demultiplexer of §3.1: origin-ToR
+//!   identification by IP prefix matching (upstream) and traversed-core
+//!   identification by ToS packet marking or reverse-ECMP computation
+//!   (downstream), plus the naive no-association ablation.
+//! * [`deployment`] — instance placement and reference-stream engineering
+//!   ("each sender sends reference packets to all intermediate receivers").
+//! * [`fabric`] — materialises the fat-tree on the event-driven simulator,
+//!   with core marking support.
+//! * [`localization`] — segment-level latency-anomaly localization, the
+//!   operator-facing purpose of the architecture.
+//! * [`windowed`] — time-windowed anomaly detection over per-packet
+//!   estimate logs (transient microbursts, not just run-level means).
+//! * [`experiment`] — the evaluation harnesses (two-hop pipeline for
+//!   Figs. 4–5, full fat-tree for the demux/localization studies).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use rlir::experiment::{run_two_hop, TwoHopConfig, CrossSpec};
+//! use rlir_net::time::SimDuration;
+//!
+//! let mut cfg = TwoHopConfig::paper(42, SimDuration::from_millis(30));
+//! cfg.cross = CrossSpec::Uniform { target_utilization: 0.8 };
+//! let out = run_two_hop(&cfg);
+//! assert!(out.flows.flow_count() > 0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod demux;
+pub mod deployment;
+pub mod experiment;
+pub mod fabric;
+pub mod localization;
+pub mod windowed;
+
+pub use demux::{core_from_mark, core_mark, CoreDemux, RlirDemux};
+pub use deployment::{engineer_ref_key, CoreSenderSpec, Deployment, TorSenderSpec};
+pub use fabric::{build_network, FatTreeFabric};
+pub use localization::{localize, AnomalyFinding, LocalizerConfig, SegmentObservation};
+pub use windowed::{localize_windows, SegmentWindows, WindowFinding, WindowedConfig};

@@ -1,0 +1,204 @@
+//! Time-windowed anomaly detection.
+//!
+//! [`crate::localization`] judges whole-run segment means, which washes out
+//! *transient* latency events (a 50 ms microburst inside a 10 s window).
+//! This module bins a segment's per-packet estimates
+//! ([`rlir_rli::EstimateRecord`], logged by receivers with
+//! `record_estimates`) into fixed windows and flags `(segment, window)`
+//! pairs whose mean estimate spikes above the segment's own typical level —
+//! the "when did it happen" companion to localization's "where".
+
+use rlir_rli::EstimateRecord;
+use rlir_stats::BinnedSeries;
+use serde::{Deserialize, Serialize};
+
+/// Windowed detector configuration.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct WindowedConfig {
+    /// Window width in nanoseconds.
+    pub window_ns: u64,
+    /// A window is anomalous when its mean exceeds `factor` × the segment's
+    /// median window mean.
+    pub factor: f64,
+    /// Windows with fewer estimates than this are not judged.
+    pub min_samples: u64,
+}
+
+impl Default for WindowedConfig {
+    fn default() -> Self {
+        WindowedConfig {
+            window_ns: 5_000_000, // 5 ms windows
+            factor: 3.0,
+            min_samples: 20,
+        }
+    }
+}
+
+/// One flagged `(segment, window)` pair.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WindowFinding {
+    /// Segment name.
+    pub segment: String,
+    /// Window start, ns.
+    pub window_start_ns: u64,
+    /// Window mean estimate, ns.
+    pub mean_ns: f64,
+    /// Ratio to the segment's median window mean.
+    pub severity: f64,
+}
+
+/// Per-segment windowed series built from estimate records.
+#[derive(Debug, Clone)]
+pub struct SegmentWindows {
+    /// Segment name.
+    pub name: String,
+    series: BinnedSeries,
+}
+
+impl SegmentWindows {
+    /// Bin a segment's estimate records.
+    pub fn build(name: impl Into<String>, records: &[EstimateRecord], window_ns: u64) -> Self {
+        let mut series = BinnedSeries::new(window_ns);
+        for r in records {
+            series.record(r.at.as_nanos(), r.est_ns);
+        }
+        SegmentWindows {
+            name: name.into(),
+            series,
+        }
+    }
+
+    /// Mean estimate per window (`None` for empty windows).
+    pub fn window_means(&self) -> Vec<Option<f64>> {
+        (0..self.series.len()).map(|i| self.series.mean(i)).collect()
+    }
+
+    /// The underlying series.
+    pub fn series(&self) -> &BinnedSeries {
+        &self.series
+    }
+}
+
+/// Detect anomalous windows across segments. Findings sorted by severity.
+pub fn localize_windows(segments: &[SegmentWindows], cfg: &WindowedConfig) -> Vec<WindowFinding> {
+    let mut findings = Vec::new();
+    for seg in segments {
+        // Baseline: the segment's own median window mean (robust to the
+        // anomaly windows themselves as long as they are a minority).
+        let mut means: Vec<f64> = (0..seg.series.len())
+            .filter(|&i| seg.series.count(i) >= cfg.min_samples)
+            .filter_map(|i| seg.series.mean(i))
+            .collect();
+        if means.len() < 3 {
+            continue;
+        }
+        means.sort_by(|a, b| a.partial_cmp(b).expect("finite means"));
+        let median = means[means.len() / 2];
+        if median <= 0.0 {
+            continue;
+        }
+        for i in 0..seg.series.len() {
+            if seg.series.count(i) < cfg.min_samples {
+                continue;
+            }
+            let Some(mean) = seg.series.mean(i) else { continue };
+            let severity = mean / median;
+            if severity > cfg.factor {
+                findings.push(WindowFinding {
+                    segment: seg.name.clone(),
+                    window_start_ns: i as u64 * cfg.window_ns,
+                    mean_ns: mean,
+                    severity,
+                });
+            }
+        }
+    }
+    findings.sort_by(|a, b| b.severity.partial_cmp(&a.severity).expect("finite"));
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlir_net::time::SimTime;
+    use rlir_net::FlowKey;
+    use std::net::Ipv4Addr;
+
+    fn rec(at_us: u64, est_ns: f64) -> EstimateRecord {
+        EstimateRecord {
+            at: SimTime::from_micros(at_us),
+            flow: FlowKey::udp(
+                Ipv4Addr::new(10, 0, 0, 1),
+                1,
+                Ipv4Addr::new(10, 1, 0, 1),
+                2,
+            ),
+            est_ns,
+            truth_ns: None,
+        }
+    }
+
+    fn steady_with_spike() -> Vec<EstimateRecord> {
+        // 100 ms of estimates every 20 µs: ~5 µs delays, except a spike to
+        // 200 µs during [40 ms, 45 ms).
+        (0..5000u64)
+            .map(|i| {
+                let t_us = i * 20;
+                let est = if (40_000..45_000).contains(&t_us) {
+                    200_000.0
+                } else {
+                    5_000.0 + (i % 7) as f64 * 100.0
+                };
+                rec(t_us, est)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn finds_the_spike_window() {
+        let seg = SegmentWindows::build("T0→C0", &steady_with_spike(), 5_000_000);
+        let findings = localize_windows(&[seg], &WindowedConfig::default());
+        assert!(!findings.is_empty(), "spike not found");
+        let top = &findings[0];
+        assert_eq!(top.segment, "T0→C0");
+        assert_eq!(top.window_start_ns, 40_000_000, "wrong window");
+        assert!(top.severity > 10.0);
+        // Only the spike window is flagged.
+        assert_eq!(findings.len(), 1, "{findings:?}");
+    }
+
+    #[test]
+    fn steady_traffic_raises_nothing() {
+        let records: Vec<EstimateRecord> =
+            (0..5000u64).map(|i| rec(i * 20, 5_000.0)).collect();
+        let seg = SegmentWindows::build("s", &records, 5_000_000);
+        assert!(localize_windows(&[seg], &WindowedConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn sparse_windows_not_judged() {
+        // Only 3 estimates total: below min_samples everywhere.
+        let records = vec![rec(0, 1.0), rec(10_000, 1e9), rec(20_000, 1.0)];
+        let seg = SegmentWindows::build("s", &records, 5_000_000);
+        assert!(localize_windows(&[seg], &WindowedConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn multiple_segments_ranked_by_severity() {
+        let quiet: Vec<EstimateRecord> = (0..5000u64).map(|i| rec(i * 20, 4_000.0)).collect();
+        let seg_quiet = SegmentWindows::build("quiet", &quiet, 5_000_000);
+        let seg_spiky = SegmentWindows::build("spiky", &steady_with_spike(), 5_000_000);
+        let findings = localize_windows(&[seg_quiet, seg_spiky], &WindowedConfig::default());
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].segment, "spiky");
+    }
+
+    #[test]
+    fn window_means_expose_series() {
+        let seg = SegmentWindows::build("s", &steady_with_spike(), 5_000_000);
+        let means = seg.window_means();
+        assert_eq!(means.len(), 20); // 100 ms / 5 ms
+        assert!(means[8].unwrap() > 50_000.0, "spike window mean");
+        assert!(means[0].unwrap() < 10_000.0);
+    }
+}

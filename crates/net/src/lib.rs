@@ -1,0 +1,40 @@
+//! # rlir-net — packet and addressing substrate
+//!
+//! Foundation types shared by every crate in the RLIR reproduction:
+//!
+//! * [`time`] — nanosecond-resolution simulated time ([`SimTime`],
+//!   [`SimDuration`]).
+//! * [`flow`] — 5-tuple [`FlowKey`]s and dense [`FlowId`]s.
+//! * [`prefix`] / [`trie`] — IPv4 CIDR prefixes and a longest-prefix-match
+//!   trie (the receiver-side "simple IP prefix matching" of RLIR §3.1 and the
+//!   fat-tree routing tables).
+//! * [`hash`] — deterministic ECMP hash functions, shared between the
+//!   forwarding plane and RLIR's reverse-ECMP demultiplexer.
+//! * [`packet`] — the simulated [`Packet`] record with traffic classes and
+//!   embedded RLI reference headers.
+//! * [`wire`] — real on-the-wire encodings (IPv4 + UDP + RLI payload with
+//!   checksums) for reference packets.
+//! * [`clock`] — imperfect-clock models for studying synchronisation error.
+//!
+//! The crate is dependency-light (only `bytes` and `serde`) and contains no
+//! I/O or simulation logic.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod clock;
+pub mod flow;
+pub mod hash;
+pub mod packet;
+pub mod prefix;
+pub mod time;
+pub mod trie;
+pub mod wire;
+
+pub use clock::{ClockModel, ClockPair};
+pub use flow::{FlowId, FlowKey, Protocol};
+pub use hash::{EcmpHasher, HashAlgo};
+pub use packet::{Packet, PacketId, PacketKind, ReferenceInfo, SenderId};
+pub use prefix::Ipv4Prefix;
+pub use time::{SimDuration, SimTime};
+pub use trie::PrefixTrie;

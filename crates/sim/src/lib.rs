@@ -1,0 +1,30 @@
+//! # rlir-sim — discrete-event network simulator
+//!
+//! The simulation substrate behind the paper's evaluation (§4.1, Fig. 3):
+//!
+//! * [`queue`] — analytic drop-tail FIFO output queues (rate, byte capacity,
+//!   processing delay) with per-traffic-class loss/byte counters.
+//! * [`crosstraffic`] — the cross-traffic injector with the paper's two
+//!   selection models (uniform/"random" and bursty) plus the keep-probability
+//!   calibrator for utilization targets.
+//! * [`pipeline`] — the two-switch tandem of Fig. 3, run as linear passes
+//!   (no event heap) with full per-packet ground truth.
+//! * [`network`] — a general event-driven engine for arbitrary topologies
+//!   (used for the fat-tree RLIR experiments), with pluggable forwarding,
+//!   ToS-marking hooks and hop-by-hop ground truth.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod crosstraffic;
+pub mod network;
+pub mod pipeline;
+pub mod queue;
+
+pub use crosstraffic::{calibrate_keep_prob, CrossInjector, CrossModel};
+pub use network::{
+    run_network, Forwarder, Hop, NetDelivery, Network, NetworkRun, NodeId, Port, PortId,
+    RouteDecision, SwitchNode,
+};
+pub use pipeline::{run_tandem, Delivery, TandemConfig, TandemResult};
+pub use queue::{ClassCounters, FifoQueue, QueueConfig, Verdict};

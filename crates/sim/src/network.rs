@@ -1,0 +1,470 @@
+//! Event-driven simulation of arbitrary switch topologies.
+//!
+//! The tandem pipeline covers the paper's Fig. 3 evaluation; the RLIR
+//! architecture itself (§3) lives on a *fat-tree*, where packets traverse
+//! ToR → edge → core → edge → ToR with ECMP choosing among equal-cost ports.
+//! This module provides the general engine: switches with per-output-port
+//! [`FifoQueue`]s, links with propagation delay, a pluggable [`Forwarder`]
+//! (implemented by `rlir-topo`), and per-packet hop-by-hop ground truth.
+//!
+//! Events are processed from a binary heap in (time, sequence) order, so the
+//! simulation is deterministic and every queue sees time-ordered arrivals.
+
+use crate::queue::{FifoQueue, QueueConfig, Verdict};
+use rlir_net::packet::Packet;
+use rlir_net::time::{SimDuration, SimTime};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Index of a switch in the network.
+pub type NodeId = usize;
+/// Index of a port within a switch.
+pub type PortId = usize;
+
+/// One output port: a queue draining onto a link.
+#[derive(Debug, Clone)]
+pub struct Port {
+    /// The output queue.
+    pub queue: FifoQueue,
+    /// Switch at the far end of the link; `None` for a host-facing port
+    /// (packets delivered after queueing).
+    pub link_to: Option<NodeId>,
+    /// Propagation delay of the attached link.
+    pub link_delay: SimDuration,
+}
+
+impl Port {
+    /// A port towards another switch.
+    pub fn to_switch(cfg: QueueConfig, node: NodeId, link_delay: SimDuration) -> Self {
+        Port {
+            queue: FifoQueue::new(cfg),
+            link_to: Some(node),
+            link_delay,
+        }
+    }
+
+    /// A host-facing port (delivery after queueing).
+    pub fn to_host(cfg: QueueConfig, link_delay: SimDuration) -> Self {
+        Port {
+            queue: FifoQueue::new(cfg),
+            link_to: None,
+            link_delay,
+        }
+    }
+}
+
+/// A switch: a named collection of output ports.
+#[derive(Debug, Clone)]
+pub struct SwitchNode {
+    /// Human-readable name (e.g. `"T1"`, `"C3"` as in the paper's Fig. 1).
+    pub name: String,
+    /// Output ports.
+    pub ports: Vec<Port>,
+}
+
+/// The switch graph.
+#[derive(Debug, Clone, Default)]
+pub struct Network {
+    /// All switches, indexed by [`NodeId`].
+    pub nodes: Vec<SwitchNode>,
+}
+
+impl Network {
+    /// Add a switch, returning its id.
+    pub fn add_node(&mut self, name: impl Into<String>) -> NodeId {
+        self.nodes.push(SwitchNode {
+            name: name.into(),
+            ports: Vec::new(),
+        });
+        self.nodes.len() - 1
+    }
+
+    /// Add a port to `node`, returning its port id.
+    pub fn add_port(&mut self, node: NodeId, port: Port) -> PortId {
+        self.nodes[node].ports.push(port);
+        self.nodes[node].ports.len() - 1
+    }
+
+    /// Look up a node id by name.
+    pub fn node_by_name(&self, name: &str) -> Option<NodeId> {
+        self.nodes.iter().position(|n| n.name == name)
+    }
+}
+
+/// Forwarding decision for one packet at one switch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteDecision {
+    /// Send out this port (queueing applies; if the port is host-facing the
+    /// packet is delivered at its queue departure time).
+    Forward(PortId),
+    /// Deliver immediately at this switch (no further queueing) — used when
+    /// the measurement point is the switch ingress.
+    Deliver,
+    /// Administratively drop (no route).
+    Drop,
+}
+
+/// The routing/marking plane, implemented by the topology crate.
+pub trait Forwarder {
+    /// Choose what `node` does with `packet`.
+    fn route(&self, node: NodeId, packet: &Packet) -> RouteDecision;
+
+    /// Hook invoked when `node` forwards `packet` out `port` — RLIR's
+    /// packet-marking demultiplexer stamps the ToS byte here (§3.1).
+    fn on_forward(&self, node: NodeId, port: PortId, packet: &mut Packet) {
+        let _ = (node, port, packet);
+    }
+}
+
+/// One traversed hop in a packet's ground-truth record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hop {
+    /// The switch.
+    pub node: NodeId,
+    /// The egress port taken.
+    pub port: PortId,
+    /// Arrival at the switch.
+    pub arrived: SimTime,
+    /// Departure from the switch (last bit out).
+    pub departed: SimTime,
+}
+
+/// Ground-truth record of a packet that exited the network.
+#[derive(Debug, Clone)]
+pub struct NetDelivery {
+    /// The packet as delivered (marks applied).
+    pub packet: Packet,
+    /// Where it was injected.
+    pub injected_node: NodeId,
+    /// When it was injected.
+    pub injected_at: SimTime,
+    /// The switch at which it was delivered.
+    pub delivered_node: NodeId,
+    /// Delivery time.
+    pub delivered_at: SimTime,
+    /// Every switch traversal, in order.
+    pub hops: Vec<Hop>,
+}
+
+impl NetDelivery {
+    /// True end-to-end delay.
+    pub fn true_delay(&self) -> SimDuration {
+        self.delivered_at.saturating_since(self.injected_at)
+    }
+}
+
+/// Aggregate result of a network run.
+#[derive(Debug, Clone)]
+pub struct NetworkRun {
+    /// Deliveries in delivery-time order.
+    pub deliveries: Vec<NetDelivery>,
+    /// Packets dropped by queues, per node.
+    pub queue_drops: Vec<u64>,
+    /// Packets dropped for lack of a route, per node.
+    pub route_drops: Vec<u64>,
+    /// The network with final queue states (counters).
+    pub network: Network,
+}
+
+#[derive(Debug)]
+struct Event {
+    at: SimTime,
+    seq: u64,
+    node: NodeId,
+    packet: Packet,
+    injected_node: NodeId,
+    injected_at: SimTime,
+    hops: Vec<Hop>,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        (self.at, self.seq) == (other.at, other.seq)
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// Run packets through the network.
+///
+/// `injections` is a list of `(entry_node, packet)`; each packet enters the
+/// network at `packet.created_at`. Returns deliveries plus per-node drop
+/// counts; final per-port queue counters are available in the returned
+/// network.
+pub fn run_network(
+    mut network: Network,
+    forwarder: &impl Forwarder,
+    injections: impl IntoIterator<Item = (NodeId, Packet)>,
+) -> NetworkRun {
+    let n = network.nodes.len();
+    let mut heap: BinaryHeap<Reverse<Event>> = BinaryHeap::new();
+    let mut seq = 0u64;
+    for (node, packet) in injections {
+        assert!(node < n, "injection at unknown node {node}");
+        heap.push(Reverse(Event {
+            at: packet.created_at,
+            seq,
+            node,
+            injected_node: node,
+            injected_at: packet.created_at,
+            packet,
+            hops: Vec::new(),
+        }));
+        seq += 1;
+    }
+
+    let mut deliveries = Vec::new();
+    let mut queue_drops = vec![0u64; n];
+    let mut route_drops = vec![0u64; n];
+
+    while let Some(Reverse(mut ev)) = heap.pop() {
+        match forwarder.route(ev.node, &ev.packet) {
+            RouteDecision::Drop => route_drops[ev.node] += 1,
+            RouteDecision::Deliver => deliveries.push(NetDelivery {
+                packet: ev.packet,
+                injected_node: ev.injected_node,
+                injected_at: ev.injected_at,
+                delivered_node: ev.node,
+                delivered_at: ev.at,
+                hops: ev.hops,
+            }),
+            RouteDecision::Forward(port_id) => {
+                forwarder.on_forward(ev.node, port_id, &mut ev.packet);
+                let port = &mut network.nodes[ev.node].ports[port_id];
+                match port.queue.offer(ev.at, &ev.packet) {
+                    Verdict::Dropped => queue_drops[ev.node] += 1,
+                    Verdict::Departs(departed) => {
+                        ev.hops.push(Hop {
+                            node: ev.node,
+                            port: port_id,
+                            arrived: ev.at,
+                            departed,
+                        });
+                        match port.link_to {
+                            Some(next) => {
+                                heap.push(Reverse(Event {
+                                    at: departed + port.link_delay,
+                                    seq,
+                                    node: next,
+                                    packet: ev.packet,
+                                    injected_node: ev.injected_node,
+                                    injected_at: ev.injected_at,
+                                    hops: ev.hops,
+                                }));
+                                seq += 1;
+                            }
+                            None => deliveries.push(NetDelivery {
+                                packet: ev.packet,
+                                injected_node: ev.injected_node,
+                                injected_at: ev.injected_at,
+                                delivered_node: ev.node,
+                                delivered_at: departed + port.link_delay,
+                                hops: ev.hops,
+                            }),
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    deliveries.sort_by_key(|d| (d.delivered_at, d.packet.id));
+    NetworkRun {
+        deliveries,
+        queue_drops,
+        route_drops,
+        network,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlir_net::FlowKey;
+    use std::net::Ipv4Addr;
+
+    fn qcfg() -> QueueConfig {
+        QueueConfig {
+            rate_bps: 8_000_000_000, // 1 B/ns
+            capacity_bytes: 100_000,
+            processing_delay: SimDuration::ZERO,
+        }
+    }
+
+    fn pkt(id: u64, at_ns: u64, dport: u16) -> Packet {
+        Packet::regular(
+            id,
+            FlowKey::tcp(
+                Ipv4Addr::new(10, 0, 0, 1),
+                1000,
+                Ipv4Addr::new(10, 1, 0, 1),
+                dport,
+            ),
+            1000,
+            SimTime::from_nanos(at_ns),
+        )
+    }
+
+    /// A line of switches: everything forwards out port 0 until the last
+    /// node, which delivers.
+    struct LineForwarder {
+        last: NodeId,
+    }
+
+    impl Forwarder for LineForwarder {
+        fn route(&self, node: NodeId, _p: &Packet) -> RouteDecision {
+            if node == self.last {
+                RouteDecision::Deliver
+            } else {
+                RouteDecision::Forward(0)
+            }
+        }
+    }
+
+    fn line(n: usize, link_ns: u64) -> Network {
+        let mut net = Network::default();
+        for i in 0..n {
+            net.add_node(format!("S{i}"));
+        }
+        for i in 0..n - 1 {
+            net.add_port(i, Port::to_switch(qcfg(), i + 1, SimDuration::from_nanos(link_ns)));
+        }
+        net
+    }
+
+    #[test]
+    fn single_hop_line_delay() {
+        let net = line(3, 100);
+        let run = run_network(net, &LineForwarder { last: 2 }, vec![(0, pkt(1, 0, 80))]);
+        assert_eq!(run.deliveries.len(), 1);
+        let d = &run.deliveries[0];
+        // 2 queues × 1000 ns tx + 2 links × 100 ns = 2200 ns.
+        assert_eq!(d.delivered_at.as_nanos(), 2200);
+        assert_eq!(d.hops.len(), 2);
+        assert_eq!(d.hops[0].node, 0);
+        assert_eq!(d.hops[1].node, 1);
+        assert_eq!(d.true_delay().as_nanos(), 2200);
+    }
+
+    #[test]
+    fn fifo_order_preserved_across_hops() {
+        let net = line(2, 10);
+        let inj: Vec<(NodeId, Packet)> = (0..100).map(|i| (0usize, pkt(i, i * 13, 80))).collect();
+        let run = run_network(net, &LineForwarder { last: 1 }, inj);
+        assert_eq!(run.deliveries.len(), 100);
+        for w in run.deliveries.windows(2) {
+            assert!(w[0].delivered_at <= w[1].delivered_at);
+            assert!(w[0].packet.id < w[1].packet.id, "FIFO order violated");
+        }
+    }
+
+    #[test]
+    fn host_port_delivers_after_queueing() {
+        let mut net = Network::default();
+        let s = net.add_node("edge");
+        net.add_port(s, Port::to_host(qcfg(), SimDuration::from_nanos(50)));
+        struct F;
+        impl Forwarder for F {
+            fn route(&self, _n: NodeId, _p: &Packet) -> RouteDecision {
+                RouteDecision::Forward(0)
+            }
+        }
+        let run = run_network(net, &F, vec![(s, pkt(1, 0, 80))]);
+        assert_eq!(run.deliveries.len(), 1);
+        // 1000 ns tx + 50 ns host link.
+        assert_eq!(run.deliveries[0].delivered_at.as_nanos(), 1050);
+        assert_eq!(run.deliveries[0].hops.len(), 1);
+    }
+
+    #[test]
+    fn route_drop_counted() {
+        let net = line(2, 10);
+        struct F;
+        impl Forwarder for F {
+            fn route(&self, _n: NodeId, p: &Packet) -> RouteDecision {
+                if p.flow.dport == 666 {
+                    RouteDecision::Drop
+                } else {
+                    RouteDecision::Deliver
+                }
+            }
+        }
+        let run = run_network(net, &F, vec![(0, pkt(1, 0, 666)), (0, pkt(2, 5, 80))]);
+        assert_eq!(run.route_drops[0], 1);
+        assert_eq!(run.deliveries.len(), 1);
+    }
+
+    #[test]
+    fn queue_drop_counted_and_packet_vanishes() {
+        let mut net = Network::default();
+        let s = net.add_node("sw");
+        let mut cfg = qcfg();
+        cfg.capacity_bytes = 1000; // fits exactly one packet
+        net.add_port(s, Port::to_host(cfg, SimDuration::ZERO));
+        struct F;
+        impl Forwarder for F {
+            fn route(&self, _n: NodeId, _p: &Packet) -> RouteDecision {
+                RouteDecision::Forward(0)
+            }
+        }
+        let run = run_network(
+            net,
+            &F,
+            vec![(s, pkt(1, 0, 80)), (s, pkt(2, 0, 80)), (s, pkt(3, 0, 80))],
+        );
+        assert_eq!(run.deliveries.len(), 1, "only the first fits");
+        assert_eq!(run.queue_drops[s], 2);
+        assert_eq!(run.network.nodes[s].ports[0].queue.regular().drops, 2);
+    }
+
+    #[test]
+    fn marking_hook_applies() {
+        let net = line(2, 10);
+        struct Marking;
+        impl Forwarder for Marking {
+            fn route(&self, node: NodeId, _p: &Packet) -> RouteDecision {
+                if node == 1 {
+                    RouteDecision::Deliver
+                } else {
+                    RouteDecision::Forward(0)
+                }
+            }
+            fn on_forward(&self, node: NodeId, _port: PortId, p: &mut Packet) {
+                p.mark = node as u8 + 7;
+            }
+        }
+        let run = run_network(net, &Marking, vec![(0, pkt(1, 0, 80))]);
+        assert_eq!(run.deliveries[0].packet.mark, 7);
+    }
+
+    #[test]
+    fn deterministic_tie_breaking() {
+        let run_once = || {
+            let net = line(2, 10);
+            let inj: Vec<(NodeId, Packet)> =
+                (0..50).map(|i| (0usize, pkt(i, 0, 80))).collect(); // all at t=0
+            run_network(net, &LineForwarder { last: 1 }, inj)
+                .deliveries
+                .iter()
+                .map(|d| d.packet.id.0)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run_once(), run_once());
+    }
+
+    #[test]
+    fn node_lookup_by_name() {
+        let net = line(3, 1);
+        assert_eq!(net.node_by_name("S1"), Some(1));
+        assert_eq!(net.node_by_name("nope"), None);
+    }
+}

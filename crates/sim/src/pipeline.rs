@@ -1,0 +1,334 @@
+//! The two-switch tandem pipeline of the paper's Fig. 3.
+//!
+//! ```text
+//!  regular (+ reference) ──▶ [Switch 1] ──link──▶ [Switch 2] ──▶ deliveries
+//!  cross traffic ────────────────────────────────▶    ↑
+//! ```
+//!
+//! Regular traffic (already interleaved with the RLI sender's reference
+//! packets) traverses both switches; cross traffic is released by the
+//! injector directly onto the bottleneck (switch 2). Because each switch is
+//! an analytic FIFO ([`crate::queue::FifoQueue`]), the whole tandem runs as
+//! two linear passes plus one sorted merge — no event heap — which keeps the
+//! paper's utilization sweeps (Figs. 4–5) cheap.
+//!
+//! Per-packet ground truth (ingress, switch-1 egress, delivery) is recorded
+//! so the measurement plane can be evaluated against true delays.
+
+use crate::queue::{FifoQueue, QueueConfig, Verdict};
+use rlir_net::packet::Packet;
+use rlir_net::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Tandem configuration.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct TandemConfig {
+    /// First (sender-side) switch.
+    pub switch1: QueueConfig,
+    /// Second (bottleneck, receiver-side) switch.
+    pub switch2: QueueConfig,
+    /// Propagation delay of the link between them.
+    pub link_delay: SimDuration,
+    /// Measurement horizon (normally the trace duration); used for
+    /// utilization accounting.
+    pub horizon: SimDuration,
+    /// Record deliveries for cross-traffic packets too (costs memory; loss
+    /// statistics are available from the queue counters either way).
+    pub record_cross: bool,
+}
+
+impl TandemConfig {
+    /// Paper-style defaults: two OC-192 switches, 5 µs of fibre between them.
+    pub fn paper(horizon: SimDuration) -> Self {
+        TandemConfig {
+            switch1: QueueConfig::oc192(),
+            switch2: QueueConfig::oc192(),
+            link_delay: SimDuration::from_micros(5),
+            horizon,
+            record_cross: false,
+        }
+    }
+}
+
+/// Ground-truth record of one delivered packet.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Delivery {
+    /// The packet as it left the network.
+    pub packet: Packet,
+    /// When it entered the measured segment (switch-1 ingress for regular and
+    /// reference packets; switch-2 ingress for cross traffic).
+    pub sent_at: SimTime,
+    /// Departure from switch 1 (`None` for cross traffic, which bypasses it).
+    pub sw1_egress: Option<SimTime>,
+    /// Departure from switch 2 — the delivery time at the RLI receiver.
+    pub delivered_at: SimTime,
+}
+
+impl Delivery {
+    /// True one-way delay across the measured segment.
+    pub fn true_delay(&self) -> SimDuration {
+        self.delivered_at.saturating_since(self.sent_at)
+    }
+}
+
+/// Output of a tandem run.
+#[derive(Debug, Clone)]
+pub struct TandemResult {
+    /// Deliveries in delivery-time order.
+    pub deliveries: Vec<Delivery>,
+    /// Final switch-1 state (counters, utilization).
+    pub sw1: FifoQueue,
+    /// Final switch-2 state (counters, utilization).
+    pub sw2: FifoQueue,
+    /// The measurement horizon.
+    pub horizon: SimDuration,
+}
+
+impl TandemResult {
+    /// Bottleneck (switch 2) utilization over the horizon.
+    pub fn bottleneck_utilization(&self) -> f64 {
+        self.sw2.utilization(self.horizon)
+    }
+
+    /// End-to-end loss rate of *regular* packets: fraction of regular packets
+    /// offered to switch 1 that never left switch 2.
+    pub fn regular_loss_rate(&self) -> f64 {
+        let offered = self.sw1.regular().arrivals;
+        if offered == 0 {
+            return 0.0;
+        }
+        let delivered = offered - self.sw1.regular().drops - self.sw2.regular().drops;
+        1.0 - delivered as f64 / offered as f64
+    }
+
+    /// End-to-end loss rate of reference packets.
+    pub fn reference_loss_rate(&self) -> f64 {
+        let offered = self.sw1.reference().arrivals;
+        if offered == 0 {
+            return 0.0;
+        }
+        let delivered = offered - self.sw1.reference().drops - self.sw2.reference().drops;
+        1.0 - delivered as f64 / offered as f64
+    }
+}
+
+/// Run the tandem.
+///
+/// `upstream` is the time-ordered regular (+ reference) stream entering
+/// switch 1; `cross` is the time-ordered cross stream entering switch 2
+/// directly. Both iterators must be sorted by `created_at`.
+pub fn run_tandem(
+    cfg: &TandemConfig,
+    upstream: impl Iterator<Item = Packet>,
+    cross: impl Iterator<Item = Packet>,
+) -> TandemResult {
+    let mut sw1 = FifoQueue::new(cfg.switch1);
+    let mut sw2 = FifoQueue::new(cfg.switch2);
+
+    // Pass 1: upstream through switch 1. Survivors arrive at switch 2 after
+    // the link delay; FIFO order is preserved so the output stays sorted.
+    let mut from_sw1: Vec<(Packet, SimTime, SimTime)> = Vec::new();
+    for p in upstream {
+        match sw1.offer(p.created_at, &p) {
+            Verdict::Departs(egress) => {
+                from_sw1.push((p, egress, egress + cfg.link_delay));
+            }
+            Verdict::Dropped => {}
+        }
+    }
+
+    // Pass 2: merge switch-1 output with cross arrivals (both sorted) into
+    // switch 2, recording deliveries.
+    let mut deliveries = Vec::with_capacity(from_sw1.len());
+    let mut cross = cross.peekable();
+    let mut sw1_out = from_sw1.into_iter().peekable();
+    loop {
+        let take_cross = match (sw1_out.peek(), cross.peek()) {
+            (None, None) => break,
+            (Some(_), None) => false,
+            (None, Some(_)) => true,
+            (Some((u, _, ua)), Some(c)) => {
+                // Deterministic tie-break on (time, id).
+                (c.created_at, c.id) < (*ua, u.id)
+            }
+        };
+        if take_cross {
+            let p = cross.next().expect("peeked");
+            let at = p.created_at;
+            if let Verdict::Departs(out) = sw2.offer(at, &p) {
+                if cfg.record_cross {
+                    deliveries.push(Delivery {
+                        packet: p,
+                        sent_at: at,
+                        sw1_egress: None,
+                        delivered_at: out,
+                    });
+                }
+            }
+        } else {
+            let (p, egress1, at2) = sw1_out.next().expect("peeked");
+            if let Verdict::Departs(out) = sw2.offer(at2, &p) {
+                deliveries.push(Delivery {
+                    packet: p,
+                    sent_at: p.created_at,
+                    sw1_egress: Some(egress1),
+                    delivered_at: out,
+                });
+            }
+        }
+    }
+
+    // Deliveries were pushed in switch-2 *arrival* order, which equals
+    // departure order for a FIFO — already sorted by delivered_at.
+    debug_assert!(deliveries.windows(2).all(|w| w[0].delivered_at <= w[1].delivered_at));
+    TandemResult {
+        deliveries,
+        sw1,
+        sw2,
+        horizon: cfg.horizon,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlir_net::FlowKey;
+    use std::net::Ipv4Addr;
+
+    fn cfg() -> TandemConfig {
+        TandemConfig {
+            switch1: QueueConfig {
+                rate_bps: 8_000_000_000, // 1 B/ns
+                capacity_bytes: 1_000_000,
+                processing_delay: SimDuration::ZERO,
+            },
+            switch2: QueueConfig {
+                rate_bps: 8_000_000_000,
+                capacity_bytes: 1_000_000,
+                processing_delay: SimDuration::ZERO,
+            },
+            link_delay: SimDuration::from_nanos(100),
+            horizon: SimDuration::from_millis(1),
+            record_cross: false,
+        }
+    }
+
+    fn reg(id: u64, at_ns: u64, size: u32) -> Packet {
+        Packet::regular(
+            id,
+            FlowKey::tcp(Ipv4Addr::new(10, 1, 0, 1), 1, Ipv4Addr::new(10, 2, 0, 1), 2),
+            size,
+            SimTime::from_nanos(at_ns),
+        )
+    }
+
+    fn crs(id: u64, at_ns: u64, size: u32) -> Packet {
+        Packet::cross(
+            id,
+            FlowKey::udp(Ipv4Addr::new(172, 16, 0, 1), 3, Ipv4Addr::new(172, 20, 0, 1), 4),
+            size,
+            SimTime::from_nanos(at_ns),
+        )
+    }
+
+    #[test]
+    fn single_packet_end_to_end_delay() {
+        let r = run_tandem(&cfg(), vec![reg(1, 0, 1000)].into_iter(), std::iter::empty());
+        assert_eq!(r.deliveries.len(), 1);
+        let d = r.deliveries[0];
+        // sw1: 1000 ns tx; link: 100 ns; sw2: 1000 ns tx → 2100 ns.
+        assert_eq!(d.delivered_at.as_nanos(), 2100);
+        assert_eq!(d.true_delay().as_nanos(), 2100);
+        assert_eq!(d.sw1_egress, Some(SimTime::from_nanos(1000)));
+    }
+
+    #[test]
+    fn cross_traffic_delays_regular() {
+        // A big cross packet hogs switch 2 just before the regular packet
+        // arrives there.
+        let r = run_tandem(
+            &cfg(),
+            vec![reg(1, 0, 1000)].into_iter(),
+            vec![crs(2, 1000, 9000)].into_iter(),
+        );
+        let d = r.deliveries[0];
+        // Regular reaches sw2 at 1100; cross started service at 1000 and
+        // holds the server until 10_000; regular then serialises by 11_000.
+        assert_eq!(d.delivered_at.as_nanos(), 11_000);
+    }
+
+    #[test]
+    fn cross_bypasses_switch1() {
+        let mut c = cfg();
+        c.record_cross = true;
+        let r = run_tandem(&c, std::iter::empty(), vec![crs(1, 50, 500)].into_iter());
+        assert_eq!(r.deliveries.len(), 1);
+        let d = r.deliveries[0];
+        assert_eq!(d.sw1_egress, None);
+        assert_eq!(d.delivered_at.as_nanos(), 550);
+        assert_eq!(r.sw1.total_arrivals(), 0);
+    }
+
+    #[test]
+    fn deliveries_sorted_by_delivery_time() {
+        let upstream: Vec<Packet> = (0..200).map(|i| reg(i, i * 50, 400)).collect();
+        let cross: Vec<Packet> = (0..200).map(|i| crs(1000 + i, i * 73, 600)).collect();
+        let mut c = cfg();
+        c.record_cross = true;
+        let r = run_tandem(&c, upstream.into_iter(), cross.into_iter());
+        assert_eq!(r.deliveries.len(), 400);
+        for w in r.deliveries.windows(2) {
+            assert!(w[0].delivered_at <= w[1].delivered_at);
+        }
+    }
+
+    #[test]
+    fn loss_accounting_end_to_end() {
+        // Tiny switch-2 buffer forces drops there.
+        let mut c = cfg();
+        c.switch2.capacity_bytes = 1500;
+        // Regular 1 leaves sw1 at 1500 ns and reaches sw2 at 1600 ns;
+        // regular 2 follows a full service time later (reaches sw2 at 3100).
+        let upstream = vec![reg(1, 0, 1500), reg(2, 10, 1500)];
+        // The cross packet starts sw2 service at 1550 ns and holds 1450 B of
+        // backlog when regular 1 arrives → regular 1 is tail-dropped; by the
+        // time regular 2 arrives the buffer has drained.
+        let cross = vec![crs(3, 1550, 1500)];
+        let r = run_tandem(&c, upstream.into_iter(), cross.into_iter());
+        assert!(r.regular_loss_rate() > 0.0, "expected regular loss");
+        let lost = r.sw2.regular().drops;
+        assert_eq!(lost, 1, "exactly one regular drop at sw2");
+        assert_eq!(r.deliveries.len(), 1); // one regular made it (cross unrecorded)
+    }
+
+    #[test]
+    fn utilization_reflects_cross_injection() {
+        // 1 ms horizon; cross only: 500 packets × 1000 B × 1 ns/B = 0.5 ms busy.
+        let cross: Vec<Packet> = (0..500).map(|i| crs(i, i * 2000, 1000)).collect();
+        let r = run_tandem(&cfg(), std::iter::empty(), cross.into_iter());
+        let u = r.bottleneck_utilization();
+        assert!((u - 0.5).abs() < 0.01, "utilization {u}");
+    }
+
+    #[test]
+    fn reference_loss_rate_separate() {
+        let mut c = cfg();
+        c.switch1.capacity_bytes = 1000; // drop refs at sw1 when full
+        let flow = FlowKey::udp(Ipv4Addr::new(1, 1, 1, 1), 1, Ipv4Addr::new(2, 2, 2, 2), 2);
+        let upstream = vec![
+            reg(1, 0, 1000),
+            Packet::reference(2, flow, rlir_net::SenderId(0), 0, SimTime::from_nanos(1)),
+        ];
+        let r = run_tandem(&c, upstream.into_iter(), std::iter::empty());
+        assert_eq!(r.reference_loss_rate(), 1.0);
+        assert_eq!(r.regular_loss_rate(), 0.0);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let r = run_tandem(&cfg(), std::iter::empty(), std::iter::empty());
+        assert!(r.deliveries.is_empty());
+        assert_eq!(r.regular_loss_rate(), 0.0);
+        assert_eq!(r.bottleneck_utilization(), 0.0);
+    }
+}

@@ -1,0 +1,222 @@
+//! Logarithmic histograms.
+//!
+//! Latency and relative-error distributions span several orders of magnitude
+//! (the paper plots error CDFs on a log axis from 10⁻³ to 10¹). A
+//! [`LogHistogram`] buckets values geometrically so a single compact
+//! structure covers the full dynamic range; it backs quick-look summaries and
+//! the text-mode distribution sketches printed by the experiment harness.
+
+use serde::{Deserialize, Serialize};
+
+/// A histogram with geometrically spaced buckets between `min` and `max`
+/// (values outside are clamped into the edge buckets).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LogHistogram {
+    min: f64,
+    max: f64,
+    counts: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    total: u64,
+}
+
+impl LogHistogram {
+    /// Create with `buckets` geometric buckets spanning `[min, max)`.
+    /// `min` and `max` must be positive with `min < max`.
+    pub fn new(min: f64, max: f64, buckets: usize) -> Self {
+        assert!(min > 0.0 && max > min, "need 0 < min < max");
+        assert!(buckets > 0, "need at least one bucket");
+        LogHistogram {
+            min,
+            max,
+            counts: vec![0; buckets],
+            underflow: 0,
+            overflow: 0,
+            total: 0,
+        }
+    }
+
+    /// Standard histogram for relative errors: 60 buckets over [1e-4, 1e2).
+    pub fn for_relative_error() -> Self {
+        Self::new(1e-4, 1e2, 60)
+    }
+
+    /// Standard histogram for latencies in nanoseconds: [100ns, 10ms).
+    pub fn for_latency_ns() -> Self {
+        Self::new(1e2, 1e7, 50)
+    }
+
+    fn bucket_of(&self, x: f64) -> Option<usize> {
+        if x < self.min {
+            return None;
+        }
+        let frac = (x / self.min).ln() / (self.max / self.min).ln();
+        let idx = (frac * self.counts.len() as f64).floor() as isize;
+        if idx < 0 {
+            None
+        } else if idx as usize >= self.counts.len() {
+            Some(self.counts.len()) // sentinel: overflow
+        } else {
+            Some(idx as usize)
+        }
+    }
+
+    /// Record a value. Non-finite values are counted as overflow (+inf) or
+    /// underflow (anything below `min`, including non-positives).
+    pub fn record(&mut self, x: f64) {
+        self.total += 1;
+        if x.is_nan() {
+            self.overflow += 1;
+            return;
+        }
+        match self.bucket_of(x) {
+            None => self.underflow += 1,
+            Some(i) if i == self.counts.len() => self.overflow += 1,
+            Some(i) => self.counts[i] += 1,
+        }
+    }
+
+    /// Total values recorded (including under/overflow).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Values below the histogram range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Values at or above the histogram's upper bound (and NaNs).
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Lower edge of bucket `i`.
+    pub fn bucket_lower(&self, i: usize) -> f64 {
+        let ratio = self.max / self.min;
+        self.min * ratio.powf(i as f64 / self.counts.len() as f64)
+    }
+
+    /// Bucket counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Approximate quantile from bucket boundaries (returns the lower edge of
+    /// the bucket containing the q-th value). `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.total == 0 {
+            return None;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = self.underflow;
+        if seen >= target {
+            return Some(0.0);
+        }
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Some(self.bucket_lower(i));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// A compact ASCII sketch (one row per non-empty bucket), for the
+    /// harness's terminal output.
+    pub fn sketch(&self, width: usize) -> String {
+        let max_count = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        if self.underflow > 0 {
+            out.push_str(&format!("{:>12} {:>8}\n", "<min", self.underflow));
+        }
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let bar = "#".repeat(((c as f64 / max_count as f64) * width as f64).ceil() as usize);
+            out.push_str(&format!("{:>12.4e} {:>8} {}\n", self.bucket_lower(i), c, bar));
+        }
+        if self.overflow > 0 {
+            out.push_str(&format!("{:>12} {:>8}\n", ">=max", self.overflow));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_land_in_expected_buckets() {
+        let mut h = LogHistogram::new(1.0, 100.0, 2); // buckets [1,10) and [10,100)
+        h.record(1.0);
+        h.record(5.0);
+        h.record(9.999);
+        h.record(10.0);
+        h.record(99.0);
+        assert_eq!(h.counts(), &[3, 2]);
+        assert_eq!(h.total(), 5);
+        assert_eq!(h.underflow(), 0);
+        assert_eq!(h.overflow(), 0);
+    }
+
+    #[test]
+    fn out_of_range_counted_separately() {
+        let mut h = LogHistogram::new(1.0, 100.0, 2);
+        h.record(0.5);
+        h.record(0.0);
+        h.record(-3.0);
+        h.record(100.0);
+        h.record(f64::INFINITY);
+        h.record(f64::NAN);
+        assert_eq!(h.underflow(), 3);
+        assert_eq!(h.overflow(), 3);
+        assert_eq!(h.total(), 6);
+    }
+
+    #[test]
+    fn bucket_lower_edges_are_geometric() {
+        let h = LogHistogram::new(1.0, 1000.0, 3);
+        assert!((h.bucket_lower(0) - 1.0).abs() < 1e-9);
+        assert!((h.bucket_lower(1) - 10.0).abs() < 1e-9);
+        assert!((h.bucket_lower(2) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantile_approximation() {
+        let mut h = LogHistogram::new(1e-3, 1e1, 40);
+        for i in 1..=1000 {
+            h.record(i as f64 / 1000.0); // uniform (0,1]
+        }
+        let med = h.quantile(0.5).unwrap();
+        assert!((0.3..=0.7).contains(&med), "median approx {med}");
+        assert_eq!(h.quantile(0.0).unwrap() <= h.quantile(1.0).unwrap(), true);
+        assert!(LogHistogram::for_relative_error().quantile(0.5).is_none());
+    }
+
+    #[test]
+    fn sketch_contains_bars() {
+        let mut h = LogHistogram::new(1.0, 100.0, 2);
+        for _ in 0..5 {
+            h.record(2.0);
+        }
+        h.record(50.0);
+        let s = h.sketch(10);
+        assert!(s.contains('#'));
+        assert!(s.lines().count() == 2, "{s}");
+    }
+
+    #[test]
+    fn presets_cover_paper_ranges() {
+        let mut h = LogHistogram::for_relative_error();
+        h.record(0.001); // 10^-3 — left edge of Fig 4's x-axis
+        h.record(10.0); // 10^1 — right edge
+        assert_eq!(h.underflow() + h.overflow(), 0);
+        let mut h = LogHistogram::for_latency_ns();
+        h.record(3_000.0); // 3 µs — paper's 67%-utilization mean latency
+        h.record(83_000.0); // 83 µs — 93%-utilization mean latency
+        assert_eq!(h.underflow() + h.overflow(), 0);
+    }
+}

@@ -1,0 +1,168 @@
+//! Time-binned series.
+//!
+//! Used to track quantities that evolve over simulated time — queue
+//! occupancy, offered load, utilization — by accumulating into fixed-width
+//! bins. The experiment harness emits these as CSV for plotting and the
+//! cross-traffic calibrator reads back per-bin utilization.
+
+use serde::{Deserialize, Serialize};
+
+/// A series of fixed-width time bins, each accumulating a sum and a count.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BinnedSeries {
+    bin_width_ns: u64,
+    sums: Vec<f64>,
+    counts: Vec<u64>,
+}
+
+impl BinnedSeries {
+    /// Create with the given bin width in nanoseconds.
+    pub fn new(bin_width_ns: u64) -> Self {
+        assert!(bin_width_ns > 0, "bin width must be positive");
+        BinnedSeries {
+            bin_width_ns,
+            sums: Vec::new(),
+            counts: Vec::new(),
+        }
+    }
+
+    /// Bin width in nanoseconds.
+    pub fn bin_width_ns(&self) -> u64 {
+        self.bin_width_ns
+    }
+
+    fn bin_index(&self, t_ns: u64) -> usize {
+        (t_ns / self.bin_width_ns) as usize
+    }
+
+    /// Add observation `value` at time `t_ns`.
+    pub fn record(&mut self, t_ns: u64, value: f64) {
+        let idx = self.bin_index(t_ns);
+        if idx >= self.sums.len() {
+            self.sums.resize(idx + 1, 0.0);
+            self.counts.resize(idx + 1, 0);
+        }
+        self.sums[idx] += value;
+        self.counts[idx] += 1;
+    }
+
+    /// Number of bins touched so far (trailing empty bins excluded).
+    pub fn len(&self) -> usize {
+        self.sums.len()
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.sums.is_empty()
+    }
+
+    /// Sum accumulated in bin `i` (0 for untouched bins in range).
+    pub fn sum(&self, i: usize) -> f64 {
+        self.sums.get(i).copied().unwrap_or(0.0)
+    }
+
+    /// Count in bin `i`.
+    pub fn count(&self, i: usize) -> u64 {
+        self.counts.get(i).copied().unwrap_or(0)
+    }
+
+    /// Mean of bin `i` (`None` for empty bins).
+    pub fn mean(&self, i: usize) -> Option<f64> {
+        let c = self.count(i);
+        (c > 0).then(|| self.sum(i) / c as f64)
+    }
+
+    /// Iterate `(bin_start_ns, sum, count)` over all bins.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, f64, u64)> + '_ {
+        self.sums
+            .iter()
+            .zip(&self.counts)
+            .enumerate()
+            .map(move |(i, (&s, &c))| (i as u64 * self.bin_width_ns, s, c))
+    }
+
+    /// Interpret each bin's sum as bytes and convert to utilization of a link
+    /// of `rate_bps`, returning one fraction per bin.
+    pub fn as_utilization(&self, rate_bps: u64) -> Vec<f64> {
+        let capacity_per_bin = rate_bps as f64 / 8.0 * self.bin_width_ns as f64 / 1e9;
+        self.sums.iter().map(|s| s / capacity_per_bin).collect()
+    }
+
+    /// Mean of all bin sums (e.g. average per-bin byte count). `None` if no
+    /// bins exist.
+    pub fn mean_bin_sum(&self) -> Option<f64> {
+        if self.sums.is_empty() {
+            None
+        } else {
+            Some(self.sums.iter().sum::<f64>() / self.sums.len() as f64)
+        }
+    }
+
+    /// CSV rendering: `bin_start_ns,sum,count` per line.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("bin_start_ns,sum,count\n");
+        for (t, s, c) in self.iter() {
+            out.push_str(&format!("{t},{s},{c}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_into_correct_bins() {
+        let mut s = BinnedSeries::new(1000);
+        s.record(0, 1.0);
+        s.record(999, 2.0);
+        s.record(1000, 5.0);
+        s.record(2500, 7.0);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.sum(0), 3.0);
+        assert_eq!(s.count(0), 2);
+        assert_eq!(s.sum(1), 5.0);
+        assert_eq!(s.sum(2), 7.0);
+        assert_eq!(s.mean(0), Some(1.5));
+        assert_eq!(s.mean(9), None);
+    }
+
+    #[test]
+    fn empty_series() {
+        let s = BinnedSeries::new(10);
+        assert!(s.is_empty());
+        assert_eq!(s.mean_bin_sum(), None);
+        assert_eq!(s.sum(0), 0.0);
+    }
+
+    #[test]
+    fn utilization_conversion() {
+        // 1 Gb/s, 1 ms bins → 125_000 bytes per full bin.
+        let mut s = BinnedSeries::new(1_000_000);
+        s.record(0, 125_000.0);
+        s.record(1_000_000, 62_500.0);
+        let u = s.as_utilization(1_000_000_000);
+        assert!((u[0] - 1.0).abs() < 1e-9);
+        assert!((u[1] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn iter_reports_bin_starts() {
+        let mut s = BinnedSeries::new(100);
+        s.record(250, 1.0);
+        let rows: Vec<_> = s.iter().collect();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[2], (200, 1.0, 1));
+        assert_eq!(rows[0], (0, 0.0, 0));
+    }
+
+    #[test]
+    fn csv_format() {
+        let mut s = BinnedSeries::new(100);
+        s.record(0, 2.0);
+        let csv = s.to_csv();
+        assert!(csv.starts_with("bin_start_ns,sum,count\n"));
+        assert!(csv.contains("0,2,1\n"));
+    }
+}

@@ -1,0 +1,23 @@
+//! # rlir-topo — fat-tree topology and routing
+//!
+//! The data center fabric of the paper's Fig. 1 and the machinery RLIR's
+//! demultiplexers depend on:
+//!
+//! * [`fattree`] — k-ary fat-tree construction with Al-Fares addressing
+//!   (`10.pod.tor.0/24` host blocks) and per-switch ECMP hash functions.
+//! * [`routing`] — two-level ECMP forwarding, full path computation, and the
+//!   **reverse-ECMP computation** of §3.1 (re-evaluating upstream hash
+//!   functions at the receiver to identify the traversed core).
+//! * [`placement`] — the §3.1 partial-placement complexity formulas plus
+//!   brute-force verification against the constructed topology.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod fattree;
+pub mod placement;
+pub mod routing;
+
+pub use fattree::{FatTree, PortTarget, Role, TopoId, TopoNode};
+pub use placement::{placement_table, PlacementRow};
+pub use routing::{NextHop, ReversedPath};

@@ -1,0 +1,57 @@
+//! Accuracy vs bottleneck utilization under cross traffic (§4.2 in brief).
+//!
+//! Sweeps the cross-traffic injector from light to saturating load and
+//! prints how per-flow mean-latency accuracy and true delays evolve — the
+//! single-table version of the trends behind Figs. 4(a) and 4(c).
+//!
+//! ```sh
+//! cargo run --release --example cross_traffic_accuracy
+//! ```
+
+use rlir::experiment::{run_two_hop_on, CrossSpec, TwoHopConfig};
+use rlir_net::time::SimDuration;
+use rlir_rli::PolicyKind;
+use rlir_stats::Ecdf;
+use rlir_trace::generate;
+
+fn main() {
+    let duration = SimDuration::from_millis(40);
+    let base = TwoHopConfig {
+        policy: PolicyKind::Static { n: 100 },
+        ..TwoHopConfig::paper(3, duration)
+    };
+    let regular = generate(&base.regular_trace());
+    let cross = generate(&base.cross_trace());
+
+    println!("static 1-and-100 injection, random cross traffic, 40 ms trace\n");
+    println!(
+        "{:>8} {:>10} {:>14} {:>12} {:>12} {:>10}",
+        "target", "realised", "avg delay", "median err", "<10% err", "loss"
+    );
+    for target in [0.30, 0.50, 0.67, 0.80, 0.93] {
+        let mut cfg = base.clone();
+        cfg.cross = CrossSpec::Uniform {
+            target_utilization: target,
+        };
+        let out = run_two_hop_on(&cfg, &regular, &cross);
+        let e = Ecdf::new(
+            out.mean_errors
+                .iter()
+                .copied()
+                .filter(|x| x.is_finite())
+                .collect(),
+        );
+        println!(
+            "{:>7.0}% {:>9.1}% {:>11.1} µs {:>11.2}% {:>11.1}% {:>9.4}%",
+            target * 100.0,
+            out.utilization * 100.0,
+            out.avg_true_delay_ns / 1e3,
+            e.median().unwrap_or(f64::NAN) * 100.0,
+            e.fraction_at_or_below(0.10) * 100.0,
+            out.regular_loss * 100.0
+        );
+    }
+    println!("\ntrend check (paper §4.2): higher utilization → larger true delays →");
+    println!("smaller *relative* errors; low-utilization errors are large in relative");
+    println!("terms but tiny in absolute terms (the 3 µs vs 83 µs effect).");
+}

@@ -1,0 +1,16 @@
+//! Umbrella package for the RLIR reproduction workspace.
+//!
+//! The actual library lives in the member crates (`rlir`, `rlir-rli`,
+//! `rlir-sim`, `rlir-topo`, `rlir-trace`, `rlir-net`, `rlir-stats`,
+//! `rlir-baselines`); this package hosts the runnable `examples/` and the
+//! cross-crate `tests/` suites, and re-exports the members for
+//! convenience.
+
+pub use rlir;
+pub use rlir_baselines;
+pub use rlir_net;
+pub use rlir_rli;
+pub use rlir_sim;
+pub use rlir_stats;
+pub use rlir_topo;
+pub use rlir_trace;

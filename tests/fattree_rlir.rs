@@ -1,0 +1,122 @@
+//! Integration: the RLIR architecture on the fat-tree — demultiplexing
+//! correctness (A1/A3) and anomaly localization (A5).
+
+use rlir::experiment::{run_fattree, CoreAnomaly, FatTreeExpConfig};
+use rlir::localization::{localize, LocalizerConfig};
+use rlir::CoreDemux;
+use rlir_net::time::SimDuration;
+use rlir_stats::Ecdf;
+use rlir_topo::FatTree;
+
+fn cfg(demux: CoreDemux) -> FatTreeExpConfig {
+    let mut c = FatTreeExpConfig::paper(31, SimDuration::from_millis(20));
+    c.demux = demux;
+    c
+}
+
+fn median(xs: &[f64]) -> f64 {
+    Ecdf::new(xs.iter().copied().filter(|x| x.is_finite()).collect())
+        .median()
+        .unwrap_or(f64::NAN)
+}
+
+#[test]
+fn reverse_ecmp_and_marking_agree_packet_for_packet() {
+    // A3: the two downstream strategies must produce identical associations
+    // — identical workloads, identical counts.
+    let rev = run_fattree(&cfg(CoreDemux::ReverseEcmp));
+    let mark = run_fattree(&cfg(CoreDemux::Marking));
+    assert_eq!(rev.demux_total, mark.demux_total);
+    assert_eq!(rev.demux_correct, mark.demux_correct);
+    assert_eq!(rev.demux_correct, rev.demux_total, "reverse ECMP exact");
+    assert_eq!(mark.demux_correct, mark.demux_total, "marking exact");
+    // And the resulting per-flow tables match in size.
+    assert_eq!(
+        rev.seg2_flows.flow_count(),
+        mark.seg2_flows.flow_count(),
+        "same flows estimated under both strategies"
+    );
+}
+
+#[test]
+fn naive_demux_collapses_under_heterogeneous_paths() {
+    // A1: slow one core so equal-cost paths diverge; the naive receiver
+    // (plain RLI across routers) must then be far worse than RLIR demux.
+    let slow_core = Some(CoreAnomaly {
+        core_ordinal: 0,
+        extra_processing: SimDuration::from_micros(150),
+    });
+    let mut naive_cfg = cfg(CoreDemux::Naive);
+    naive_cfg.anomaly = slow_core;
+    let mut demux_cfg = cfg(CoreDemux::ReverseEcmp);
+    demux_cfg.anomaly = slow_core;
+
+    let naive = run_fattree(&naive_cfg);
+    let demuxed = run_fattree(&demux_cfg);
+    let (n, d) = (median(&naive.seg2_errors), median(&demuxed.seg2_errors));
+    assert!(
+        n > 2.0 * d,
+        "naive median {n} should be far worse than demuxed {d}"
+    );
+    assert_eq!(naive.demux_unassociated, naive.demux_total);
+}
+
+#[test]
+fn segment_truth_decomposes_end_to_end_delay() {
+    let out = run_fattree(&cfg(CoreDemux::ReverseEcmp));
+    // Every segment observation must have a sane positive true mean, and
+    // segment-2 must include the destination ToR's queueing (larger than
+    // bare link/processing latency).
+    assert!(!out.segments.is_empty());
+    for s in &out.segments {
+        assert!(s.true_mean_ns > 0.0, "{}: non-positive true mean", s.name);
+        assert!(
+            s.true_mean_ns < 50_000_000.0,
+            "{}: implausible true mean {}",
+            s.name,
+            s.true_mean_ns
+        );
+    }
+}
+
+#[test]
+fn localizer_finds_injected_core_fault() {
+    let mut c = cfg(CoreDemux::ReverseEcmp);
+    let ordinal = 3;
+    c.anomaly = Some(CoreAnomaly {
+        core_ordinal: ordinal,
+        extra_processing: SimDuration::from_micros(400),
+    });
+    let out = run_fattree(&c);
+    let tree = FatTree::new(c.k, c.hash);
+    let faulty = tree.node(tree.cores().nth(ordinal).unwrap()).name.clone();
+    let findings = localize(&out.segments, &LocalizerConfig::default());
+    assert!(!findings.is_empty(), "fault not detected");
+    assert!(
+        findings[0].name.starts_with(&faulty),
+        "blamed {} instead of {}",
+        findings[0].name,
+        faulty
+    );
+}
+
+#[test]
+fn healthy_fabric_raises_no_alarms() {
+    let out = run_fattree(&cfg(CoreDemux::ReverseEcmp));
+    let findings = localize(&out.segments, &LocalizerConfig::default());
+    assert!(
+        findings.is_empty(),
+        "false positives on a healthy fabric: {findings:?}"
+    );
+}
+
+#[test]
+fn fattree_run_is_deterministic() {
+    let a = run_fattree(&cfg(CoreDemux::ReverseEcmp));
+    let b = run_fattree(&cfg(CoreDemux::ReverseEcmp));
+    assert_eq!(a.measured_delivered, b.measured_delivered);
+    assert_eq!(a.demux_total, b.demux_total);
+    assert_eq!(a.refs_emitted, b.refs_emitted);
+    assert_eq!(a.seg1_errors, b.seg1_errors);
+    assert_eq!(a.seg2_errors, b.seg2_errors);
+}

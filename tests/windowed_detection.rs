@@ -1,0 +1,133 @@
+//! Integration: per-packet estimate logs → time-windowed anomaly detection
+//! (the "when did it happen" companion to segment localization), driven end
+//! to end through a real receiver.
+
+use rlir::windowed::{localize_windows, SegmentWindows, WindowedConfig};
+use rlir_net::clock::ClockModel;
+use rlir_net::packet::{Packet, SenderId};
+use rlir_net::time::{SimDuration, SimTime};
+use rlir_net::FlowKey;
+use rlir_rli::{Interpolator, ReceiverConfig, RliReceiver, RliSender, StaticPolicy};
+use std::net::Ipv4Addr;
+
+fn flow(i: u8) -> FlowKey {
+    FlowKey::tcp(
+        Ipv4Addr::new(10, 0, 0, i),
+        5000,
+        Ipv4Addr::new(10, 9, 0, 1),
+        80,
+    )
+}
+
+/// Simulate a path whose delay is ~8 µs except for a 12 ms congestion event
+/// at t ∈ [40 ms, 52 ms) where it jumps to ~300 µs, and verify the windowed
+/// detector pinpoints the event from the receiver's estimate log.
+#[test]
+fn transient_congestion_is_pinned_to_its_window() {
+    let mut sender = RliSender::new(
+        SenderId(1),
+        ClockModel::perfect(),
+        Box::new(StaticPolicy::one_in(10)),
+        vec![FlowKey::udp(
+            Ipv4Addr::new(10, 0, 0, 250),
+            40_000,
+            Ipv4Addr::new(10, 9, 0, 250),
+            rlir_net::wire::RLI_UDP_PORT,
+        )],
+    );
+    let mut rx = RliReceiver::new(ReceiverConfig {
+        sender: SenderId(1),
+        clock: ClockModel::perfect(),
+        interpolator: Interpolator::Linear,
+        max_buffer: 1 << 20,
+        record_estimates: true,
+    });
+
+    let delay_at = |t: SimTime| {
+        let ms = t.as_nanos() / 1_000_000;
+        if (40..52).contains(&ms) {
+            SimDuration::from_micros(300)
+        } else {
+            SimDuration::from_micros(8)
+        }
+    };
+    // 100 ms of packets every 25 µs.
+    for i in 0..4000u64 {
+        let at = SimTime::from_micros(i * 25);
+        let d = delay_at(at);
+        let p = Packet::regular(i, flow((i % 5) as u8), 700, at);
+        rx.on_packet(at + d, &p, Some(d));
+        for r in sender.observe(&p) {
+            rx.on_packet(at + d, &r, None);
+        }
+    }
+    let report = rx.finish();
+    assert!(
+        report.estimates.len() > 3000,
+        "estimate log missing: {}",
+        report.estimates.len()
+    );
+
+    let seg = SegmentWindows::build("S1→R1", &report.estimates, 4_000_000); // 4 ms windows
+    let findings = localize_windows(&[seg], &WindowedConfig {
+        window_ns: 4_000_000,
+        factor: 3.0,
+        min_samples: 10,
+    });
+    assert!(!findings.is_empty(), "congestion event not detected");
+    // Every flagged window must overlap the event, allowing one window of
+    // smear on each side: interpolation brackets that straddle the event's
+    // edges blend high and low delays into the adjacent windows.
+    for f in &findings {
+        let start_ms = f.window_start_ns / 1_000_000;
+        assert!(
+            (36..=52).contains(&start_ms),
+            "false positive at {start_ms} ms (severity {:.1})",
+            f.severity
+        );
+    }
+    // And the strongest finding is inside the event proper.
+    let top_ms = findings[0].window_start_ns / 1_000_000;
+    assert!((40..52).contains(&top_ms), "top finding at {top_ms} ms");
+}
+
+/// Without the opt-in, no log is kept (memory stays bounded) — and the
+/// per-flow aggregation is unchanged either way.
+#[test]
+fn estimate_log_is_opt_in_and_lossless() {
+    let run = |record: bool| {
+        let mut rx = RliReceiver::new(ReceiverConfig {
+            record_estimates: record,
+            ..ReceiverConfig::for_sender(SenderId(1))
+        });
+        rx.on_reference(
+            SimTime::from_micros(10),
+            &rlir_net::ReferenceInfo {
+                sender: SenderId(1),
+                seq: 0,
+                tx_timestamp: SimTime::ZERO,
+            },
+        );
+        for i in 0..50u64 {
+            rx.on_regular(SimTime::from_micros(11 + i), flow(1), None);
+        }
+        rx.on_reference(
+            SimTime::from_micros(100),
+            &rlir_net::ReferenceInfo {
+                sender: SenderId(1),
+                seq: 1,
+                tx_timestamp: SimTime::from_micros(89),
+            },
+        );
+        rx.finish()
+    };
+    let with = run(true);
+    let without = run(false);
+    assert_eq!(with.estimates.len(), 50);
+    assert!(without.estimates.is_empty());
+    assert_eq!(with.counters.estimated, without.counters.estimated);
+    assert_eq!(
+        with.flows.get(&flow(1)).unwrap().est.mean(),
+        without.flows.get(&flow(1)).unwrap().est.mean()
+    );
+}
