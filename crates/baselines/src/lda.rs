@@ -205,7 +205,11 @@ mod tests {
         let est = Lda::estimate(&tx, &rx).expect("some banks survive 5% loss");
         let true_mean = kept_sum as f64 / kept_n as f64;
         let rel = (est.mean_delay_ns - true_mean).abs() / true_mean;
-        assert!(rel < 0.05, "rel err {rel}: {} vs {true_mean}", est.mean_delay_ns);
+        assert!(
+            rel < 0.05,
+            "rel err {rel}: {} vs {true_mean}",
+            est.mean_delay_ns
+        );
         assert!(est.usable_buckets > 0);
         assert!(est.usable_packets < 2 * n);
     }
@@ -257,7 +261,12 @@ mod tests {
         // Partition: 1/2, 1/4, 1/8, and the last bank absorbs the tail 1/8.
         let total: u64 = (0..4).map(count_of_bank).sum();
         assert_eq!(total, 100_000, "banks must partition the population");
-        for (b, expected) in [(0usize, 50_000.0), (1, 25_000.0), (2, 12_500.0), (3, 12_500.0)] {
+        for (b, expected) in [
+            (0usize, 50_000.0),
+            (1, 25_000.0),
+            (2, 12_500.0),
+            (3, 12_500.0),
+        ] {
             let c = count_of_bank(b) as f64;
             assert!(
                 (c - expected).abs() / expected < 0.1,

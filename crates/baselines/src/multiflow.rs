@@ -8,11 +8,11 @@
 //! estimate. The estimator is per-flow (unlike LDA) but far cruder than RLI:
 //! it is exact only for two-packet flows with no loss or reordering.
 
+use rlir_net::fxhash::FxHashMap;
 use rlir_net::time::SimDuration;
 use rlir_net::FlowKey;
 use rlir_trace::FlowRecord;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// Per-flow Multiflow estimate.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -50,11 +50,11 @@ pub fn estimate_flow(up: &FlowRecord, down: &FlowRecord) -> Option<MultiflowEsti
 /// Records are matched 1:1 in (first-timestamp) order per key; flows whose
 /// record counts differ between the points are skipped.
 pub fn estimate_all(up: &[FlowRecord], down: &[FlowRecord]) -> Vec<MultiflowEstimate> {
-    let mut down_by_key: HashMap<FlowKey, Vec<&FlowRecord>> = HashMap::new();
+    let mut down_by_key: FxHashMap<FlowKey, Vec<&FlowRecord>> = FxHashMap::default();
     for r in down {
         down_by_key.entry(r.key).or_default().push(r);
     }
-    let mut up_by_key: HashMap<FlowKey, Vec<&FlowRecord>> = HashMap::new();
+    let mut up_by_key: FxHashMap<FlowKey, Vec<&FlowRecord>> = FxHashMap::default();
     for r in up {
         up_by_key.entry(r.key).or_default().push(r);
     }

@@ -14,11 +14,11 @@
 //! estimates whose coverage (unlike RLI's interpolation) is limited to
 //! sampled packets.
 
+use rlir_net::fxhash::FxHashMap;
 use rlir_net::time::SimTime;
 use rlir_net::FlowKey;
 use rlir_stats::StreamingStats;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// Sampling configuration — identical at every measurement point.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -93,11 +93,7 @@ impl TrajectoryPoint {
         if h > self.threshold {
             return false;
         }
-        self.samples.push(TrajectorySample {
-            label: h,
-            flow,
-            at,
-        });
+        self.samples.push(TrajectorySample { label: h, flow, at });
         true
     }
 
@@ -154,7 +150,7 @@ pub fn join(upstream: &TrajectoryPoint, downstream: &TrajectoryPoint) -> Traject
         upstream.cfg, downstream.cfg,
         "trajectory points must share a sampling configuration"
     );
-    let mut down_by_label: HashMap<u64, Vec<&TrajectorySample>> = HashMap::new();
+    let mut down_by_label: FxHashMap<u64, Vec<&TrajectorySample>> = FxHashMap::default();
     for s in &downstream.samples {
         down_by_label.entry(s.label).or_default().push(s);
     }
@@ -163,7 +159,7 @@ pub fn join(upstream: &TrajectoryPoint, downstream: &TrajectoryPoint) -> Traject
         v.reverse(); // pop() yields earliest first
     }
 
-    let mut per_flow: HashMap<FlowKey, StreamingStats> = HashMap::new();
+    let mut per_flow: FxHashMap<FlowKey, StreamingStats> = FxHashMap::default();
     let mut aggregate = StreamingStats::new();
     let mut matched = 0u64;
     let mut lost = 0u64;
@@ -201,12 +197,7 @@ mod tests {
     use std::net::Ipv4Addr;
 
     fn flow(i: u8) -> FlowKey {
-        FlowKey::udp(
-            Ipv4Addr::new(10, 0, 0, i),
-            7,
-            Ipv4Addr::new(10, 2, 0, 1),
-            9,
-        )
+        FlowKey::udp(Ipv4Addr::new(10, 0, 0, i), 7, Ipv4Addr::new(10, 2, 0, 1), 9)
     }
 
     fn pair(p: f64) -> (TrajectoryPoint, TrajectoryPoint) {

@@ -18,7 +18,10 @@ fn bench_fig4(c: &mut Criterion) {
     group.sample_size(10);
     for (name, policy) in [
         ("static_1_100", PolicyKind::Static { n: 100 }),
-        ("adaptive", PolicyKind::Adaptive(AdaptiveConfig::paper_default())),
+        (
+            "adaptive",
+            PolicyKind::Adaptive(AdaptiveConfig::paper_default()),
+        ),
     ] {
         for target in [0.67f64, 0.93] {
             group.bench_function(format!("{name}_{:.0}pct", target * 100.0), |b| {

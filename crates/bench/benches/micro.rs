@@ -1,17 +1,26 @@
 //! Micro-benchmarks for the per-packet hot paths: ECMP hashing, LPM lookup,
-//! queue offers, interpolation, LDA updates, wire encode/decode, and
-//! workload generation.
+//! queue offers, interpolation, LDA updates, wire encode/decode, workload
+//! generation — and the headline `pipeline/*` group, which runs the Fig. 4
+//! two-hop utilization-sweep pipeline end to end in both its streaming
+//! (current) and batched (seed) forms. `scripts/bench.sh` turns the
+//! `pipeline/*` results into `BENCH_pipeline.json`.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rlir::experiment::{run_two_hop_on, CrossSpec, TwoHopConfig};
 use rlir_baselines::{Lda, LdaConfig};
+use rlir_net::clock::ClockModel;
 use rlir_net::packet::{Packet, ReferenceInfo, SenderId};
 use rlir_net::time::{SimDuration, SimTime};
 use rlir_net::wire::{decode_reference_packet, encode_reference_packet};
 use rlir_net::{FlowKey, HashAlgo, Ipv4Prefix, PrefixTrie};
-use rlir_rli::{DelaySample, Interpolator};
-use rlir_sim::{FifoQueue, QueueConfig};
+use rlir_rli::{DelaySample, FlowAccumulator, Interpolator, RliSender, StaticPolicy};
+use rlir_sim::queue::baseline::SeedFifoQueue;
+use rlir_sim::{
+    calibrate_keep_prob, CrossInjector, CrossModel, Delivery, FifoQueue, QueueConfig, Verdict,
+};
 use rlir_stats::StreamingStats;
-use rlir_trace::{generate, TraceConfig};
+use rlir_trace::{generate, Trace, TraceConfig};
+use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
 fn keys(n: u32) -> Vec<FlowKey> {
@@ -80,6 +89,20 @@ fn bench_queue(c: &mut Criterion) {
             accepted
         })
     });
+    group.bench_function("seed_offer_10k", |b| {
+        // The frozen pre-optimization queue (u128 division per offer).
+        b.iter(|| {
+            let mut q = SeedFifoQueue::new(QueueConfig::oc192());
+            let mut accepted = 0u64;
+            for i in 0..10_000u64 {
+                let p = Packet::regular(i, ks[0], 700, SimTime::from_nanos(i * 700));
+                if matches!(q.offer(p.created_at, &p), rlir_sim::Verdict::Departs(_)) {
+                    accepted += 1;
+                }
+            }
+            accepted
+        })
+    });
     group.finish();
 }
 
@@ -91,9 +114,7 @@ fn bench_interpolation(c: &mut Criterion) {
     group.bench_function("linear_1k", |b| {
         b.iter(|| {
             (0..1000u64)
-                .map(|i| {
-                    Interpolator::Linear.estimate(left, right, SimTime::from_nanos(i * 100))
-                })
+                .map(|i| Interpolator::Linear.estimate(left, right, SimTime::from_nanos(i * 100)))
                 .sum::<f64>()
         })
     });
@@ -152,13 +173,282 @@ fn bench_trace_gen(c: &mut Criterion) {
     let mut group = c.benchmark_group("trace_gen");
     group.sample_size(10);
     group.bench_function("paper_regular_10ms", |b| {
-        b.iter(|| generate(&TraceConfig::paper_regular(42, SimDuration::from_millis(10))))
+        b.iter(|| {
+            generate(&TraceConfig::paper_regular(
+                42,
+                SimDuration::from_millis(10),
+            ))
+        })
+    });
+    group.finish();
+}
+
+/// The sweep's reference-stream flow key (mirrors the two-hop harness).
+fn pipeline_ref_key() -> FlowKey {
+    FlowKey::udp(
+        Ipv4Addr::new(10, 1, 255, 254),
+        40_000,
+        Ipv4Addr::new(10, 200, 255, 254),
+        rlir_net::wire::RLI_UDP_PORT,
+    )
+}
+
+/// The seed's batched Fig. 4 pipeline, reproduced component for component:
+/// per-packet `Vec` from `observe_alloc`, whole-trace upstream/cross/
+/// delivery buffers, the seed's two-pass tandem over [`SeedFifoQueue`]
+/// (per-packet u128 division arithmetic), and a SipHash per-flow table.
+/// This is the pre-optimization baseline `BENCH_pipeline.json` compares
+/// against without checking out an old commit.
+fn run_two_hop_batched(cfg: &TwoHopConfig, regular: &Trace, cross: &Trace) -> (usize, f64) {
+    let CrossSpec::Uniform { target_utilization } = cfg.cross else {
+        panic!("baseline models the uniform sweep only");
+    };
+    let keep_prob = calibrate_keep_prob(
+        target_utilization,
+        regular.offered_utilization(),
+        cross.offered_utilization(),
+        1.0,
+    );
+    let mut injector =
+        CrossInjector::new(CrossModel::Uniform { keep_prob }, cfg.seed ^ 0xC505_11EC);
+    let cross_packets: Vec<Packet> = cross
+        .packets
+        .iter()
+        .copied()
+        .filter(|p| injector.select(p))
+        .collect();
+
+    let mut sender = RliSender::new(
+        SenderId(1),
+        cfg.clocks.sender,
+        cfg.policy.build(),
+        vec![pipeline_ref_key()],
+    );
+    let mut upstream: Vec<Packet> = Vec::with_capacity(regular.packets.len() + 64);
+    for p in &regular.packets {
+        upstream.push(*p);
+        // Seed behavior: a fresh Vec<Packet> per observed packet.
+        upstream.extend(sender.observe_alloc(p));
+    }
+
+    // Seed tandem, pass 1: buffer every switch-1 survivor.
+    let mut sw1 = SeedFifoQueue::new(cfg.tandem.switch1);
+    let mut sw2 = SeedFifoQueue::new(cfg.tandem.switch2);
+    let mut from_sw1: Vec<(Packet, SimTime, SimTime)> = Vec::new();
+    for p in upstream {
+        if let Verdict::Departs(egress) = sw1.offer(p.created_at, &p) {
+            from_sw1.push((p, egress, egress + cfg.tandem.link_delay));
+        }
+    }
+
+    // Seed tandem, pass 2: sorted merge into switch 2, buffering deliveries.
+    let mut deliveries: Vec<Delivery> = Vec::with_capacity(from_sw1.len());
+    let mut cross_in = cross_packets.into_iter().peekable();
+    let mut sw1_out = from_sw1.into_iter().peekable();
+    loop {
+        let take_cross = match (sw1_out.peek(), cross_in.peek()) {
+            (None, None) => break,
+            (Some(_), None) => false,
+            (None, Some(_)) => true,
+            (Some((u, _, ua)), Some(c)) => (c.created_at, c.id) < (*ua, u.id),
+        };
+        if take_cross {
+            let p = cross_in.next().expect("peeked");
+            let _ = sw2.offer(p.created_at, &p);
+        } else {
+            let (p, egress1, at2) = sw1_out.next().expect("peeked");
+            if let Verdict::Departs(out) = sw2.offer(at2, &p) {
+                deliveries.push(Delivery {
+                    packet: p,
+                    sent_at: p.created_at,
+                    sw1_egress: Some(egress1),
+                    delivered_at: out,
+                });
+            }
+        }
+    }
+
+    // Seed receiver: per-packet `Interpolator::estimate` (slope division
+    // per packet) feeding the seed's sparse per-flow table — a SipHash
+    // `HashMap` whose buckets hold the full ~300-byte accumulator, exactly
+    // the layout this PR replaced with a dense FxHash index map.
+    #[derive(Default)]
+    struct SeedAccumulator {
+        est: StreamingStats,
+        truth: StreamingStats,
+    }
+    let rx_clock = cfg.clocks.receiver;
+    let mut flows: HashMap<FlowKey, SeedAccumulator> = HashMap::new();
+    let mut left: Option<DelaySample> = None;
+    let mut pending: Vec<(SimTime, FlowKey, f64)> = Vec::new();
+    for d in &deliveries {
+        match d.packet.reference_info() {
+            Some(info) => {
+                let rx_local = rx_clock.observe(d.delivered_at);
+                let delay_ns = rx_local.signed_delta_nanos(info.tx_timestamp) as f64;
+                let right = DelaySample::new(d.delivered_at, delay_ns);
+                if let Some(l) = left {
+                    for (at, flow, truth) in pending.drain(..) {
+                        let est = cfg.interpolator.estimate(l, right, at);
+                        let acc = flows.entry(flow).or_default();
+                        acc.est.push(est);
+                        acc.truth.push(truth);
+                    }
+                }
+                left = Some(right);
+            }
+            None if d.packet.is_regular() && left.is_some() => {
+                pending.push((
+                    d.delivered_at,
+                    d.packet.flow,
+                    d.true_delay().as_nanos() as f64,
+                ));
+            }
+            None => {}
+        }
+    }
+    (flows.len(), sw2.utilization(cfg.tandem.horizon))
+}
+
+/// `pipeline/*`: the tandem utilization sweep, streaming vs batched, in
+/// packets/sec of offered trace traffic (regular + cross, pre-filtering).
+fn bench_pipeline(c: &mut Criterion) {
+    // Trace generation is seconds of work; skip it when the CLI filter
+    // excludes this group (the vendored criterion filters inside
+    // bench_function, after setup would already have run).
+    if !c.filter_matches("pipeline") {
+        return;
+    }
+    let duration = SimDuration::from_millis(150);
+    let base = TwoHopConfig::paper(42, duration);
+    let regular = generate(&base.regular_trace());
+    let cross = generate(&base.cross_trace());
+    let offered = (regular.packets.len() + cross.packets.len()) as u64;
+    let targets = [0.34f64, 0.67, 0.93];
+
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(offered * targets.len() as u64));
+    group.bench_function("streaming", |b| {
+        b.iter(|| {
+            let mut flows = 0usize;
+            for target in targets {
+                let mut cfg = base.clone();
+                cfg.cross = CrossSpec::Uniform {
+                    target_utilization: target,
+                };
+                flows += run_two_hop_on(&cfg, &regular, &cross).flows.flow_count();
+            }
+            flows
+        })
+    });
+    group.bench_function("batched_seed", |b| {
+        b.iter(|| {
+            let mut flows = 0usize;
+            for target in targets {
+                let mut cfg = base.clone();
+                cfg.cross = CrossSpec::Uniform {
+                    target_utilization: target,
+                };
+                flows += run_two_hop_batched(&cfg, &regular, &cross).0;
+            }
+            flows
+        })
+    });
+    group.finish();
+}
+
+/// `sender_observe/*`: the per-packet sender hot path in isolation —
+/// scratch-slice (current) vs allocating (seed) observe.
+fn bench_sender_observe(c: &mut Criterion) {
+    if !c.filter_matches("sender_observe") {
+        return;
+    }
+    let n_packets = 100_000u64;
+    let mk = || {
+        RliSender::new(
+            SenderId(1),
+            ClockModel::perfect(),
+            Box::new(StaticPolicy::one_in(100)),
+            vec![pipeline_ref_key()],
+        )
+    };
+    let packets: Vec<Packet> = (0..n_packets)
+        .map(|i| {
+            Packet::regular(
+                i,
+                FlowKey::tcp(
+                    Ipv4Addr::from(0x0A00_0000 | (i as u32 & 0xFF)),
+                    (i % 61) as u16,
+                    Ipv4Addr::new(10, 3, 0, 2),
+                    80,
+                ),
+                700,
+                SimTime::from_nanos(i * 700),
+            )
+        })
+        .collect();
+    let mut group = c.benchmark_group("sender_observe");
+    group.throughput(Throughput::Elements(n_packets));
+    group.bench_function("scratch_slice", |b| {
+        b.iter(|| {
+            let mut s = mk();
+            let mut refs = 0usize;
+            for p in &packets {
+                refs += s.observe(p).len();
+            }
+            refs
+        })
+    });
+    group.bench_function("alloc_per_packet", |b| {
+        b.iter(|| {
+            let mut s = mk();
+            let mut refs = 0usize;
+            for p in &packets {
+                refs += s.observe_alloc(p).len();
+            }
+            refs
+        })
+    });
+    group.finish();
+}
+
+/// `flow_table/*`: FxHash vs SipHash per-flow aggregation.
+fn bench_flow_table(c: &mut Criterion) {
+    let n = 100_000u64;
+    let ks = keys(512);
+    let mut group = c.benchmark_group("flow_table");
+    group.throughput(Throughput::Elements(n));
+    group.bench_function("fxhash_record_100k", |b| {
+        b.iter(|| {
+            let mut t = rlir_rli::FlowTable::<rlir_net::FxBuildHasher>::new();
+            for i in 0..n {
+                t.record(ks[(i % 512) as usize], i as f64, Some(i as f64 + 5.0));
+            }
+            t.flow_count()
+        })
+    });
+    group.bench_function("siphash_sparse_seed_record_100k", |b| {
+        // The seed's layout: SipHash table whose buckets hold the whole
+        // ~300-byte accumulator.
+        b.iter(|| {
+            let mut t: HashMap<FlowKey, FlowAccumulator> = HashMap::new();
+            for i in 0..n {
+                let acc = t.entry(ks[(i % 512) as usize]).or_default();
+                acc.est.push(i as f64);
+                acc.truth.push(i as f64 + 5.0);
+            }
+            t.len()
+        })
     });
     group.finish();
 }
 
 criterion_group!(
     benches,
+    bench_pipeline,
+    bench_sender_observe,
+    bench_flow_table,
     bench_hash,
     bench_trie,
     bench_queue,

@@ -23,8 +23,8 @@
 use rlir_bench::{
     baselines_comparison, demux_ablation, fig4a, fig4a_shape_checks, fig4b, fig4c,
     fig4c_shape_checks, fig5, fig5_shape_checks, interp_ablation, localization_demo,
-    placement_rows, quantile_accuracy, sync_ablation, write_csv, AccuracyCurve, OutputDir,
-    Scale, ShapeCheck,
+    placement_rows, quantile_accuracy, sync_ablation, write_csv, AccuracyCurve, OutputDir, Scale,
+    ShapeCheck,
 };
 
 const HELP: &str = "experiments <fig4a|fig4b|fig4c|fig5|placement|demux|interp|sync|baselines|quantiles|localize|all>
@@ -125,7 +125,13 @@ fn run(cmd: &str, scale: &Scale, out: &OutputDir) -> std::io::Result<()> {
             println!("== §3.1: partial-placement complexity on k-ary fat-trees ==");
             println!(
                 "  {:>4} {:>10} {:>10} {:>14} {:>14} {:>16} {:>10}",
-                "k", "iface-pair", "tor-pair", "all-pairs", "(enumerated)", "full deploy", "reduction"
+                "k",
+                "iface-pair",
+                "tor-pair",
+                "all-pairs",
+                "(enumerated)",
+                "full deploy",
+                "reduction"
             );
             let rows = placement_rows();
             for r in &rows {
@@ -178,14 +184,20 @@ fn run(cmd: &str, scale: &Scale, out: &OutputDir) -> std::io::Result<()> {
                 rows.iter().map(|r| {
                     format!(
                         "{},{},{},{},{}",
-                        r.mode, r.accuracy, r.seg1_median_error, r.seg2_median_error, r.seg2_estimates
+                        r.mode,
+                        r.accuracy,
+                        r.seg1_median_error,
+                        r.seg2_median_error,
+                        r.seg2_estimates
                     )
                 }),
             );
             out.write("demux_ablation.csv", &csv)?;
         }
         "interp" => {
-            println!("== A2: interpolation-estimator ablation (93% utilization, static 1-and-100) ==");
+            println!(
+                "== A2: interpolation-estimator ablation (93% utilization, static 1-and-100) =="
+            );
             let rows = interp_ablation(scale);
             for r in &rows {
                 println!(
@@ -284,7 +296,11 @@ fn run(cmd: &str, scale: &Scale, out: &OutputDir) -> std::io::Result<()> {
             println!("  flagged: {:?}", o.flagged);
             println!(
                 "  verdict: {}",
-                if o.correct { "LOCALIZED CORRECTLY" } else { "MISSED" }
+                if o.correct {
+                    "LOCALIZED CORRECTLY"
+                } else {
+                    "MISSED"
+                }
             );
             let csv = write_csv(
                 "segment,est_mean_us,true_mean_us",

@@ -8,15 +8,17 @@ use rlir::experiment::{
 };
 use rlir::localization::{localize, LocalizerConfig};
 use rlir::CoreDemux;
-use rlir_baselines::{estimate_all, trajectory_join, Lda, LdaConfig, TrajectoryConfig, TrajectoryPoint};
+use rlir_baselines::{
+    estimate_all, trajectory_join, Lda, LdaConfig, TrajectoryConfig, TrajectoryPoint,
+};
 use rlir_net::clock::{ClockModel, ClockPair};
+use rlir_net::fxhash::FxHashMap;
 use rlir_net::time::SimDuration;
 use rlir_net::FlowKey;
 use rlir_rli::{Interpolator, PolicyKind};
 use rlir_stats::Ecdf;
 use rlir_trace::{generate, FlowMeter, FlowMeterConfig, Trace};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// One curve of an accuracy CDF figure (4a/4b/4c).
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -76,7 +78,10 @@ impl AccuracyCurve {
 
 fn paper_policies() -> [(&'static str, PolicyKind); 2] {
     [
-        ("Adaptive", PolicyKind::Adaptive(rlir_rli::AdaptiveConfig::paper_default())),
+        (
+            "Adaptive",
+            PolicyKind::Adaptive(rlir_rli::AdaptiveConfig::paper_default()),
+        ),
         ("Static", PolicyKind::Static { n: 100 }),
     ]
 }
@@ -111,11 +116,11 @@ pub fn fig4_runs(scale: &Scale) -> Vec<(String, f64, TwoHopOutcome)> {
             [0.93f64, 0.67].map(|u| (format!("{name}, {:.0}%", u * 100.0), u, policy.clone()))
         })
         .collect();
-    let results = parking_lot::Mutex::new(Vec::new());
-    crossbeam::scope(|s| {
+    let results = std::sync::Mutex::new(Vec::new());
+    std::thread::scope(|s| {
         for (label, target, policy) in &configs {
             let (regular, cross, results) = (&regular, &cross, &results);
-            s.spawn(move |_| {
+            s.spawn(move || {
                 let out = accuracy_run(
                     scale,
                     regular,
@@ -125,12 +130,14 @@ pub fn fig4_runs(scale: &Scale) -> Vec<(String, f64, TwoHopOutcome)> {
                         target_utilization: *target,
                     },
                 );
-                results.lock().push((label.clone(), *target, out));
+                results
+                    .lock()
+                    .expect("fig4 results poisoned")
+                    .push((label.clone(), *target, out));
             });
         }
-    })
-    .expect("fig4 worker panicked");
-    let mut v = results.into_inner();
+    });
+    let mut v = results.into_inner().expect("fig4 results poisoned");
     v.sort_by(|a, b| a.0.cmp(&b.0));
     v
 }
@@ -203,8 +210,8 @@ pub fn fig4c(scale: &Scale) -> Vec<AccuracyCurve> {
             ]
         })
         .collect();
-    let results = parking_lot::Mutex::new(Vec::new());
-    crossbeam::scope(|s| {
+    let results = std::sync::Mutex::new(Vec::new());
+    std::thread::scope(|s| {
         for (label, target, spec) in &specs {
             let cross = if matches!(spec, CrossSpec::Bursty { .. }) {
                 &cross_hot
@@ -212,19 +219,23 @@ pub fn fig4c(scale: &Scale) -> Vec<AccuracyCurve> {
                 &cross
             };
             let (regular, results) = (&regular, &results);
-            s.spawn(move |_| {
-                let policy =
-                    PolicyKind::Adaptive(rlir_rli::AdaptiveConfig::paper_default());
+            s.spawn(move || {
+                let policy = PolicyKind::Adaptive(rlir_rli::AdaptiveConfig::paper_default());
                 let out = accuracy_run(scale, regular, cross, policy, *spec);
                 let errors = out.mean_errors.clone();
                 results
                     .lock()
-                    .push(AccuracyCurve::from_errors(label.clone(), *target, &out, errors));
+                    .expect("fig5 results poisoned")
+                    .push(AccuracyCurve::from_errors(
+                        label.clone(),
+                        *target,
+                        &out,
+                        errors,
+                    ));
             });
         }
-    })
-    .expect("fig4c worker panicked");
-    let mut v = results.into_inner();
+    });
+    let mut v = results.into_inner().expect("fig4c results poisoned");
     v.sort_by(|a, b| a.label.cmp(&b.label));
     v
 }
@@ -270,7 +281,10 @@ pub fn fig5(scale: &Scale) -> Vec<Fig5Point> {
                 base,
                 targets: targets.clone(),
             };
-            for (i, p) in run_loss_sweep_on(&sweep, &regular, &cross).iter().enumerate() {
+            for (i, p) in run_loss_sweep_on(&sweep, &regular, &cross)
+                .iter()
+                .enumerate()
+            {
                 acc[i].0 += p.utilization;
                 acc[i].1 += p.loss_difference();
                 acc[i].2 += p.loss_without_refs;
@@ -360,7 +374,13 @@ pub fn interp_ablation(scale: &Scale) -> Vec<InterpRow> {
             let mut cfg = TwoHopConfig::paper(scale.base_seed, scale.accuracy_duration);
             cfg.interpolator = interp;
             let out = run_two_hop_on(&cfg, &regular, &cross);
-            let e = Ecdf::new(out.mean_errors.iter().copied().filter(|x| x.is_finite()).collect());
+            let e = Ecdf::new(
+                out.mean_errors
+                    .iter()
+                    .copied()
+                    .filter(|x| x.is_finite())
+                    .collect(),
+            );
             InterpRow {
                 interpolator: interp.label().to_string(),
                 median_error: e.median().unwrap_or(f64::NAN),
@@ -415,7 +435,13 @@ pub fn sync_ablation(scale: &Scale) -> Vec<SyncRow> {
             let mut cfg = TwoHopConfig::paper(scale.base_seed, scale.accuracy_duration);
             cfg.clocks = clocks;
             let out = run_two_hop_on(&cfg, &regular, &cross);
-            let e = Ecdf::new(out.mean_errors.iter().copied().filter(|x| x.is_finite()).collect());
+            let e = Ecdf::new(
+                out.mean_errors
+                    .iter()
+                    .copied()
+                    .filter(|x| x.is_finite())
+                    .collect(),
+            );
             // Mean absolute error from per-flow report rows.
             let rows = out.flows.report(1);
             let mut abs = rlir_stats::StreamingStats::new();
@@ -464,8 +490,7 @@ pub fn baselines_comparison(scale: &Scale) -> Vec<BaselineRow> {
     let sim_cfg = cfg.clone();
     let regular_util = regular.offered_utilization();
     let cross_util = cross.offered_utilization();
-    let keep_prob =
-        rlir_sim::calibrate_keep_prob(0.93, regular_util, cross_util, 1.0);
+    let keep_prob = rlir_sim::calibrate_keep_prob(0.93, regular_util, cross_util, 1.0);
     let mut injector = rlir_sim::CrossInjector::new(
         rlir_sim::CrossModel::Uniform { keep_prob },
         sim_cfg.seed ^ 0xC505_11EC,
@@ -483,7 +508,7 @@ pub fn baselines_comparison(scale: &Scale) -> Vec<BaselineRow> {
     );
 
     // Ground truth per flow and aggregate.
-    let mut truth_by_flow: HashMap<FlowKey, rlir_stats::StreamingStats> = HashMap::new();
+    let mut truth_by_flow: FxHashMap<FlowKey, rlir_stats::StreamingStats> = FxHashMap::default();
     let mut truth_all = rlir_stats::StreamingStats::new();
     for d in &result.deliveries {
         let ns = d.true_delay().as_nanos() as f64;
@@ -641,9 +666,8 @@ pub fn quantile_accuracy(scale: &Scale) -> Vec<QuantileRow> {
             cfg.policy = policy;
             cfg.track_quantile = Some(0.9);
             let out = run_two_hop_on(&cfg, &regular, &cross);
-            let finite = |v: &[f64]| -> Vec<f64> {
-                v.iter().copied().filter(|x| x.is_finite()).collect()
-            };
+            let finite =
+                |v: &[f64]| -> Vec<f64> { v.iter().copied().filter(|x| x.is_finite()).collect() };
             QuantileRow {
                 policy: name.to_string(),
                 p: 0.9,
@@ -805,15 +829,23 @@ pub fn fig5_shape_checks(points: &[Fig5Point]) -> Vec<ShapeCheck> {
         ShapeCheck {
             claim: "static perturbs less than adaptive (paper: ≤0.0042% vs up to 0.06%)".into(),
             holds: s <= a,
-            detail: format!("max diff static {:.4}% vs adaptive {:.4}%", s * 100.0, a * 100.0),
+            detail: format!(
+                "max diff static {:.4}% vs adaptive {:.4}%",
+                s * 100.0,
+                a * 100.0
+            ),
         },
         ShapeCheck {
             claim: "interference stays small in absolute terms (<0.2% everywhere)".into(),
             holds: points.iter().all(|p| p.loss_difference.abs() < 0.002),
-            detail: format!("max |diff| {:.4}%", points
-                .iter()
-                .map(|p| p.loss_difference.abs())
-                .fold(0.0, f64::max) * 100.0),
+            detail: format!(
+                "max |diff| {:.4}%",
+                points
+                    .iter()
+                    .map(|p| p.loss_difference.abs())
+                    .fold(0.0, f64::max)
+                    * 100.0
+            ),
         },
     ]
 }

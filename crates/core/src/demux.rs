@@ -18,10 +18,13 @@
 //! the paper warns "can be totally wrong" — and is used by the demux
 //! ablation experiment.
 
+use rlir_net::fxhash::FxHashMap;
 use rlir_net::packet::Packet;
 use rlir_net::trie::PrefixTrie;
+use rlir_net::FlowKey;
 use rlir_topo::{FatTree, Role, TopoId};
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
 
 /// Strategy for the downstream (which-core) association.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -69,6 +72,11 @@ pub struct RlirDemux<'t> {
     tree: &'t FatTree,
     origin: PrefixTrie<TopoId>,
     mode: CoreDemux,
+    /// Per-flow memo for reverse-ECMP association: the traversed core is a
+    /// pure function of the flow key, and flows repeat for every packet, so
+    /// the hash recomputation is paid once per flow instead of once per
+    /// packet. FxHash-keyed on the 13-byte flow key (hot path).
+    ecmp_cache: RefCell<FxHashMap<FlowKey, Option<TopoId>>>,
 }
 
 impl<'t> RlirDemux<'t> {
@@ -79,7 +87,12 @@ impl<'t> RlirDemux<'t> {
             .tors()
             .map(|tor| (tree.host_prefix(tor), tor))
             .collect();
-        RlirDemux { tree, origin, mode }
+        RlirDemux {
+            tree,
+            origin,
+            mode,
+            ecmp_cache: RefCell::new(FxHashMap::default()),
+        }
     }
 
     /// The configured downstream strategy.
@@ -100,8 +113,17 @@ impl<'t> RlirDemux<'t> {
         match self.mode {
             CoreDemux::Naive => None,
             CoreDemux::Marking => core_from_mark(self.tree, pkt.mark),
-            CoreDemux::ReverseEcmp => self.tree.reverse_ecmp(&pkt.flow)?.core,
+            CoreDemux::ReverseEcmp => *self
+                .ecmp_cache
+                .borrow_mut()
+                .entry(pkt.flow)
+                .or_insert_with(|| self.tree.reverse_ecmp(&pkt.flow).and_then(|r| r.core)),
         }
+    }
+
+    /// Flows memoized by the reverse-ECMP cache so far.
+    pub fn cached_flows(&self) -> usize {
+        self.ecmp_cache.borrow().len()
     }
 }
 
@@ -159,7 +181,11 @@ mod tests {
         let d = RlirDemux::new(&t, CoreDemux::ReverseEcmp);
         for sport in 0..100u16 {
             let p = pkt(&t, t.tor(0, 0), t.tor(3, 1), sport);
-            assert_eq!(d.traversed_core(&p), t.core_of_path(&p.flow), "sport {sport}");
+            assert_eq!(
+                d.traversed_core(&p),
+                t.core_of_path(&p.flow),
+                "sport {sport}"
+            );
         }
     }
 
@@ -182,6 +208,25 @@ mod tests {
         p.mark = 1;
         assert_eq!(d.traversed_core(&p), None);
         assert_eq!(CoreDemux::Naive.label(), "naive");
+    }
+
+    #[test]
+    fn reverse_ecmp_cache_is_transparent() {
+        let t = tree();
+        let d = RlirDemux::new(&t, CoreDemux::ReverseEcmp);
+        assert_eq!(d.cached_flows(), 0);
+        let p = pkt(&t, t.tor(0, 0), t.tor(3, 1), 9);
+        let first = d.traversed_core(&p);
+        assert_eq!(d.cached_flows(), 1);
+        // Repeated packets of the same flow hit the memo and agree.
+        for _ in 0..10 {
+            assert_eq!(d.traversed_core(&p), first);
+        }
+        assert_eq!(d.cached_flows(), 1);
+        // A different flow adds an entry and still matches the routing.
+        let q = pkt(&t, t.tor(0, 0), t.tor(3, 1), 10);
+        assert_eq!(d.traversed_core(&q), t.core_of_path(&q.flow));
+        assert_eq!(d.cached_flows(), 2);
     }
 
     #[test]

@@ -156,7 +156,12 @@ impl Deployment {
     /// The sender id whose segment-1 reference stream covers packets from
     /// `origin_tor` through `core`: the uplink is determined by the core's
     /// group, completing the upstream demultiplexing of §3.1.
-    pub fn tor_sender_for(&self, tree: &FatTree, origin_tor: TopoId, core: TopoId) -> Option<SenderId> {
+    pub fn tor_sender_for(
+        &self,
+        tree: &FatTree,
+        origin_tor: TopoId,
+        core: TopoId,
+    ) -> Option<SenderId> {
         let Role::Core { group, .. } = tree.node(core).role else {
             return None;
         };
@@ -260,7 +265,10 @@ mod tests {
                     _ => unreachable!(),
                 })
                 .collect();
-            assert!(groups.iter().all(|g| *g == s.uplink), "cores in wrong group");
+            assert!(
+                groups.iter().all(|g| *g == s.uplink),
+                "cores in wrong group"
+            );
         }
     }
 

@@ -22,6 +22,7 @@ use crate::deployment::{Deployment, CORE_SENDER_BASE};
 use crate::fabric::{build_network, FatTreeFabric};
 use crate::localization::SegmentObservation;
 use rlir_net::clock::ClockModel;
+use rlir_net::fxhash::FxHashMap;
 use rlir_net::packet::{Packet, ReferenceInfo, SenderId};
 use rlir_net::time::{SimDuration, SimTime};
 use rlir_net::{FlowKey, HashAlgo};
@@ -29,7 +30,6 @@ use rlir_rli::{FlowTable, Interpolator, PolicyKind, ReceiverConfig, RliReceiver,
 use rlir_sim::{run_network, NetworkRun, QueueConfig};
 use rlir_topo::{FatTree, Role, TopoId};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// A deliberate latency fault injected at one core (for localization).
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -137,10 +137,7 @@ const NAIVE_ID: SenderId = SenderId(u16::MAX);
 #[derive(Debug, Clone, Copy)]
 enum Ev {
     Reference(ReferenceInfo),
-    Regular {
-        flow: FlowKey,
-        truth: SimDuration,
-    },
+    Regular { flow: FlowKey, truth: SimDuration },
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -202,8 +199,10 @@ pub fn run_fattree(cfg: &FatTreeExpConfig) -> FatTreeOutcome {
             .skip(bi + half + 1)
             .find(|&p| p != tor && p != dst_tor)
             .expect("some partner exists");
-        let mut tc =
-            rlir_trace::TraceConfig::paper_regular(cfg.seed ^ 0xBAC0 ^ (bi as u64) << 3, cfg.duration);
+        let mut tc = rlir_trace::TraceConfig::paper_regular(
+            cfg.seed ^ 0xBAC0 ^ (bi as u64) << 3,
+            cfg.duration,
+        );
         tc.link_rate_bps = cfg.queue.rate_bps;
         tc.target_utilization = cfg.background_load;
         tc.src_prefix = tree.host_prefix(tor);
@@ -233,7 +232,7 @@ pub fn run_fattree(cfg: &FatTreeExpConfig) -> FatTreeOutcome {
             let uplink = tree.node(*src).hash.select(&p.flow, half);
             for r in senders[uplink].observe(p) {
                 refs_tor += 1;
-                injections.push((*src, r));
+                injections.push((*src, *r));
             }
         }
     }
@@ -243,7 +242,10 @@ pub fn run_fattree(cfg: &FatTreeExpConfig) -> FatTreeOutcome {
         .anomaly
         .iter()
         .map(|a| {
-            let core = tree.cores().nth(a.core_ordinal).expect("core ordinal in range");
+            let core = tree
+                .cores()
+                .nth(a.core_ordinal)
+                .expect("core ordinal in range");
             (
                 core,
                 QueueConfig {
@@ -262,14 +264,17 @@ pub fn run_fattree(cfg: &FatTreeExpConfig) -> FatTreeOutcome {
         &fabric,
         injections.clone(),
     );
-    let mut crossings: HashMap<TopoId, Vec<(SimTime, u32)>> = HashMap::new();
+    let mut crossings: FxHashMap<TopoId, Vec<(SimTime, u32)>> = FxHashMap::default();
     for d in &phase1.deliveries {
         if !d.packet.is_regular() {
             continue;
         }
         for h in &d.hops {
             if matches!(tree.node(h.node).role, Role::Core { .. }) {
-                crossings.entry(h.node).or_default().push((h.arrived, d.packet.size));
+                crossings
+                    .entry(h.node)
+                    .or_default()
+                    .push((h.arrived, d.packet.size));
             }
         }
     }
@@ -291,7 +296,7 @@ pub fn run_fattree(cfg: &FatTreeExpConfig) -> FatTreeOutcome {
             let proxy = Packet::regular(0, spec.target, size, at);
             for r in sender.observe(&proxy) {
                 refs_core += 1;
-                injections.push((spec.core, r));
+                injections.push((spec.core, *r));
             }
         }
     }
@@ -303,7 +308,14 @@ pub fn run_fattree(cfg: &FatTreeExpConfig) -> FatTreeOutcome {
         injections,
     );
 
-    extract_measurements(cfg, &tree, &deployment, &demux, &phase2, (refs_tor, refs_core))
+    extract_measurements(
+        cfg,
+        &tree,
+        &deployment,
+        &demux,
+        &phase2,
+        (refs_tor, refs_core),
+    )
 }
 
 fn extract_measurements(
@@ -323,8 +335,8 @@ fn extract_measurements(
     let naive = matches!(cfg.demux, CoreDemux::Naive);
 
     // Event queues per receiver.
-    let mut seg1: HashMap<(TopoId, SenderId), Vec<Event>> = HashMap::new();
-    let mut seg2: HashMap<SenderId, Vec<Event>> = HashMap::new();
+    let mut seg1: FxHashMap<(TopoId, SenderId), Vec<Event>> = FxHashMap::default();
+    let mut seg2: FxHashMap<SenderId, Vec<Event>> = FxHashMap::default();
     let mut demux_total = 0u64;
     let mut demux_correct = 0u64;
     let mut demux_unassociated = 0u64;
@@ -447,35 +459,36 @@ fn extract_measurements(
     let mut seg1_flows = FlowTable::new();
     let mut seg2_flows = FlowTable::new();
     let mut segments = Vec::new();
-    let mut drain = |events: &mut Vec<Event>, bound: SenderId, name: String, out: &mut FlowTable| {
-        events.sort_by_key(|e| (e.at, e.order));
-        let mut rx = RliReceiver::new(ReceiverConfig {
-            sender: bound,
-            clock: ClockModel::perfect(),
-            interpolator: Interpolator::Linear,
-            max_buffer: 1 << 22,
-            record_estimates: false,
-        });
-        for e in events.iter() {
-            match e.ev {
-                Ev::Reference(info) => rx.on_reference(e.at, &info),
-                Ev::Regular { flow, truth } => rx.on_regular(e.at, flow, Some(truth)),
-            }
-        }
-        let report = rx.finish();
-        if let (Some(est), Some(truth)) = (
-            report.flows.aggregate_est_mean(),
-            report.flows.aggregate_true_mean(),
-        ) {
-            segments.push(SegmentObservation {
-                name,
-                est_mean_ns: est,
-                true_mean_ns: truth,
-                packets: report.counters.estimated,
+    let mut drain =
+        |events: &mut Vec<Event>, bound: SenderId, name: String, out: &mut FlowTable| {
+            events.sort_by_key(|e| (e.at, e.order));
+            let mut rx: RliReceiver = RliReceiver::new(ReceiverConfig {
+                sender: bound,
+                clock: ClockModel::perfect(),
+                interpolator: Interpolator::Linear,
+                max_buffer: 1 << 22,
+                record_estimates: false,
             });
-        }
-        out.merge(report.flows);
-    };
+            for e in events.iter() {
+                match e.ev {
+                    Ev::Reference(info) => rx.on_reference(e.at, &info),
+                    Ev::Regular { flow, truth } => rx.on_regular(e.at, flow, Some(truth)),
+                }
+            }
+            let report = rx.finish();
+            if let (Some(est), Some(truth)) = (
+                report.flows.aggregate_est_mean(),
+                report.flows.aggregate_true_mean(),
+            ) {
+                segments.push(SegmentObservation {
+                    name,
+                    est_mean_ns: est,
+                    true_mean_ns: truth,
+                    packets: report.counters.estimated,
+                });
+            }
+            out.merge(report.flows);
+        };
 
     let mut seg1_keys: Vec<(TopoId, SenderId)> = seg1.keys().copied().collect();
     seg1_keys.sort();
@@ -537,7 +550,10 @@ mod tests {
         let out = run_fattree(&quick(CoreDemux::ReverseEcmp));
         assert!(out.measured_delivered > 500, "{}", out.measured_delivered);
         assert!(out.demux_total > 0);
-        assert_eq!(out.demux_correct, out.demux_total, "reverse ECMP must be exact");
+        assert_eq!(
+            out.demux_correct, out.demux_total,
+            "reverse ECMP must be exact"
+        );
         assert_eq!(out.demux_unassociated, 0);
         assert!(out.refs_emitted.0 > 0 && out.refs_emitted.1 > 0);
     }
@@ -576,7 +592,9 @@ mod tests {
     fn estimation_errors_are_reasonable_with_demux() {
         let out = run_fattree(&quick(CoreDemux::ReverseEcmp));
         assert!(!out.seg2_errors.is_empty());
-        let med = rlir_stats::Ecdf::new(out.seg2_errors.clone()).median().unwrap();
+        let med = rlir_stats::Ecdf::new(out.seg2_errors.clone())
+            .median()
+            .unwrap();
         assert!(med < 1.0, "median seg2 error {med}");
     }
 

@@ -4,9 +4,9 @@
 //! packets." For each bottleneck-utilization point the sweep runs the
 //! two-hop pipeline twice with identical seeds — once with reference
 //! injection, once without — and reports the difference in end-to-end
-//! regular-packet loss rate. Points run in parallel (`crossbeam` scoped
-//! threads); each pair shares the same base traces, mirroring the paper's
-//! reuse of one trace across utilization settings.
+//! regular-packet loss rate. Points run in parallel (`std::thread::scope`);
+//! each pair shares the same base traces, mirroring the paper's reuse of
+//! one trace across utilization settings.
 
 use super::two_hop::{run_two_hop_on, CrossSpec, TwoHopConfig};
 use rlir_rli::PolicyKind;
@@ -81,11 +81,11 @@ pub fn run_loss_sweep_on(cfg: &LossSweepConfig, regular: &Trace, cross: &Trace) 
         .chunks_mut(1)
         .zip(cfg.targets.iter())
         .collect::<Vec<_>>();
-    let queue = parking_lot::Mutex::new(chunks.into_iter());
-    crossbeam::scope(|scope| {
+    let queue = std::sync::Mutex::new(chunks.into_iter());
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let next = queue.lock().next();
+            scope.spawn(|| loop {
+                let next = queue.lock().expect("sweep queue poisoned").next();
                 let Some((slot, &target)) = next else { break };
                 let mut with_cfg = cfg.base.clone();
                 with_cfg.cross = CrossSpec::Uniform {
@@ -106,8 +106,7 @@ pub fn run_loss_sweep_on(cfg: &LossSweepConfig, regular: &Trace, cross: &Trace) 
                 });
             });
         }
-    })
-    .expect("sweep thread panicked");
+    });
 
     points
         .into_iter()

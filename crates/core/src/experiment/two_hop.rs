@@ -15,7 +15,7 @@ use rlir_net::{FlowKey, SenderId};
 use rlir_rli::{
     FlowTable, Interpolator, PolicyKind, ReceiverConfig, ReceiverCounters, RliReceiver, RliSender,
 };
-use rlir_sim::{calibrate_keep_prob, run_tandem, CrossInjector, CrossModel, TandemConfig};
+use rlir_sim::{calibrate_keep_prob, run_tandem_with, CrossInjector, CrossModel, TandemConfig};
 use rlir_trace::{generate, Trace, TraceConfig};
 use serde::{Deserialize, Serialize};
 
@@ -169,8 +169,37 @@ pub fn run_two_hop(cfg: &TwoHopConfig) -> TwoHopOutcome {
     run_two_hop_on(cfg, &regular, &cross)
 }
 
+/// Static-dispatch "either" iterator so the four upstream/cross stream
+/// shapes below avoid boxing on the per-packet hot path.
+enum EitherIter<L, R> {
+    /// First shape.
+    L(L),
+    /// Second shape.
+    R(R),
+}
+
+impl<T, L: Iterator<Item = T>, R: Iterator<Item = T>> Iterator for EitherIter<L, R> {
+    type Item = T;
+
+    #[inline]
+    fn next(&mut self) -> Option<T> {
+        match self {
+            EitherIter::L(l) => l.next(),
+            EitherIter::R(r) => r.next(),
+        }
+    }
+}
+
 /// Run a two-hop experiment on pre-generated traces (sweeps share the same
 /// base traces across points, like the paper reusing its two CAIDA traces).
+///
+/// The whole pipeline is streaming: the regular trace is instrumented by
+/// the RLI sender, merged with the filtered cross stream through the
+/// tandem, and every delivery is fed straight into the receiver — no
+/// intermediate per-run packet buffers, no per-packet allocation. The seed
+/// materialised three whole-trace `Vec`s here (filtered cross, instrumented
+/// upstream, deliveries); on the Fig. 4 utilization sweep that was the
+/// dominant cost.
 pub fn run_two_hop_on(cfg: &TwoHopConfig, regular: &Trace, cross: &Trace) -> TwoHopOutcome {
     // Calibrate the injector for the requested bottleneck utilization.
     let regular_util = regular.offered_utilization();
@@ -194,44 +223,32 @@ pub fn run_two_hop_on(cfg: &TwoHopConfig, regular: &Trace, cross: &Trace) -> Two
         }
     };
 
-    let cross_packets: Vec<Packet> = match model {
-        None => Vec::new(),
-        Some(m) => {
-            let mut injector = CrossInjector::new(m, cfg.seed ^ 0xC505_11EC);
-            cross
-                .packets
-                .iter()
-                .copied()
-                .filter(|p| injector.select(p))
-                .collect()
-        }
+    // Cross stream: lazily filtered by the injector (no materialised Vec).
+    let mut injector = model.map(|m| CrossInjector::new(m, cfg.seed ^ 0xC505_11EC));
+    let cross_iter = match injector.as_mut() {
+        Some(inj) => EitherIter::L(inj.filter(cross.packets.iter().copied())),
+        None => EitherIter::R(std::iter::empty::<Packet>()),
     };
 
-    // Instrument the regular stream with the RLI sender (or not, for the
-    // interference baseline).
+    // Upstream stream: the regular trace instrumented in-line by the RLI
+    // sender (or passed through untouched for the interference baseline).
+    // The sender stays owned here so its counters survive the run.
     let regular_iter = regular.packets.iter().copied();
-    let (upstream, refs_emitted): (Vec<Packet>, u64) = if cfg.inject_references {
-        let sender = RliSender::new(
+    let mut sender = cfg.inject_references.then(|| {
+        RliSender::new(
             SenderId(1),
             cfg.clocks.sender,
             cfg.policy.build(),
             vec![tandem_ref_key()],
-        );
-        let mut stream = sender.instrument(regular_iter);
-        let mut v = Vec::with_capacity(regular.packets.len() + regular.packets.len() / 64);
-        for p in &mut stream {
-            v.push(p);
-        }
-        let n = stream.sender().refs_emitted();
-        (v, n)
-    } else {
-        (regular_iter.collect(), 0)
+        )
+    });
+    let upstream = match sender.as_mut() {
+        Some(s) => EitherIter::L(s.instrument_by_ref(regular_iter)),
+        None => EitherIter::R(regular_iter),
     };
 
-    // Simulate the tandem.
-    let result = run_tandem(&cfg.tandem, upstream.into_iter(), cross_packets.into_iter());
-
-    // Feed the receiver in delivery order.
+    // Receiver, fed directly from the streaming tandem merge in delivery
+    // order.
     let rx_cfg = ReceiverConfig {
         sender: SenderId(1),
         clock: cfg.clocks.receiver,
@@ -243,9 +260,10 @@ pub fn run_two_hop_on(cfg: &TwoHopConfig, regular: &Trace, cross: &Trace) -> Two
         Some(p) => RliReceiver::with_quantile(rx_cfg, p),
         None => RliReceiver::new(rx_cfg),
     };
-    for d in &result.deliveries {
+    let result = run_tandem_with(&cfg.tandem, upstream, cross_iter, |d| {
         rx.on_packet(d.delivered_at, &d.packet, Some(d.true_delay()));
-    }
+    });
+    let refs_emitted = sender.map(|s| s.refs_emitted()).unwrap_or(0);
     let report = rx.finish();
 
     let mean_errors = report.flows.mean_relative_errors(cfg.min_flow_packets);
@@ -294,12 +312,18 @@ mod tests {
     #[test]
     fn produces_flow_estimates_with_sane_errors() {
         let out = run_two_hop(&quick_cfg(0.8));
-        assert!(out.flows.flow_count() > 100, "{} flows", out.flows.flow_count());
+        assert!(
+            out.flows.flow_count() > 100,
+            "{} flows",
+            out.flows.flow_count()
+        );
         assert!(!out.mean_errors.is_empty());
         assert!(out.refs_emitted > 0);
         assert!(out.receiver.estimated > 0);
         // Median relative error should be well under 100% at high load.
-        let med = rlir_stats::Ecdf::new(out.mean_errors.clone()).median().unwrap();
+        let med = rlir_stats::Ecdf::new(out.mean_errors.clone())
+            .median()
+            .unwrap();
         assert!(med < 1.0, "median error {med}");
     }
 

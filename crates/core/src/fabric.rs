@@ -139,7 +139,10 @@ mod tests {
             let fabric = FatTreeFabric::new(&t, enabled);
             let p = Packet::regular(1, f, 1000, SimTime::ZERO);
             let run = run_network(net, &fabric, vec![(src, p)]);
-            assert_eq!(run.deliveries[0].packet.mark, want_mark, "enabled={enabled}");
+            assert_eq!(
+                run.deliveries[0].packet.mark, want_mark,
+                "enabled={enabled}"
+            );
         }
     }
 

@@ -70,7 +70,9 @@ impl SegmentWindows {
 
     /// Mean estimate per window (`None` for empty windows).
     pub fn window_means(&self) -> Vec<Option<f64>> {
-        (0..self.series.len()).map(|i| self.series.mean(i)).collect()
+        (0..self.series.len())
+            .map(|i| self.series.mean(i))
+            .collect()
     }
 
     /// The underlying series.
@@ -101,7 +103,9 @@ pub fn localize_windows(segments: &[SegmentWindows], cfg: &WindowedConfig) -> Ve
             if seg.series.count(i) < cfg.min_samples {
                 continue;
             }
-            let Some(mean) = seg.series.mean(i) else { continue };
+            let Some(mean) = seg.series.mean(i) else {
+                continue;
+            };
             let severity = mean / median;
             if severity > cfg.factor {
                 findings.push(WindowFinding {
@@ -127,12 +131,7 @@ mod tests {
     fn rec(at_us: u64, est_ns: f64) -> EstimateRecord {
         EstimateRecord {
             at: SimTime::from_micros(at_us),
-            flow: FlowKey::udp(
-                Ipv4Addr::new(10, 0, 0, 1),
-                1,
-                Ipv4Addr::new(10, 1, 0, 1),
-                2,
-            ),
+            flow: FlowKey::udp(Ipv4Addr::new(10, 0, 0, 1), 1, Ipv4Addr::new(10, 1, 0, 1), 2),
             est_ns,
             truth_ns: None,
         }
@@ -169,8 +168,7 @@ mod tests {
 
     #[test]
     fn steady_traffic_raises_nothing() {
-        let records: Vec<EstimateRecord> =
-            (0..5000u64).map(|i| rec(i * 20, 5_000.0)).collect();
+        let records: Vec<EstimateRecord> = (0..5000u64).map(|i| rec(i * 20, 5_000.0)).collect();
         let seg = SegmentWindows::build("s", &records, 5_000_000);
         assert!(localize_windows(&[seg], &WindowedConfig::default()).is_empty());
     }

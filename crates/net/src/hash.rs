@@ -67,7 +67,11 @@ const fn crc32_table() -> [u32; 256] {
         let mut c = i as u32;
         let mut k = 0;
         while k < 8 {
-            c = if c & 1 != 0 { CRC32_POLY ^ (c >> 1) } else { c >> 1 };
+            c = if c & 1 != 0 {
+                CRC32_POLY ^ (c >> 1)
+            } else {
+                c >> 1
+            };
             k += 1;
         }
         table[i] = c;

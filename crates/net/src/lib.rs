@@ -10,6 +10,9 @@
 //!   fat-tree routing tables).
 //! * [`hash`] — deterministic ECMP hash functions, shared between the
 //!   forwarding plane and RLIR's reverse-ECMP demultiplexer.
+//! * [`fxhash`] — the FxHash function behind [`FxHashMap`], used by every
+//!   per-flow table on the packet hot path (SipHash is overkill for
+//!   simulated keys).
 //! * [`packet`] — the simulated [`Packet`] record with traffic classes and
 //!   embedded RLI reference headers.
 //! * [`wire`] — real on-the-wire encodings (IPv4 + UDP + RLI payload with
@@ -24,6 +27,7 @@
 
 pub mod clock;
 pub mod flow;
+pub mod fxhash;
 pub mod hash;
 pub mod packet;
 pub mod prefix;
@@ -33,6 +37,7 @@ pub mod wire;
 
 pub use clock::{ClockModel, ClockPair};
 pub use flow::{FlowId, FlowKey, Protocol};
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use hash::{EcmpHasher, HashAlgo};
 pub use packet::{Packet, PacketId, PacketKind, ReferenceInfo, SenderId};
 pub use prefix::Ipv4Prefix;

@@ -31,7 +31,9 @@ pub enum PrefixError {
 impl fmt::Display for PrefixError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            PrefixError::LengthOutOfRange(l) => write!(f, "prefix length {l} out of range (0..=32)"),
+            PrefixError::LengthOutOfRange(l) => {
+                write!(f, "prefix length {l} out of range (0..=32)")
+            }
             PrefixError::Malformed(s) => write!(f, "malformed prefix: {s:?}"),
         }
     }
@@ -70,6 +72,8 @@ impl Ipv4Prefix {
     }
 
     /// The prefix length in bits.
+    // `is_empty` would be meaningless for a bit-length, not a container.
+    #[allow(clippy::len_without_is_empty)]
     #[inline]
     pub fn len(&self) -> u8 {
         self.len

@@ -16,12 +16,16 @@ use core::fmt;
 use serde::{Deserialize, Serialize};
 
 /// A point in simulated time, in nanoseconds since simulation start.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 #[serde(transparent)]
 pub struct SimTime(u64);
 
 /// A span of simulated time, in nanoseconds.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 #[serde(transparent)]
 pub struct SimDuration(u64);
 
@@ -366,10 +370,7 @@ mod tests {
 
     #[test]
     fn duration_sum() {
-        let total: SimDuration = [1u64, 2, 3]
-            .into_iter()
-            .map(SimDuration::from_nanos)
-            .sum();
+        let total: SimDuration = [1u64, 2, 3].into_iter().map(SimDuration::from_nanos).sum();
         assert_eq!(total.as_nanos(), 6);
     }
 }

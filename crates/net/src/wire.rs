@@ -79,10 +79,16 @@ impl fmt::Display for WireError {
             WireError::BadMagic(m) => write!(f, "bad RLI magic {m:#06x}"),
             WireError::BadVersion(v) => write!(f, "unsupported RLI version {v}"),
             WireError::BadPayloadCrc { expected, got } => {
-                write!(f, "RLI payload CRC mismatch: expected {expected:#06x}, got {got:#06x}")
+                write!(
+                    f,
+                    "RLI payload CRC mismatch: expected {expected:#06x}, got {got:#06x}"
+                )
             }
             WireError::BadIpChecksum { expected, got } => {
-                write!(f, "IPv4 checksum mismatch: expected {expected:#06x}, got {got:#06x}")
+                write!(
+                    f,
+                    "IPv4 checksum mismatch: expected {expected:#06x}, got {got:#06x}"
+                )
             }
             WireError::BadIpHeader(b) => write!(f, "unsupported IPv4 version/IHL byte {b:#04x}"),
             WireError::NotReference => write!(f, "not an RLI reference packet"),
@@ -355,7 +361,10 @@ mod tests {
         for byte in 3..17 {
             enc[byte] ^= 0x40;
             assert!(
-                matches!(decode_rli_payload(&enc), Err(WireError::BadPayloadCrc { .. })),
+                matches!(
+                    decode_rli_payload(&enc),
+                    Err(WireError::BadPayloadCrc { .. })
+                ),
                 "corruption at byte {byte} undetected"
             );
             enc[byte] ^= 0x40;
@@ -366,7 +375,10 @@ mod tests {
     fn payload_rejects_bad_magic_and_version() {
         let mut enc = encode_rli_payload(&info());
         enc[0] = 0;
-        assert!(matches!(decode_rli_payload(&enc), Err(WireError::BadMagic(_))));
+        assert!(matches!(
+            decode_rli_payload(&enc),
+            Err(WireError::BadMagic(_))
+        ));
         let mut enc = encode_rli_payload(&info());
         enc[2] = 9;
         assert!(matches!(
@@ -428,10 +440,7 @@ mod tests {
         let enc = encode_reference_packet(&flow, &info(), 0);
         let mut raw = enc.to_vec();
         raw[IPV4_HEADER_LEN + 2..IPV4_HEADER_LEN + 4].copy_from_slice(&53u16.to_be_bytes());
-        assert_eq!(
-            decode_reference_packet(&raw),
-            Err(WireError::NotReference)
-        );
+        assert_eq!(decode_reference_packet(&raw), Err(WireError::NotReference));
     }
 
     #[test]

@@ -66,6 +66,35 @@ impl Interpolator {
         }
     }
 
+    /// Precompute a per-interval estimator for the bracket `[left, right]`.
+    ///
+    /// The receiver estimates every buffered packet of an interval against
+    /// the same bracket; hoisting the slope division out of the per-packet
+    /// loop turns each estimate into one multiply-add. Agrees with
+    /// [`Interpolator::estimate`] up to floating-point associativity.
+    #[inline]
+    pub fn segment(&self, left: DelaySample, right: DelaySample) -> Segment {
+        match self {
+            Interpolator::LeftConstant => Segment::Const(left.delay_ns),
+            Interpolator::RightConstant => Segment::Const(right.delay_ns),
+            Interpolator::Midpoint => Segment::Const(0.5 * (left.delay_ns + right.delay_ns)),
+            Interpolator::Linear => {
+                let span = right.at.signed_delta_nanos(left.at);
+                if span <= 0 {
+                    // Degenerate bracket: both references landed together.
+                    Segment::Const(0.5 * (left.delay_ns + right.delay_ns))
+                } else {
+                    Segment::Affine {
+                        left_at: left.at,
+                        span,
+                        base: left.delay_ns,
+                        slope: (right.delay_ns - left.delay_ns) / span as f64,
+                    }
+                }
+            }
+        }
+    }
+
     /// Figure-legend label.
     pub fn label(&self) -> &'static str {
         match self {
@@ -87,6 +116,46 @@ impl Interpolator {
     }
 }
 
+/// A per-interval estimator produced by [`Interpolator::segment`]: the
+/// slope division is paid once per reference interval, not once per packet.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Segment {
+    /// Interval-constant estimate (the constant/midpoint ablations, or a
+    /// degenerate zero-span bracket).
+    Const(f64),
+    /// Linear interpolation with a precomputed slope.
+    Affine {
+        /// Arrival time of the opening reference.
+        left_at: SimTime,
+        /// Bracket width in nanoseconds (`> 0`).
+        span: i64,
+        /// Delay at the opening reference, ns.
+        base: f64,
+        /// Delay change per nanosecond across the bracket.
+        slope: f64,
+    },
+}
+
+impl Segment {
+    /// Estimate the delay (ns) of a packet arriving at `t` (clamped to the
+    /// bracket, like [`Interpolator::estimate`]).
+    #[inline]
+    pub fn estimate_at(&self, t: SimTime) -> f64 {
+        match *self {
+            Segment::Const(v) => v,
+            Segment::Affine {
+                left_at,
+                span,
+                base,
+                slope,
+            } => {
+                let dt = t.signed_delta_nanos(left_at).clamp(0, span);
+                base + dt as f64 * slope
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -96,8 +165,30 @@ mod tests {
     }
 
     #[test]
+    fn segment_agrees_with_estimate() {
+        let left = s(100, 50.0);
+        let right = s(1100, 250.0);
+        for interp in Interpolator::all() {
+            let seg = interp.segment(left, right);
+            for t_ns in [0u64, 100, 350, 600, 1100, 2000] {
+                let t = SimTime::from_nanos(t_ns);
+                let a = interp.estimate(left, right, t);
+                let b = seg.estimate_at(t);
+                assert!(
+                    (a - b).abs() <= 1e-9 * a.abs().max(1.0),
+                    "{interp:?} at {t_ns}: {a} vs {b}"
+                );
+            }
+        }
+        // Degenerate bracket falls back to the midpoint constant.
+        let seg = Interpolator::Linear.segment(s(500, 10.0), s(500, 30.0));
+        assert_eq!(seg, Segment::Const(20.0));
+    }
+
+    #[test]
     fn linear_midpoint_of_bracket() {
-        let est = Interpolator::Linear.estimate(s(0, 100.0), s(1000, 300.0), SimTime::from_nanos(500));
+        let est =
+            Interpolator::Linear.estimate(s(0, 100.0), s(1000, 300.0), SimTime::from_nanos(500));
         assert!((est - 200.0).abs() < 1e-9);
     }
 
@@ -111,7 +202,10 @@ mod tests {
     #[test]
     fn linear_clamps_outside_bracket() {
         let (l, r) = (s(100, 50.0), s(900, 250.0));
-        assert_eq!(Interpolator::Linear.estimate(l, r, SimTime::from_nanos(0)), 50.0);
+        assert_eq!(
+            Interpolator::Linear.estimate(l, r, SimTime::from_nanos(0)),
+            50.0
+        );
         assert_eq!(
             Interpolator::Linear.estimate(l, r, SimTime::from_nanos(5000)),
             250.0
@@ -129,7 +223,8 @@ mod tests {
 
     #[test]
     fn degenerate_bracket_uses_average() {
-        let est = Interpolator::Linear.estimate(s(500, 10.0), s(500, 30.0), SimTime::from_nanos(500));
+        let est =
+            Interpolator::Linear.estimate(s(500, 10.0), s(500, 30.0), SimTime::from_nanos(500));
         assert!((est - 20.0).abs() < 1e-9);
     }
 
@@ -137,7 +232,8 @@ mod tests {
     fn negative_delays_propagate() {
         // Clock skew can make measured reference delays negative; the
         // estimator must not clamp them away.
-        let est = Interpolator::Linear.estimate(s(0, -100.0), s(100, -50.0), SimTime::from_nanos(50));
+        let est =
+            Interpolator::Linear.estimate(s(0, -100.0), s(100, -50.0), SimTime::from_nanos(50));
         assert!((est - -75.0).abs() < 1e-9);
     }
 

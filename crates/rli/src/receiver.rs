@@ -15,9 +15,11 @@
 use crate::flowstats::FlowTable;
 use crate::interpolate::{DelaySample, Interpolator};
 use rlir_net::clock::ClockModel;
+use rlir_net::fxhash::FxBuildHasher;
 use rlir_net::packet::{Packet, ReferenceInfo, SenderId};
 use rlir_net::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
+use std::hash::BuildHasher;
 
 /// Receiver configuration.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -90,17 +92,20 @@ struct Pending {
 }
 
 /// An RLI receiver instance.
+///
+/// Generic over the per-flow table's hash builder (see [`FlowTable`]);
+/// defaults to FxHash for the simulation hot path.
 #[derive(Debug, Clone)]
-pub struct RliReceiver {
+pub struct RliReceiver<S: BuildHasher = FxBuildHasher> {
     cfg: ReceiverConfig,
     left: Option<DelaySample>,
     buffer: Vec<Pending>,
-    flows: FlowTable,
+    flows: FlowTable<S>,
     counters: ReceiverCounters,
     estimates: Vec<EstimateRecord>,
 }
 
-impl RliReceiver {
+impl<S: BuildHasher + Default> RliReceiver<S> {
     /// Build from configuration.
     pub fn new(cfg: ReceiverConfig) -> Self {
         RliReceiver {
@@ -148,12 +153,7 @@ impl RliReceiver {
     }
 
     /// A regular packet arrived: buffer it for interpolation.
-    pub fn on_regular(
-        &mut self,
-        at: SimTime,
-        flow: rlir_net::FlowKey,
-        truth: Option<SimDuration>,
-    ) {
+    pub fn on_regular(&mut self, at: SimTime, flow: rlir_net::FlowKey, truth: Option<SimDuration>) {
         self.counters.regulars_seen += 1;
         if self.left.is_none() {
             // Before the first reference there is no bracket; RLI cannot
@@ -184,8 +184,10 @@ impl RliReceiver {
         let delay_ns = rx_local.signed_delta_nanos(info.tx_timestamp) as f64;
         let right = DelaySample::new(at, delay_ns);
         if let Some(left) = self.left {
+            // One slope division per interval; one multiply-add per packet.
+            let segment = self.cfg.interpolator.segment(left, right);
             for p in self.buffer.drain(..) {
-                let est = self.cfg.interpolator.estimate(left, right, p.at);
+                let est = segment.estimate_at(p.at);
                 self.flows.record(p.flow, est, p.truth_ns);
                 if self.cfg.record_estimates {
                     self.estimates.push(EstimateRecord {
@@ -205,7 +207,7 @@ impl RliReceiver {
 
     /// Finish the run: packets still buffered after the last reference are
     /// unestimable. Returns the per-flow table and final counters.
-    pub fn finish(mut self) -> ReceiverReport {
+    pub fn finish(mut self) -> ReceiverReport<S> {
         self.counters.unestimated += self.buffer.len() as u64;
         self.buffer.clear();
         ReceiverReport {
@@ -216,16 +218,16 @@ impl RliReceiver {
     }
 
     /// Borrow the per-flow table accumulated so far.
-    pub fn flows(&self) -> &FlowTable {
+    pub fn flows(&self) -> &FlowTable<S> {
         &self.flows
     }
 }
 
 /// Final output of a receiver.
 #[derive(Debug, Clone)]
-pub struct ReceiverReport {
+pub struct ReceiverReport<S: BuildHasher = FxBuildHasher> {
     /// Per-flow estimated/true statistics.
-    pub flows: FlowTable,
+    pub flows: FlowTable<S>,
     /// Counters.
     pub counters: ReceiverCounters,
     /// Per-packet estimate log (empty unless
@@ -266,7 +268,11 @@ mod tests {
         // Ref 0: sent at 0, arrives at 100 → delay 100.
         r.on_reference(SimTime::from_nanos(100), &ref_info(0, 0));
         // Regular at 150, exactly between refs.
-        r.on_regular(SimTime::from_nanos(150), fk(1), Some(SimDuration::from_nanos(140)));
+        r.on_regular(
+            SimTime::from_nanos(150),
+            fk(1),
+            Some(SimDuration::from_nanos(140)),
+        );
         // Ref 1: sent at 60, arrives at 200 → delay 140... use 200-60=140? No:
         // delay = arrival - tx = 200 - 0? Use tx=60 → 140.
         r.on_reference(SimTime::from_nanos(200), &ref_info(1, 60));
@@ -321,7 +327,11 @@ mod tests {
         let refpkt = Packet::reference(1, fk(9), SenderId(1), 0, SimTime::ZERO);
         r.on_packet(SimTime::from_nanos(100), &refpkt, None);
         let reg = Packet::regular(2, fk(1), 100, SimTime::ZERO);
-        r.on_packet(SimTime::from_nanos(150), &reg, Some(SimDuration::from_nanos(120)));
+        r.on_packet(
+            SimTime::from_nanos(150),
+            &reg,
+            Some(SimDuration::from_nanos(120)),
+        );
         let cross = Packet::cross(3, fk(2), 100, SimTime::ZERO);
         r.on_packet(SimTime::from_nanos(160), &cross, None);
         let refpkt2 = Packet::reference(4, fk(9), SenderId(1), 1, SimTime::from_nanos(60));
@@ -352,7 +362,7 @@ mod tests {
     fn buffer_cap_counts_overflow() {
         let mut cfg = ReceiverConfig::for_sender(SenderId(1));
         cfg.max_buffer = 2;
-        let mut r = RliReceiver::new(cfg);
+        let mut r: RliReceiver = RliReceiver::new(cfg);
         r.on_reference(SimTime::from_nanos(10), &ref_info(0, 0));
         for i in 0..5u64 {
             r.on_regular(SimTime::from_nanos(20 + i), fk(1), None);
@@ -367,7 +377,7 @@ mod tests {
     fn skewed_receiver_clock_biases_delay() {
         let mut cfg = ReceiverConfig::for_sender(SenderId(1));
         cfg.clock = ClockModel::with_offset(-50);
-        let mut r = RliReceiver::new(cfg);
+        let mut r: RliReceiver = RliReceiver::new(cfg);
         r.on_reference(SimTime::from_nanos(100), &ref_info(0, 0));
         r.on_regular(SimTime::from_nanos(150), fk(1), None);
         r.on_reference(SimTime::from_nanos(200), &ref_info(1, 100));
@@ -387,12 +397,9 @@ mod tests {
         r.on_reference(SimTime::from_nanos(200), &ref_info(1, 60));
         let rep = r.finish();
         assert_eq!(rep.flows.flow_count(), 2);
-        assert!(rep.flows.get(&fk(1)).unwrap().est.mean().unwrap() < rep
-            .flows
-            .get(&fk(2))
-            .unwrap()
-            .est
-            .mean()
-            .unwrap());
+        assert!(
+            rep.flows.get(&fk(1)).unwrap().est.mean().unwrap()
+                < rep.flows.get(&fk(2)).unwrap().est.mean().unwrap()
+        );
     }
 }

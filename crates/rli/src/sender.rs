@@ -16,6 +16,7 @@ use crate::policy::InjectionPolicy;
 use rlir_net::clock::ClockModel;
 use rlir_net::packet::{Packet, SenderId};
 use rlir_net::FlowKey;
+use std::borrow::BorrowMut;
 use std::collections::VecDeque;
 
 /// Base of the packet-id namespace reserved for reference packets, far above
@@ -32,6 +33,11 @@ pub struct RliSender {
     next_ref_id: u64,
     regulars_seen: u64,
     refs_emitted: u64,
+    /// Reused per-observation output buffer: `observe` fills it and returns
+    /// a borrow, so the steady-state hot path performs zero allocations
+    /// (the buffer reaches `targets.len()` capacity on the first injection
+    /// and never grows past it).
+    scratch: Vec<Packet>,
 }
 
 impl std::fmt::Debug for RliSender {
@@ -69,6 +75,7 @@ impl RliSender {
             next_ref_id: REF_ID_BASE ^ ((id.0 as u64) << 40),
             regulars_seen: 0,
             refs_emitted: 0,
+            scratch: Vec::new(),
         }
     }
 
@@ -96,42 +103,64 @@ impl RliSender {
     /// reference packets (one per target) to inject immediately after it —
     /// empty unless the policy fires. Reference and cross packets never
     /// trigger injection (the sender meters *regular* traffic).
-    pub fn observe(&mut self, pkt: &Packet) -> Vec<Packet> {
+    ///
+    /// The returned slice borrows an internal scratch buffer that is
+    /// overwritten by the next call: copy the packets out (they are `Copy`)
+    /// before observing again. This keeps the per-packet hot path
+    /// allocation-free; the seed implementation allocated a fresh
+    /// `Vec<Packet>` per observed packet.
+    pub fn observe(&mut self, pkt: &Packet) -> &[Packet] {
+        self.scratch.clear();
         if !pkt.is_regular() {
-            return Vec::new();
+            return &self.scratch;
         }
         self.regulars_seen += 1;
-        if !self
-            .policy
-            .on_regular(pkt.created_at.as_nanos(), pkt.size)
-        {
-            return Vec::new();
+        if !self.policy.on_regular(pkt.created_at.as_nanos(), pkt.size) {
+            return &self.scratch;
         }
         let stamp = self.clock.observe(pkt.created_at);
         let seq = self.seq;
         self.seq = self.seq.wrapping_add(1);
-        let refs: Vec<Packet> = self
-            .targets
-            .iter()
-            .map(|flow| {
-                let id = self.next_ref_id;
-                self.next_ref_id += 1;
-                let mut r = Packet::reference(id, *flow, self.id, seq, stamp);
-                // The reference enters the network at the same instant as the
-                // regular packet it follows; `created_at` drives simulation
-                // arrival order while `tx_timestamp` is the (possibly skewed)
-                // clock reading.
-                r.created_at = pkt.created_at;
-                r
-            })
-            .collect();
-        self.refs_emitted += refs.len() as u64;
-        refs
+        for flow in &self.targets {
+            let id = self.next_ref_id;
+            self.next_ref_id += 1;
+            let mut r = Packet::reference(id, *flow, self.id, seq, stamp);
+            // The reference enters the network at the same instant as the
+            // regular packet it follows; `created_at` drives simulation
+            // arrival order while `tx_timestamp` is the (possibly skewed)
+            // clock reading.
+            r.created_at = pkt.created_at;
+            self.scratch.push(r);
+        }
+        self.refs_emitted += self.scratch.len() as u64;
+        &self.scratch
+    }
+
+    /// Allocating variant of [`RliSender::observe`], preserved as the
+    /// seed's batched API: returns a fresh `Vec` per call. Used by the
+    /// baseline benchmarks and the streaming-vs-batched equivalence tests;
+    /// prefer `observe` everywhere else.
+    pub fn observe_alloc(&mut self, pkt: &Packet) -> Vec<Packet> {
+        self.observe(pkt).to_vec()
     }
 
     /// Wrap a time-ordered packet stream, interleaving generated reference
     /// packets immediately after the regular packets that trigger them.
-    pub fn instrument<I>(self, stream: I) -> InstrumentedStream<I>
+    pub fn instrument<I>(self, stream: I) -> InstrumentedStream<Self, I>
+    where
+        I: Iterator<Item = Packet>,
+    {
+        InstrumentedStream {
+            sender: self,
+            inner: stream,
+            pending: VecDeque::new(),
+        }
+    }
+
+    /// Borrowing variant of [`RliSender::instrument`]: the sender stays
+    /// owned by the caller, so its counters remain readable after the
+    /// stream is exhausted — the shape streaming pipelines need.
+    pub fn instrument_by_ref<I>(&mut self, stream: I) -> InstrumentedStream<&mut Self, I>
     where
         I: Iterator<Item = Packet>,
     {
@@ -143,21 +172,23 @@ impl RliSender {
     }
 }
 
-/// Iterator adapter produced by [`RliSender::instrument`].
-pub struct InstrumentedStream<I: Iterator<Item = Packet>> {
-    sender: RliSender,
+/// Iterator adapter produced by [`RliSender::instrument`] /
+/// [`RliSender::instrument_by_ref`]. The pending queue is reused across
+/// packets, so steady-state iteration allocates nothing.
+pub struct InstrumentedStream<S: BorrowMut<RliSender>, I: Iterator<Item = Packet>> {
+    sender: S,
     inner: I,
     pending: VecDeque<Packet>,
 }
 
-impl<I: Iterator<Item = Packet>> InstrumentedStream<I> {
+impl<S: BorrowMut<RliSender>, I: Iterator<Item = Packet>> InstrumentedStream<S, I> {
     /// Access the wrapped sender (e.g. for its counters after the run).
     pub fn sender(&self) -> &RliSender {
-        &self.sender
+        self.sender.borrow()
     }
 }
 
-impl<I: Iterator<Item = Packet>> Iterator for InstrumentedStream<I> {
+impl<S: BorrowMut<RliSender>, I: Iterator<Item = Packet>> Iterator for InstrumentedStream<S, I> {
     type Item = Packet;
 
     fn next(&mut self) -> Option<Packet> {
@@ -165,7 +196,8 @@ impl<I: Iterator<Item = Packet>> Iterator for InstrumentedStream<I> {
             return Some(p);
         }
         let pkt = self.inner.next()?;
-        self.pending.extend(self.sender.observe(&pkt));
+        self.pending
+            .extend(self.sender.borrow_mut().observe(&pkt).iter().copied());
         Some(pkt)
     }
 }
@@ -219,8 +251,8 @@ mod tests {
     #[test]
     fn reference_packets_carry_stamp_and_sequence() {
         let mut s = sender(1);
-        let r1 = s.observe(&regular(1, 1000)).pop().unwrap();
-        let r2 = s.observe(&regular(2, 2000)).pop().unwrap();
+        let r1 = s.observe(&regular(1, 1000)).last().copied().unwrap();
+        let r2 = s.observe(&regular(2, 2000)).last().copied().unwrap();
         let i1 = r1.reference_info().unwrap();
         let i2 = r2.reference_info().unwrap();
         assert_eq!(i1.sender, SenderId(1));
@@ -239,7 +271,7 @@ mod tests {
             Box::new(StaticPolicy::one_in(1)),
             vec![target()],
         );
-        let r = s.observe(&regular(1, 1000)).pop().unwrap();
+        let r = s.observe(&regular(1, 1000)).last().copied().unwrap();
         assert_eq!(r.created_at, SimTime::from_nanos(1000));
         assert_eq!(
             r.reference_info().unwrap().tx_timestamp,
@@ -271,7 +303,7 @@ mod tests {
             Box::new(StaticPolicy::one_in(1)),
             vec![target(), t2],
         );
-        let refs = s.observe(&regular(1, 100));
+        let refs: Vec<Packet> = s.observe(&regular(1, 100)).to_vec();
         assert_eq!(refs.len(), 2);
         assert_eq!(refs[0].reference_info().unwrap().seq, 0);
         assert_eq!(refs[1].reference_info().unwrap().seq, 0);
@@ -315,7 +347,11 @@ mod tests {
     #[test]
     fn ref_ids_disjoint_from_trace_ids() {
         let mut s = sender(1);
-        let r = s.observe(&regular(u32::MAX as u64, 0)).pop().unwrap();
+        let r = s
+            .observe(&regular(u32::MAX as u64, 0))
+            .last()
+            .copied()
+            .unwrap();
         assert!(r.id.0 >= REF_ID_BASE / 2, "ref id {} collides", r.id);
     }
 }

@@ -108,10 +108,15 @@ impl CrossInjector {
     }
 
     /// Decide whether to inject this packet (keyed on its trace timestamp).
+    #[inline]
     pub fn select(&mut self, p: &Packet) -> bool {
         self.offered += 1;
+        // Degenerate probabilities need no random draw — the common
+        // calibration outcome at the top of the utilization sweep is
+        // keep_prob = 1.0, which this turns into a pure gate check.
+        let keep_prob = self.model.keep_prob();
         let keep = self.model.gate_open(p.created_at)
-            && self.rng.random::<f64>() < self.model.keep_prob();
+            && (keep_prob >= 1.0 || (keep_prob > 0.0 && self.rng.random::<f64>() < keep_prob));
         if keep {
             self.kept += 1;
         }

@@ -7,8 +7,10 @@
 //! * [`crosstraffic`] — the cross-traffic injector with the paper's two
 //!   selection models (uniform/"random" and bursty) plus the keep-probability
 //!   calibrator for utilization targets.
-//! * [`pipeline`] — the two-switch tandem of Fig. 3, run as linear passes
-//!   (no event heap) with full per-packet ground truth.
+//! * [`pipeline`] — the two-switch tandem of Fig. 3, run as one streaming
+//!   sorted merge (no event heap, no intermediate buffering) with full
+//!   per-packet ground truth; the seed's two-pass variant is kept as a
+//!   differential-testing oracle and benchmark baseline.
 //! * [`network`] — a general event-driven engine for arbitrary topologies
 //!   (used for the fat-tree RLIR experiments), with pluggable forwarding,
 //!   ToS-marking hooks and hop-by-hop ground truth.
@@ -26,5 +28,8 @@ pub use network::{
     run_network, Forwarder, Hop, NetDelivery, Network, NetworkRun, NodeId, Port, PortId,
     RouteDecision, SwitchNode,
 };
-pub use pipeline::{run_tandem, Delivery, TandemConfig, TandemResult};
+pub use pipeline::{
+    run_tandem, run_tandem_two_pass, run_tandem_with, Delivery, TandemConfig, TandemResult,
+    TandemStats,
+};
 pub use queue::{ClassCounters, FifoQueue, QueueConfig, Verdict};

@@ -336,7 +336,10 @@ mod tests {
             net.add_node(format!("S{i}"));
         }
         for i in 0..n - 1 {
-            net.add_port(i, Port::to_switch(qcfg(), i + 1, SimDuration::from_nanos(link_ns)));
+            net.add_port(
+                i,
+                Port::to_switch(qcfg(), i + 1, SimDuration::from_nanos(link_ns)),
+            );
         }
         net
     }
@@ -450,8 +453,7 @@ mod tests {
     fn deterministic_tie_breaking() {
         let run_once = || {
             let net = line(2, 10);
-            let inj: Vec<(NodeId, Packet)> =
-                (0..50).map(|i| (0usize, pkt(i, 0, 80))).collect(); // all at t=0
+            let inj: Vec<(NodeId, Packet)> = (0..50).map(|i| (0usize, pkt(i, 0, 80))).collect(); // all at t=0
             run_network(net, &LineForwarder { last: 1 }, inj)
                 .deliveries
                 .iter()

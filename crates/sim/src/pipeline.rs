@@ -9,8 +9,17 @@
 //! packets) traverses both switches; cross traffic is released by the
 //! injector directly onto the bottleneck (switch 2). Because each switch is
 //! an analytic FIFO ([`crate::queue::FifoQueue`]), the whole tandem runs as
-//! two linear passes plus one sorted merge — no event heap — which keeps the
-//! paper's utilization sweeps (Figs. 4–5) cheap.
+//! a single streaming merge — no event heap and, in the
+//! [`run_tandem_with`] form, no intermediate buffering at all: each
+//! upstream packet is pushed through switch 1 the moment the sorted merge
+//! needs it, and deliveries are handed to a callback instead of being
+//! collected. That keeps the paper's utilization sweeps (Figs. 4–5) cheap
+//! *and* allocation-free per packet.
+//!
+//! The seed's two-pass implementation (buffer all switch-1 survivors, then
+//! merge) is preserved as [`run_tandem_two_pass`]: it is the reference
+//! implementation the streaming path is differentially tested against, and
+//! the baseline the performance benchmarks compare with.
 //!
 //! Per-packet ground truth (ingress, switch-1 egress, delivery) is recorded
 //! so the measurement plane can be evaluated against true delays.
@@ -71,11 +80,10 @@ impl Delivery {
     }
 }
 
-/// Output of a tandem run.
+/// Final queue state of a tandem run — everything except the per-packet
+/// deliveries, which the streaming API hands to a callback instead.
 #[derive(Debug, Clone)]
-pub struct TandemResult {
-    /// Deliveries in delivery-time order.
-    pub deliveries: Vec<Delivery>,
+pub struct TandemStats {
     /// Final switch-1 state (counters, utilization).
     pub sw1: FifoQueue,
     /// Final switch-2 state (counters, utilization).
@@ -84,7 +92,7 @@ pub struct TandemResult {
     pub horizon: SimDuration,
 }
 
-impl TandemResult {
+impl TandemStats {
     /// Bottleneck (switch 2) utilization over the horizon.
     pub fn bottleneck_utilization(&self) -> f64 {
         self.sw2.utilization(self.horizon)
@@ -112,12 +120,191 @@ impl TandemResult {
     }
 }
 
-/// Run the tandem.
+/// Output of a buffering tandem run ([`run_tandem`] /
+/// [`run_tandem_two_pass`]).
+#[derive(Debug, Clone)]
+pub struct TandemResult {
+    /// Deliveries in delivery-time order.
+    pub deliveries: Vec<Delivery>,
+    /// Final queue state.
+    pub stats: TandemStats,
+}
+
+impl TandemResult {
+    /// Final switch-1 state (counters, utilization).
+    pub fn sw1(&self) -> &FifoQueue {
+        &self.stats.sw1
+    }
+
+    /// Final switch-2 state (counters, utilization).
+    pub fn sw2(&self) -> &FifoQueue {
+        &self.stats.sw2
+    }
+
+    /// Bottleneck (switch 2) utilization over the horizon.
+    pub fn bottleneck_utilization(&self) -> f64 {
+        self.stats.bottleneck_utilization()
+    }
+
+    /// End-to-end loss rate of regular packets.
+    pub fn regular_loss_rate(&self) -> f64 {
+        self.stats.regular_loss_rate()
+    }
+
+    /// End-to-end loss rate of reference packets.
+    pub fn reference_loss_rate(&self) -> f64 {
+        self.stats.reference_loss_rate()
+    }
+}
+
+/// Upstream packets staged through switch 1 per merge round. Large enough
+/// to amortise phase switches and keep each pass prefetcher-friendly,
+/// small enough that the reused buffers stay cache-resident
+/// (~190 KiB total) regardless of trace length.
+const STAGE_CHUNK: usize = 1024;
+
+/// Run the tandem, streaming each [`Delivery`] to `on_delivery` in
+/// delivery-time order.
 ///
 /// `upstream` is the time-ordered regular (+ reference) stream entering
 /// switch 1; `cross` is the time-ordered cross stream entering switch 2
 /// directly. Both iterators must be sorted by `created_at`.
+///
+/// This is the hot path. It runs in bounded *rounds* over three pre-sized
+/// buffers that are reused for the whole run (no per-packet allocation, no
+/// trace-length buffers): a chunk of upstream packets is pushed through
+/// switch 1 in one tight pass, merged with the cross stream into switch 2
+/// in a second pass, and the resulting deliveries are handed to the
+/// callback in a third. The phases keep each pass's working set small (the
+/// property that made the seed's two-pass layout fast) while memory stays
+/// O(chunk) instead of O(trace). Deliveries for cross packets are reported
+/// only when [`TandemConfig::record_cross`] is set, matching the buffering
+/// API.
+pub fn run_tandem_with(
+    cfg: &TandemConfig,
+    upstream: impl Iterator<Item = Packet>,
+    cross: impl Iterator<Item = Packet>,
+    mut on_delivery: impl FnMut(&Delivery),
+) -> TandemStats {
+    let mut sw1 = FifoQueue::new(cfg.switch1);
+    let mut sw2 = FifoQueue::new(cfg.switch2);
+    let mut upstream = upstream.fuse();
+    let mut cross = cross.peekable();
+
+    // Reused round buffers (allocated once, pre-sized).
+    let mut stage: Vec<(Packet, SimTime, SimTime)> = Vec::with_capacity(STAGE_CHUNK);
+    let mut out: Vec<Delivery> = Vec::with_capacity(STAGE_CHUNK);
+
+    loop {
+        // Phase 1: stage the next chunk of switch-1 survivors. Switch-1
+        // arrival order depends only on the upstream sequence, so this
+        // pass is exact regardless of chunking.
+        stage.clear();
+        while stage.len() < STAGE_CHUNK {
+            let Some(p) = upstream.next() else { break };
+            match sw1.offer(p.created_at, &p) {
+                Verdict::Departs(egress) => {
+                    stage.push((p, egress, egress + cfg.link_delay));
+                }
+                Verdict::Dropped => {}
+            }
+        }
+        let upstream_done = stage.len() < STAGE_CHUNK;
+
+        // Phase 2: merge the staged run with the cross stream into switch
+        // 2. Cross packets beyond the last staged arrival stay queued for
+        // the next round — every future switch-1 arrival is no earlier
+        // than the current chunk's last, so holding them is exact.
+        out.clear();
+        for &(p, egress1, at2) in &stage {
+            while let Some(c) = cross.peek() {
+                // Deterministic tie-break on (time, id).
+                if (c.created_at, c.id) < (at2, p.id) {
+                    let c = cross.next().expect("peeked");
+                    let at = c.created_at;
+                    if let Verdict::Departs(dep) = sw2.offer(at, &c) {
+                        if cfg.record_cross {
+                            out.push(Delivery {
+                                packet: c,
+                                sent_at: at,
+                                sw1_egress: None,
+                                delivered_at: dep,
+                            });
+                        }
+                    }
+                } else {
+                    break;
+                }
+            }
+            if let Verdict::Departs(dep) = sw2.offer(at2, &p) {
+                out.push(Delivery {
+                    packet: p,
+                    sent_at: p.created_at,
+                    sw1_egress: Some(egress1),
+                    delivered_at: dep,
+                });
+            }
+        }
+        if upstream_done {
+            // Final round: drain the remaining cross stream.
+            for c in cross.by_ref() {
+                let at = c.created_at;
+                if let Verdict::Departs(dep) = sw2.offer(at, &c) {
+                    if cfg.record_cross {
+                        out.push(Delivery {
+                            packet: c,
+                            sent_at: at,
+                            sw1_egress: None,
+                            delivered_at: dep,
+                        });
+                    }
+                }
+            }
+        }
+
+        // Phase 3: hand the round's deliveries downstream, in order.
+        for d in &out {
+            on_delivery(d);
+        }
+        if upstream_done {
+            break;
+        }
+    }
+
+    TandemStats {
+        sw1,
+        sw2,
+        horizon: cfg.horizon,
+    }
+}
+
+/// Run the tandem, collecting deliveries into a `Vec` (convenience wrapper
+/// over [`run_tandem_with`] for tests and analyses that want the full
+/// ground-truth log in memory).
 pub fn run_tandem(
+    cfg: &TandemConfig,
+    upstream: impl Iterator<Item = Packet>,
+    cross: impl Iterator<Item = Packet>,
+) -> TandemResult {
+    let (lo, hi) = upstream.size_hint();
+    let mut deliveries = Vec::with_capacity(hi.unwrap_or(lo));
+    let stats = run_tandem_with(cfg, upstream, cross, |d| deliveries.push(*d));
+    // Deliveries were pushed in switch-2 *arrival* order, which equals
+    // departure order for a FIFO — already sorted by delivered_at.
+    debug_assert!(deliveries
+        .windows(2)
+        .all(|w| w[0].delivered_at <= w[1].delivered_at));
+    TandemResult { deliveries, stats }
+}
+
+/// The seed's two-pass tandem: buffer every switch-1 survivor, then merge
+/// the buffer with the cross stream into switch 2.
+///
+/// Kept verbatim as the differential-testing oracle for
+/// [`run_tandem_with`] (see the streaming-equivalence property tests) and
+/// as the pre-optimization baseline the benchmarks measure against. Do not
+/// use on hot paths: it allocates a whole-trace buffer.
+pub fn run_tandem_two_pass(
     cfg: &TandemConfig,
     upstream: impl Iterator<Item = Packet>,
     cross: impl Iterator<Item = Packet>,
@@ -178,14 +365,13 @@ pub fn run_tandem(
         }
     }
 
-    // Deliveries were pushed in switch-2 *arrival* order, which equals
-    // departure order for a FIFO — already sorted by delivered_at.
-    debug_assert!(deliveries.windows(2).all(|w| w[0].delivered_at <= w[1].delivered_at));
     TandemResult {
         deliveries,
-        sw1,
-        sw2,
-        horizon: cfg.horizon,
+        stats: TandemStats {
+            sw1,
+            sw2,
+            horizon: cfg.horizon,
+        },
     }
 }
 
@@ -225,7 +411,12 @@ mod tests {
     fn crs(id: u64, at_ns: u64, size: u32) -> Packet {
         Packet::cross(
             id,
-            FlowKey::udp(Ipv4Addr::new(172, 16, 0, 1), 3, Ipv4Addr::new(172, 20, 0, 1), 4),
+            FlowKey::udp(
+                Ipv4Addr::new(172, 16, 0, 1),
+                3,
+                Ipv4Addr::new(172, 20, 0, 1),
+                4,
+            ),
             size,
             SimTime::from_nanos(at_ns),
         )
@@ -233,7 +424,11 @@ mod tests {
 
     #[test]
     fn single_packet_end_to_end_delay() {
-        let r = run_tandem(&cfg(), vec![reg(1, 0, 1000)].into_iter(), std::iter::empty());
+        let r = run_tandem(
+            &cfg(),
+            vec![reg(1, 0, 1000)].into_iter(),
+            std::iter::empty(),
+        );
         assert_eq!(r.deliveries.len(), 1);
         let d = r.deliveries[0];
         // sw1: 1000 ns tx; link: 100 ns; sw2: 1000 ns tx → 2100 ns.
@@ -266,7 +461,7 @@ mod tests {
         let d = r.deliveries[0];
         assert_eq!(d.sw1_egress, None);
         assert_eq!(d.delivered_at.as_nanos(), 550);
-        assert_eq!(r.sw1.total_arrivals(), 0);
+        assert_eq!(r.sw1().total_arrivals(), 0);
     }
 
     #[test]
@@ -296,7 +491,7 @@ mod tests {
         let cross = vec![crs(3, 1550, 1500)];
         let r = run_tandem(&c, upstream.into_iter(), cross.into_iter());
         assert!(r.regular_loss_rate() > 0.0, "expected regular loss");
-        let lost = r.sw2.regular().drops;
+        let lost = r.sw2().regular().drops;
         assert_eq!(lost, 1, "exactly one regular drop at sw2");
         assert_eq!(r.deliveries.len(), 1); // one regular made it (cross unrecorded)
     }
@@ -330,5 +525,41 @@ mod tests {
         assert!(r.deliveries.is_empty());
         assert_eq!(r.regular_loss_rate(), 0.0);
         assert_eq!(r.bottleneck_utilization(), 0.0);
+    }
+
+    /// Dense random-ish mixes must produce byte-identical results from the
+    /// streaming and two-pass implementations (the exhaustive randomized
+    /// check lives in the workspace-level property suite).
+    #[test]
+    fn streaming_matches_two_pass_on_contended_mix() {
+        let mut c = cfg();
+        c.record_cross = true;
+        c.switch2.capacity_bytes = 4000; // force drops in the merge
+        let upstream: Vec<Packet> = (0..500)
+            .map(|i| reg(i, i * 37 % 9000, 200 + (i as u32 * 131) % 1200))
+            .collect();
+        let mut upstream = upstream;
+        upstream.sort_by_key(|p| (p.created_at, p.id));
+        let cross: Vec<Packet> = (0..500)
+            .map(|i| crs(10_000 + i, i * 53 % 9000, 300 + (i as u32 * 173) % 900))
+            .collect();
+        let mut cross = cross;
+        cross.sort_by_key(|p| (p.created_at, p.id));
+
+        let streaming = run_tandem(&c, upstream.iter().copied(), cross.iter().copied());
+        let two_pass = run_tandem_two_pass(&c, upstream.into_iter(), cross.into_iter());
+        assert_eq!(streaming.deliveries, two_pass.deliveries);
+        assert_eq!(
+            streaming.stats.sw1.total_arrivals(),
+            two_pass.stats.sw1.total_arrivals()
+        );
+        assert_eq!(
+            streaming.stats.sw2.total_drops(),
+            two_pass.stats.sw2.total_drops()
+        );
+        assert_eq!(
+            streaming.bottleneck_utilization(),
+            two_pass.bottleneck_utilization()
+        );
     }
 }

@@ -12,7 +12,10 @@
 /// estimate is also (near) zero, `+inf` otherwise — an estimator that invents
 /// variance where there is none is maximally wrong.
 pub fn relative_error(estimate: f64, truth: f64) -> f64 {
-    debug_assert!(!estimate.is_nan() && !truth.is_nan(), "NaN in relative_error");
+    debug_assert!(
+        !estimate.is_nan() && !truth.is_nan(),
+        "NaN in relative_error"
+    );
     if truth == 0.0 {
         if estimate.abs() < 1e-12 {
             0.0

@@ -95,7 +95,9 @@ impl UtilizationEstimator {
     /// The smoothed utilization estimate in `[0, 1]`; falls back to the
     /// in-progress window if no window has completed yet.
     pub fn utilization(&self) -> f64 {
-        self.ewma.value().unwrap_or_else(|| self.window_utilization())
+        self.ewma
+            .value()
+            .unwrap_or_else(|| self.window_utilization())
     }
 }
 

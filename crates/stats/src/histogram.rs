@@ -135,7 +135,12 @@ impl LogHistogram {
                 continue;
             }
             let bar = "#".repeat(((c as f64 / max_count as f64) * width as f64).ceil() as usize);
-            out.push_str(&format!("{:>12.4e} {:>8} {}\n", self.bucket_lower(i), c, bar));
+            out.push_str(&format!(
+                "{:>12.4e} {:>8} {}\n",
+                self.bucket_lower(i),
+                c,
+                bar
+            ));
         }
         if self.overflow > 0 {
             out.push_str(&format!("{:>12} {:>8}\n", ">=max", self.overflow));
@@ -192,7 +197,7 @@ mod tests {
         }
         let med = h.quantile(0.5).unwrap();
         assert!((0.3..=0.7).contains(&med), "median approx {med}");
-        assert_eq!(h.quantile(0.0).unwrap() <= h.quantile(1.0).unwrap(), true);
+        assert!(h.quantile(0.0).unwrap() <= h.quantile(1.0).unwrap());
         assert!(LogHistogram::for_relative_error().quantile(0.5).is_none());
     }
 

@@ -82,7 +82,10 @@ impl FatTree {
     /// Build a k-ary fat-tree. `k` must be even and at least 2. Per-switch
     /// hashes are derived deterministically from `base_hash`.
     pub fn new(k: usize, base_hash: HashAlgo) -> Self {
-        assert!(k >= 2 && k % 2 == 0, "fat-tree arity must be even, got {k}");
+        assert!(
+            k >= 2 && k.is_multiple_of(2),
+            "fat-tree arity must be even, got {k}"
+        );
         assert!(k <= 254, "addressing scheme supports k <= 254");
         let half = k / 2;
         let n_tors = k * half;
@@ -111,9 +114,7 @@ impl FatTree {
                 let mut ports: Vec<PortTarget> = (0..half)
                     .map(|d| PortTarget::Switch(p * half + d))
                     .collect();
-                ports.extend(
-                    (0..half).map(|j| PortTarget::Switch(n_tors + n_aggs + i * half + j)),
-                );
+                ports.extend((0..half).map(|j| PortTarget::Switch(n_tors + n_aggs + i * half + j)));
                 nodes.push(TopoNode {
                     name: format!("E[{p}.{i}]"),
                     role: Role::Agg { pod: p, idx: i },
@@ -209,8 +210,7 @@ impl FatTree {
     pub fn host_prefix(&self, tor: TopoId) -> Ipv4Prefix {
         match self.nodes[tor].role {
             Role::Tor { pod, idx } => {
-                Ipv4Prefix::new(Ipv4Addr::new(10, pod as u8, idx as u8, 0), 24)
-                    .expect("valid /24")
+                Ipv4Prefix::new(Ipv4Addr::new(10, pod as u8, idx as u8, 0), 24).expect("valid /24")
             }
             _ => panic!("host_prefix of non-ToR {}", self.nodes[tor].name),
         }
@@ -321,12 +321,13 @@ mod tests {
         for (id, node) in t.nodes().iter().enumerate() {
             for port in &node.ports {
                 if let PortTarget::Switch(other) = port {
-                    let back = t
-                        .node(*other)
-                        .ports
-                        .iter()
-                        .any(|p| *p == PortTarget::Switch(id));
-                    assert!(back, "{} -> {} has no reverse link", node.name, t.node(*other).name);
+                    let back = t.node(*other).ports.contains(&PortTarget::Switch(id));
+                    assert!(
+                        back,
+                        "{} -> {} has no reverse link",
+                        node.name,
+                        t.node(*other).name
+                    );
                 }
             }
         }

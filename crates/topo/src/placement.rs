@@ -104,7 +104,11 @@ impl PlacementRow {
 /// `src_tor` towards any other pod, found by sweeping flow keys. With the
 /// source uplink fixed (i.e. the agg fixed) this is exactly the agg's `k/2`
 /// core neighbours.
-pub fn enumerate_cores_from_uplink(tree: &FatTree, src_tor: TopoId, uplink: usize) -> BTreeSet<TopoId> {
+pub fn enumerate_cores_from_uplink(
+    tree: &FatTree,
+    src_tor: TopoId,
+    uplink: usize,
+) -> BTreeSet<TopoId> {
     let Role::Tor { pod, .. } = tree.node(src_tor).role else {
         panic!("not a ToR")
     };
@@ -132,7 +136,11 @@ pub fn enumerate_interface_pair(tree: &FatTree, src_tor: TopoId, uplink: usize) 
 
 /// Enumerate the cores on actual ECMP paths between two ToRs in different
 /// pods by sweeping many flow keys (uses the real routing, not structure).
-pub fn enumerate_cores_between(tree: &FatTree, src_tor: TopoId, dst_tor: TopoId) -> BTreeSet<TopoId> {
+pub fn enumerate_cores_between(
+    tree: &FatTree,
+    src_tor: TopoId,
+    dst_tor: TopoId,
+) -> BTreeSet<TopoId> {
     let mut cores = BTreeSet::new();
     let dst = tree.host_addr(dst_tor, 0);
     // Sweep source ports; the sweep is heuristic but with per-switch hashes
@@ -159,10 +167,7 @@ pub fn enumerate_tor_pair(tree: &FatTree, src_tor: TopoId, dst_tor: TopoId) -> u
 /// Structurally enumerate the "every ToR pair" deployment: every core
 /// interface hosts an instance, and every ToR uplink interface hosts one.
 pub fn enumerate_all_tor_pairs(tree: &FatTree) -> u64 {
-    let core_ifaces: u64 = tree
-        .cores()
-        .map(|c| tree.node(c).ports.len() as u64)
-        .sum();
+    let core_ifaces: u64 = tree.cores().map(|c| tree.node(c).ports.len() as u64).sum();
     let tor_uplinks: u64 = tree.tors().map(|_| tree.half() as u64).sum();
     core_ifaces + tor_uplinks
 }

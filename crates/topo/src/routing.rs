@@ -34,9 +34,7 @@ impl FatTree {
         let Some(dst_tor) = self.tor_of_addr(flow.dst) else {
             return NextHop::Unroutable;
         };
-        let dst_pod = self
-            .pod_of_addr(flow.dst)
-            .expect("dst_tor implies dst_pod");
+        let dst_pod = self.pod_of_addr(flow.dst).expect("dst_tor implies dst_pod");
         let n = self.node(node);
         match n.role {
             Role::Tor { .. } => {
@@ -76,8 +74,7 @@ impl FatTree {
                 NextHop::HostPort(_) => return Some(path),
                 NextHop::Unroutable => return None,
                 NextHop::Port(p) => {
-                    let crate::fattree::PortTarget::Switch(next) = self.node(here).ports[p]
-                    else {
+                    let crate::fattree::PortTarget::Switch(next) = self.node(here).ports[p] else {
                         return Some(path); // host port reached
                     };
                     path.push(next);
@@ -161,7 +158,12 @@ mod tests {
         FatTree::new(4, HashAlgo::default())
     }
 
-    fn flow(t: &FatTree, sp: (usize, usize, usize), dp: (usize, usize, usize), port: u16) -> FlowKey {
+    fn flow(
+        t: &FatTree,
+        sp: (usize, usize, usize),
+        dp: (usize, usize, usize),
+        port: u16,
+    ) -> FlowKey {
         FlowKey::tcp(
             t.host_addr(t.tor(sp.0, sp.1), sp.2),
             10_000 + port,

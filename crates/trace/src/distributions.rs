@@ -157,7 +157,16 @@ impl PacketSizeMix {
     /// Backbone-like default mix (≈35% 40 B, ≈15% 576 B, ≈40% 1500 B, ≈10%
     /// uniform in 64..=1500), averaging ≈ 730–780 B.
     pub fn backbone() -> Self {
-        PacketSizeMix::new(&[(0.35, Some(40)), (0.15, Some(576)), (0.40, Some(1500)), (0.10, None)], 64, 1500)
+        PacketSizeMix::new(
+            &[
+                (0.35, Some(40)),
+                (0.15, Some(576)),
+                (0.40, Some(1500)),
+                (0.10, None),
+            ],
+            64,
+            1500,
+        )
     }
 
     /// Build from `(weight, size)` entries; a `None` size draws uniformly

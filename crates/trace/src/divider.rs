@@ -88,10 +88,7 @@ impl TrafficDivider {
 
     /// Divide a whole packet sequence, dropping per policy.
     pub fn divide_all(&mut self, packets: impl IntoIterator<Item = Packet>) -> Vec<Packet> {
-        packets
-            .into_iter()
-            .filter_map(|p| self.divide(p))
-            .collect()
+        packets.into_iter().filter_map(|p| self.divide(p)).collect()
     }
 }
 
@@ -186,7 +183,13 @@ mod tests {
             ],
             UnmatchedPolicy::Drop,
         );
-        assert!(d.divide(pkt(Ipv4Addr::new(172, 16, 5, 9))).unwrap().is_regular());
-        assert!(d.divide(pkt(Ipv4Addr::new(172, 16, 6, 9))).unwrap().is_cross());
+        assert!(d
+            .divide(pkt(Ipv4Addr::new(172, 16, 5, 9)))
+            .unwrap()
+            .is_regular());
+        assert!(d
+            .divide(pkt(Ipv4Addr::new(172, 16, 6, 9)))
+            .unwrap()
+            .is_cross());
     }
 }

@@ -9,11 +9,11 @@
 //! baseline estimator (`rlir-baselines`), which exploits exactly "the two
 //! timestamps already stored on a per-flow basis within NetFlow" (§5).
 
+use rlir_net::fxhash::FxHashMap;
 use rlir_net::packet::Packet;
 use rlir_net::time::{SimDuration, SimTime};
 use rlir_net::FlowKey;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// One NetFlow-style record.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -77,7 +77,7 @@ impl Default for FlowMeterConfig {
 #[derive(Debug, Clone)]
 pub struct FlowMeter {
     cfg: FlowMeterConfig,
-    active: HashMap<FlowKey, FlowRecord>,
+    active: FxHashMap<FlowKey, FlowRecord>,
     exported: Vec<FlowRecord>,
     packets_seen: u64,
 }
@@ -87,7 +87,7 @@ impl FlowMeter {
     pub fn new(cfg: FlowMeterConfig) -> Self {
         FlowMeter {
             cfg,
-            active: HashMap::new(),
+            active: FxHashMap::default(),
             exported: Vec::new(),
             packets_seen: 0,
         }
@@ -142,8 +142,7 @@ impl FlowMeter {
     /// sorted by (first, key) for determinism.
     pub fn finish(mut self) -> Vec<FlowRecord> {
         self.exported.extend(self.active.drain().map(|(_, r)| r));
-        self.exported
-            .sort_by(|a, b| (a.first, a.key).cmp(&(b.first, b.key)));
+        self.exported.sort_by_key(|r| (r.first, r.key));
         self.exported
     }
 }

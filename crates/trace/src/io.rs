@@ -61,7 +61,10 @@ impl core::fmt::Display for TraceIoError {
             TraceIoError::BadMagic(m) => write!(f, "bad trace magic {m:?}"),
             TraceIoError::BadVersion(v) => write!(f, "unsupported trace version {v}"),
             TraceIoError::Truncated { expected, got } => {
-                write!(f, "trace truncated: header said {expected} records, read {got}")
+                write!(
+                    f,
+                    "trace truncated: header said {expected} records, read {got}"
+                )
             }
             TraceIoError::ReferenceNotSerialisable => {
                 write!(f, "reference packets cannot be serialised into traces")
@@ -149,7 +152,8 @@ pub fn read_trace<R: Read>(r: &mut R) -> Result<Trace, TraceIoError> {
         return Err(TraceIoError::BadVersion(header[4]));
     }
     let link_rate_bps = u64::from_le_bytes(header[5..13].try_into().expect("8"));
-    let duration = SimDuration::from_nanos(u64::from_le_bytes(header[13..21].try_into().expect("8")));
+    let duration =
+        SimDuration::from_nanos(u64::from_le_bytes(header[13..21].try_into().expect("8")));
     let count = u64::from_le_bytes(header[21..29].try_into().expect("8"));
     let mut packets = Vec::with_capacity(count.min(1 << 26) as usize);
     let mut rec = [0u8; RECORD_LEN];
@@ -193,7 +197,10 @@ mod tests {
     use rlir_net::SenderId;
 
     fn sample_trace() -> Trace {
-        generate(&TraceConfig::paper_regular(11, SimDuration::from_millis(20)))
+        generate(&TraceConfig::paper_regular(
+            11,
+            SimDuration::from_millis(20),
+        ))
     }
 
     #[test]

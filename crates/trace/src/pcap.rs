@@ -239,13 +239,23 @@ mod tests {
         let mut t = Trace::empty(1_000_000, SimDuration::from_micros(10));
         t.packets.push(Packet::regular(
             1,
-            FlowKey::udp(Ipv4Addr::new(1, 2, 3, 4), 5353, Ipv4Addr::new(5, 6, 7, 8), 53),
+            FlowKey::udp(
+                Ipv4Addr::new(1, 2, 3, 4),
+                5353,
+                Ipv4Addr::new(5, 6, 7, 8),
+                53,
+            ),
             200,
             SimTime::from_nanos(42),
         ));
         t.packets.push(Packet::regular(
             2,
-            FlowKey::tcp(Ipv4Addr::new(9, 9, 9, 9), 8080, Ipv4Addr::new(8, 8, 8, 8), 443),
+            FlowKey::tcp(
+                Ipv4Addr::new(9, 9, 9, 9),
+                8080,
+                Ipv4Addr::new(8, 8, 8, 8),
+                443,
+            ),
             1500,
             SimTime::from_nanos(43),
         ));

@@ -5,11 +5,11 @@
 //! generated workloads can be validated against the same yardsticks.
 
 use crate::synthetic::Trace;
+use rlir_net::fxhash::FxHashMap;
 use rlir_net::time::SimTime;
 use rlir_net::FlowKey;
 use rlir_stats::StreamingStats;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// Summary statistics of a trace.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -39,7 +39,7 @@ impl TraceStats {
     pub fn compute(trace: &Trace) -> TraceStats {
         let mut sizes = StreamingStats::new();
         let mut bytes = 0u64;
-        let mut per_flow: HashMap<FlowKey, u64> = HashMap::new();
+        let mut per_flow: FxHashMap<FlowKey, u64> = FxHashMap::default();
         let mut first = None;
         let mut last = None;
         for p in &trace.packets {

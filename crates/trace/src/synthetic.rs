@@ -112,16 +112,19 @@ impl TraceConfig {
     /// Analytic mean packets per flow of this configuration.
     pub fn mean_flow_pkts(&self) -> f64 {
         let mice = self.mice_mean_pkts;
-        let elephant =
-            BoundedPareto::new(self.elephant_min_pkts, self.elephant_max_pkts, self.elephant_alpha)
-                .mean();
+        let elephant = BoundedPareto::new(
+            self.elephant_min_pkts,
+            self.elephant_max_pkts,
+            self.elephant_alpha,
+        )
+        .mean();
         self.mice_fraction * mice + (1.0 - self.mice_fraction) * elephant
     }
 
     /// Expected number of flows needed to hit the utilization target.
     pub fn expected_flows(&self) -> f64 {
-        let total_bytes = self.target_utilization * self.link_rate_bps as f64 / 8.0
-            * self.duration.as_secs_f64();
+        let total_bytes =
+            self.target_utilization * self.link_rate_bps as f64 / 8.0 * self.duration.as_secs_f64();
         let bytes_per_flow = self.mean_flow_pkts() * self.size_mix.mean();
         if bytes_per_flow <= 0.0 {
             0.0
@@ -191,13 +194,15 @@ pub fn generate(cfg: &TraceConfig) -> Trace {
     }
 
     let mice = Geometric::with_mean(cfg.mice_mean_pkts.max(1.0));
-    let elephants =
-        BoundedPareto::new(cfg.elephant_min_pkts, cfg.elephant_max_pkts, cfg.elephant_alpha);
+    let elephants = BoundedPareto::new(
+        cfg.elephant_min_pkts,
+        cfg.elephant_max_pkts,
+        cfg.elephant_alpha,
+    );
     let rate_dist = LogUniform::new(cfg.flow_rate_low_pps, cfg.flow_rate_high_pps);
     let src_pool = cfg.src_prefix.size();
     let dst_pool = cfg.dst_prefix.size();
-    let target_bytes =
-        cfg.target_utilization * cfg.link_rate_bps as f64 / 8.0 * duration_s;
+    let target_bytes = cfg.target_utilization * cfg.link_rate_bps as f64 / 8.0 * duration_s;
     let bytes_per_flow = cfg.mean_flow_pkts() * cfg.size_mix.mean();
 
     // (time, flow, size); ids are assigned after the global sort so they are

@@ -27,7 +27,9 @@ fn main() {
         .node(tree.cores().nth(faulty_ordinal).expect("core exists"))
         .name
         .clone();
-    println!("injected fault: +350 µs processing delay at core {faulty} (operator does not know this)\n");
+    println!(
+        "injected fault: +350 µs processing delay at core {faulty} (operator does not know this)\n"
+    );
 
     let out = run_fattree(&cfg);
 

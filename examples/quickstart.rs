@@ -42,7 +42,10 @@ fn main() {
     // Show the ten busiest flows: estimated vs true mean latency.
     let mut rows = out.flows.report(1);
     rows.sort_by_key(|r| std::cmp::Reverse(r.packets));
-    println!("\n  {:<46} {:>6} {:>12} {:>12} {:>8}", "flow", "pkts", "est mean", "true mean", "err");
+    println!(
+        "\n  {:<46} {:>6} {:>12} {:>12} {:>8}",
+        "flow", "pkts", "est mean", "true mean", "err"
+    );
     for r in rows.iter().take(10) {
         println!(
             "  {:<46} {:>6} {:>9.1} µs {:>9.1} µs {:>7.2}%",
@@ -56,8 +59,6 @@ fn main() {
 
     if let Some(summary) = ErrorSummary::from_samples(&out.mean_errors) {
         println!("\nper-flow mean-latency error: {summary}");
-        println!(
-            "(the paper reports ≈4.5% median relative error at 93% utilization)"
-        );
+        println!("(the paper reports ≈4.5% median relative error at 93% utilization)");
     }
 }

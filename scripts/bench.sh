@@ -1,0 +1,89 @@
+#!/usr/bin/env bash
+# Run the hot-path benchmarks and emit BENCH_pipeline.json — the perf
+# trajectory record future PRs compare against.
+#
+# The headline metric is packets/sec on the Fig. 4 tandem utilization sweep
+# (three utilization points over shared 150 ms traces), measured for:
+#   * pipeline/streaming     — the current chunked-streaming pipeline
+#   * pipeline/batched_seed  — the seed's batched pipeline, reproduced
+#     component for component (SeedFifoQueue u128 arithmetic, whole-trace
+#     buffers, per-packet interpolation, sparse SipHash flow table)
+# plus component micro-benchmarks (queue offers, sender observe, flow-table
+# record). The byte-identical-deliveries guarantee between the two pipeline
+# arms is enforced by `tests/streaming_equivalence.rs`.
+#
+# Usage: scripts/bench.sh [output.json]
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_pipeline.json}"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+# One JSON line per benchmark lands in $RAW (vendored criterion stub).
+CRITERION_JSON="$RAW" CRITERION_BUDGET_MS="${CRITERION_BUDGET_MS:-4000}" \
+    cargo bench -p rlir-bench --bench micro -- pipeline
+CRITERION_JSON="$RAW" CRITERION_BUDGET_MS="${CRITERION_BUDGET_MS:-1500}" \
+    cargo bench -p rlir-bench --bench micro -- sender_observe
+CRITERION_JSON="$RAW" CRITERION_BUDGET_MS="${CRITERION_BUDGET_MS:-1500}" \
+    cargo bench -p rlir-bench --bench micro -- flow_table
+CRITERION_JSON="$RAW" CRITERION_BUDGET_MS="${CRITERION_BUDGET_MS:-1500}" \
+    cargo bench -p rlir-bench --bench micro -- fifo_queue
+
+python3 - "$RAW" "$OUT" <<'PY'
+import json
+import platform
+import subprocess
+import sys
+
+raw_path, out_path = sys.argv[1], sys.argv[2]
+rows = {}
+with open(raw_path) as fh:
+    for line in fh:
+        line = line.strip()
+        if not line:
+            continue
+        r = json.loads(line)
+        rows[f"{r['group']}/{r['bench']}"] = r
+
+def ns(name):
+    return rows[name]["ns_per_iter"] if name in rows else None
+
+def rate(name):
+    return rows[name].get("elems_per_sec") if name in rows else None
+
+streaming = rate("pipeline/streaming")
+batched = rate("pipeline/batched_seed")
+git_rev = subprocess.run(
+    ["git", "rev-parse", "--short", "HEAD"], capture_output=True, text=True
+).stdout.strip() or "unknown"
+
+doc = {
+    "bench": "tandem utilization sweep (Fig. 4 pipeline, targets 0.34/0.67/0.93, 150 ms traces)",
+    "commit": git_rev,
+    "host": {"machine": platform.machine(), "cpus": None},
+    "pipeline": {
+        "streaming_pkts_per_sec": streaming,
+        "batched_seed_pkts_per_sec": batched,
+        "speedup_vs_seed": (streaming / batched) if streaming and batched else None,
+        "equivalence": "byte-identical deliveries (tests/streaming_equivalence.rs)",
+    },
+    "components_ns_per_iter": {
+        k: v["ns_per_iter"] for k, v in sorted(rows.items()) if not k.startswith("pipeline/")
+    },
+}
+try:
+    import os
+    doc["host"]["cpus"] = os.cpu_count()
+except Exception:
+    pass
+
+with open(out_path, "w") as fh:
+    json.dump(doc, fh, indent=2)
+    fh.write("\n")
+print(f"wrote {out_path}")
+if streaming and batched:
+    print(f"streaming {streaming:,.0f} pkts/s vs seed {batched:,.0f} pkts/s "
+          f"-> {streaming / batched:.2f}x")
+PY

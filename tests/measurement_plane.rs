@@ -7,9 +7,7 @@ use rlir_net::packet::{Packet, SenderId};
 use rlir_net::time::{SimDuration, SimTime};
 use rlir_net::wire::{decode_reference_packet, encode_reference_packet};
 use rlir_net::FlowKey;
-use rlir_rli::{
-    Interpolator, ReceiverConfig, RliReceiver, RliSender, StaticPolicy,
-};
+use rlir_rli::{Interpolator, ReceiverConfig, RliReceiver, RliSender, StaticPolicy};
 use std::net::Ipv4Addr;
 
 fn flow(i: u8) -> FlowKey {
@@ -40,7 +38,7 @@ fn sender_to_receiver_closed_loop() {
         Box::new(StaticPolicy::one_in(5)),
         vec![ref_target()],
     );
-    let mut receiver = RliReceiver::new(ReceiverConfig::for_sender(SenderId(1)));
+    let mut receiver: RliReceiver = RliReceiver::new(ReceiverConfig::for_sender(SenderId(1)));
 
     // Path delay ramps linearly 10 µs → 20 µs over the run; linear
     // interpolation should track it almost perfectly.
@@ -54,7 +52,7 @@ fn sender_to_receiver_closed_loop() {
         events.push((at + d, p, Some(d)));
         for r in sender.observe(&p) {
             let d = SimDuration::from_nanos(delay_at(at.as_nanos()) as u64);
-            events.push((at + d, r, None));
+            events.push((at + d, *r, None));
         }
     }
     events.sort_by_key(|(at, p, _)| (*at, p.id));
@@ -81,7 +79,7 @@ fn reference_loss_degrades_gracefully() {
             Box::new(StaticPolicy::one_in(5)),
             vec![ref_target()],
         );
-        let mut receiver = RliReceiver::new(ReceiverConfig::for_sender(SenderId(1)));
+        let mut receiver: RliReceiver = RliReceiver::new(ReceiverConfig::for_sender(SenderId(1)));
         let mut refs_seen = 0u64;
         for i in 0..2000u64 {
             let at = SimTime::from_nanos(i * 5_000);
@@ -93,11 +91,11 @@ fn reference_loss_degrades_gracefully() {
             for r in sender.observe(&p) {
                 refs_seen += 1;
                 if let Some(k) = drop_every {
-                    if refs_seen % k == 0 {
+                    if refs_seen.is_multiple_of(k) {
                         continue; // reference lost in transit
                     }
                 }
-                receiver.on_packet(at + d, &r, None);
+                receiver.on_packet(at + d, r, None);
             }
         }
         let rep = receiver.finish();
@@ -108,7 +106,10 @@ fn reference_loss_degrades_gracefully() {
     let lossy = run(Some(3)); // every 3rd reference lost
     assert!(clean < 0.05, "clean error {clean}");
     assert!(lossy < 0.10, "lossy error {lossy} should still be small");
-    assert!(lossy >= clean * 0.5, "sanity: loss should not *improve* much");
+    assert!(
+        lossy >= clean * 0.5,
+        "sanity: loss should not *improve* much"
+    );
 }
 
 /// Clock offset between sender and receiver biases estimates by exactly the
@@ -126,7 +127,7 @@ fn clock_skew_shifts_estimates_by_offset() {
         Box::new(StaticPolicy::one_in(4)),
         vec![ref_target()],
     );
-    let mut receiver = RliReceiver::new(ReceiverConfig {
+    let mut receiver: RliReceiver = RliReceiver::new(ReceiverConfig {
         sender: SenderId(1),
         clock: clocks.receiver,
         interpolator: Interpolator::Linear,
@@ -139,7 +140,7 @@ fn clock_skew_shifts_estimates_by_offset() {
         let p = Packet::regular(i, flow(2), 700, at);
         receiver.on_packet(at + true_delay, &p, Some(true_delay));
         for r in sender.observe(&p) {
-            receiver.on_packet(at + true_delay, &r, None);
+            receiver.on_packet(at + true_delay, r, None);
         }
     }
     let rep = receiver.finish();
@@ -162,7 +163,7 @@ fn wire_encoding_is_transparent_to_the_receiver() {
         vec![ref_target()],
     );
     let p = Packet::regular(1, flow(1), 700, SimTime::from_micros(5));
-    let r = sender.observe(&p).pop().expect("1-in-1 fires");
+    let r = sender.observe(&p).last().copied().expect("1-in-1 fires");
     let info = *r.reference_info().unwrap();
 
     // Serialise to bytes and back, as a software receiver would.
@@ -171,8 +172,8 @@ fn wire_encoding_is_transparent_to_the_receiver() {
     assert_eq!(decoded.info, info);
 
     // Feed both forms to two receivers: identical results.
-    let mut rx_mem = RliReceiver::new(ReceiverConfig::for_sender(SenderId(9)));
-    let mut rx_wire = RliReceiver::new(ReceiverConfig::for_sender(SenderId(9)));
+    let mut rx_mem: RliReceiver = RliReceiver::new(ReceiverConfig::for_sender(SenderId(9)));
+    let mut rx_wire: RliReceiver = RliReceiver::new(ReceiverConfig::for_sender(SenderId(9)));
     let arrival = SimTime::from_micros(35);
     rx_mem.on_reference(arrival, &info);
     rx_wire.on_reference(arrival, &decoded.info);

@@ -13,15 +13,20 @@ use rlir_topo::{FatTree, Role};
 use std::net::Ipv4Addr;
 
 fn arb_flow() -> impl Strategy<Value = FlowKey> {
-    (any::<u32>(), any::<u32>(), any::<u8>(), any::<u16>(), any::<u16>()).prop_map(
-        |(s, d, p, sp, dp)| FlowKey {
+    (
+        any::<u32>(),
+        any::<u32>(),
+        any::<u8>(),
+        any::<u16>(),
+        any::<u16>(),
+    )
+        .prop_map(|(s, d, p, sp, dp)| FlowKey {
             src: Ipv4Addr::from(s),
             dst: Ipv4Addr::from(d),
             proto: Protocol::from_number(p),
             sport: sp,
             dport: dp,
-        },
-    )
+        })
 }
 
 proptest! {

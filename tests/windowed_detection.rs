@@ -35,7 +35,7 @@ fn transient_congestion_is_pinned_to_its_window() {
             rlir_net::wire::RLI_UDP_PORT,
         )],
     );
-    let mut rx = RliReceiver::new(ReceiverConfig {
+    let mut rx: RliReceiver = RliReceiver::new(ReceiverConfig {
         sender: SenderId(1),
         clock: ClockModel::perfect(),
         interpolator: Interpolator::Linear,
@@ -58,7 +58,7 @@ fn transient_congestion_is_pinned_to_its_window() {
         let p = Packet::regular(i, flow((i % 5) as u8), 700, at);
         rx.on_packet(at + d, &p, Some(d));
         for r in sender.observe(&p) {
-            rx.on_packet(at + d, &r, None);
+            rx.on_packet(at + d, r, None);
         }
     }
     let report = rx.finish();
@@ -69,11 +69,14 @@ fn transient_congestion_is_pinned_to_its_window() {
     );
 
     let seg = SegmentWindows::build("S1→R1", &report.estimates, 4_000_000); // 4 ms windows
-    let findings = localize_windows(&[seg], &WindowedConfig {
-        window_ns: 4_000_000,
-        factor: 3.0,
-        min_samples: 10,
-    });
+    let findings = localize_windows(
+        &[seg],
+        &WindowedConfig {
+            window_ns: 4_000_000,
+            factor: 3.0,
+            min_samples: 10,
+        },
+    );
     assert!(!findings.is_empty(), "congestion event not detected");
     // Every flagged window must overlap the event, allowing one window of
     // smear on each side: interpolation brackets that straddle the event's
@@ -96,7 +99,7 @@ fn transient_congestion_is_pinned_to_its_window() {
 #[test]
 fn estimate_log_is_opt_in_and_lossless() {
     let run = |record: bool| {
-        let mut rx = RliReceiver::new(ReceiverConfig {
+        let mut rx: RliReceiver = RliReceiver::new(ReceiverConfig {
             record_estimates: record,
             ..ReceiverConfig::for_sender(SenderId(1))
         });

@@ -1,0 +1,251 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the API subset the workspace's benches use —
+//! [`criterion_group!`]/[`criterion_main!`], [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_function`], [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`Throughput`] and [`BatchSize`] — as a real
+//! wall-clock harness: each benchmark is warmed up, calibrated to a time
+//! budget, and reported as median ns/iter (plus derived throughput).
+//!
+//! Machine-readable output: when the `CRITERION_JSON` environment variable
+//! names a file, one JSON object per benchmark is appended to it
+//! (`{"group":…,"bench":…,"ns_per_iter":…,"elems_per_sec":…}`), which is
+//! what `scripts/bench.sh` consumes to build `BENCH_pipeline.json`.
+//!
+//! Tuning knobs (environment): `CRITERION_BUDGET_MS` — measurement budget
+//! per benchmark (default 300 ms); the first CLI argument that is not a
+//! flag is a substring filter on `group/bench` names, mirroring
+//! `cargo bench -- <filter>`.
+
+use std::fmt::Write as _;
+use std::fs::OpenOptions;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Units for derived throughput reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// The routine processes this many logical elements per iteration.
+    Elements(u64),
+    /// The routine processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// Batch sizing hints for [`Bencher::iter_batched`]; the stub times each
+/// batch individually so the hint only documents intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small setup output; criterion would batch many per measurement.
+    SmallInput,
+    /// Large setup output; one per measurement.
+    LargeInput,
+    /// Exactly one setup call per routine call.
+    PerIteration,
+}
+
+/// Top-level harness handle, one per bench binary.
+pub struct Criterion {
+    filter: Option<String>,
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && !a.is_empty());
+        let budget_ms: u64 = std::env::var("CRITERION_BUDGET_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(300);
+        Criterion {
+            filter,
+            budget: Duration::from_millis(budget_ms),
+        }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: 20,
+            budget_override: None,
+        }
+    }
+
+    /// Does the CLI filter admit benchmarks under `name`? Real criterion
+    /// applies its filter internally; expensive bench setup can consult
+    /// this to skip generating inputs for filtered-out groups.
+    pub fn filter_matches(&self, name: &str) -> bool {
+        match &self.filter {
+            Some(f) => name.contains(f.as_str()),
+            None => true,
+        }
+    }
+
+    /// Bench a standalone function (ungrouped).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, f: F) {
+        self.benchmark_group("").bench_function(id, f);
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput setting.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    budget_override: Option<Duration>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declare per-iteration throughput for subsequent benches.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Number of samples collected per benchmark (default 20).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(5);
+        self
+    }
+
+    /// Override the measurement budget for this group only.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.budget_override = Some(d);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, mut f: F) {
+        let id = id.into();
+        let full = if self.name.is_empty() {
+            id.clone()
+        } else {
+            format!("{}/{}", self.name, id)
+        };
+        if let Some(filter) = &self.criterion.filter {
+            if !full.contains(filter.as_str()) {
+                return;
+            }
+        }
+
+        // Calibration: run single iterations until we know roughly how long
+        // one takes, then size samples to fit the budget.
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let once = b.elapsed.max(Duration::from_nanos(1));
+        let budget = self.budget_override.unwrap_or(self.criterion.budget);
+        let samples = self.sample_size;
+        let per_sample = budget / samples as u32;
+        let iters = (per_sample.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        let mut ns_per_iter: Vec<f64> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            ns_per_iter.push(b.elapsed.as_nanos() as f64 / iters as f64);
+        }
+        ns_per_iter.sort_by(|a, b| a.total_cmp(b));
+        let median = ns_per_iter[ns_per_iter.len() / 2];
+
+        let mut line = format!("bench {full:<40} {median:>12.1} ns/iter");
+        let mut elems_per_sec = None;
+        match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                let rate = n as f64 * 1e9 / median;
+                elems_per_sec = Some(rate);
+                let _ = write!(line, "  {:>14.0} elem/s", rate);
+            }
+            Some(Throughput::Bytes(n)) => {
+                let rate = n as f64 * 1e9 / median;
+                let _ = write!(line, "  {:>14.0} B/s", rate);
+            }
+            None => {}
+        }
+        println!("{line}");
+
+        if let Ok(path) = std::env::var("CRITERION_JSON") {
+            if let Ok(mut fh) = OpenOptions::new().create(true).append(true).open(path) {
+                let eps = elems_per_sec
+                    .map(|r| format!("{r:.1}"))
+                    .unwrap_or_else(|| "null".to_string());
+                let _ = writeln!(
+                    fh,
+                    "{{\"group\":\"{}\",\"bench\":\"{}\",\"ns_per_iter\":{:.1},\"elems_per_sec\":{}}}",
+                    self.name, id, median, eps
+                );
+            }
+        }
+    }
+
+    /// Finish the group (formatting no-op; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; routines run inside [`Bencher::iter`].
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` over this sample's iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Time `routine` with untimed fresh input from `setup` each iteration.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+/// Declare a bench group function from a list of `fn(&mut Criterion)`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declare the bench binary's `main` from group names.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,381 @@
+//! Offline stand-in for `proptest`.
+//!
+//! A deterministic randomized property-test runner implementing the subset
+//! this workspace uses: the [`proptest!`] macro, [`strategy::Strategy`]
+//! with `prop_map`, [`any`], range strategies, tuple strategies,
+//! [`strategy::Just`], [`prop_oneof!`] over same-typed arms, and
+//! [`collection::vec`]. Failing inputs are reported (seed + rendered
+//! message) but **not shrunk** — rerun with the printed case seed to
+//! reproduce. Case count defaults to 64; set `PROPTEST_CASES` to override.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Error raised inside a property body.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// A `prop_assert*!` failed with this rendered message.
+    Fail(String),
+    /// A `prop_assume!` rejected the generated input; the case is skipped.
+    Reject,
+}
+
+/// Deterministic per-case RNG handling for the [`proptest!`] runner.
+pub mod test_runner {
+    use super::*;
+
+    /// Number of cases per property (env `PROPTEST_CASES`, default 64).
+    pub fn case_count() -> u64 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64)
+    }
+
+    /// FNV-1a over the property's identifying string, mixed with the case
+    /// index — every (property, case) pair gets an independent stream.
+    pub fn rng_for_case(ident: &str, case: u64) -> StdRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in ident.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        StdRng::seed_from_u64(h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+}
+
+/// Value-generation strategies.
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// A recipe for generating random values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draw one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Transform generated values with a pure function.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Output of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Uniform choice among same-typed strategies (backs [`crate::prop_oneof!`]).
+    pub struct Union<S> {
+        arms: Vec<S>,
+    }
+
+    impl<S: Strategy> Union<S> {
+        /// Build from a non-empty arm list.
+        pub fn new(arms: Vec<S>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<S: Strategy> Strategy for Union<S> {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut StdRng) -> S::Value {
+            let i = rng.random_range(0..self.arms.len());
+            self.arms[i].generate(rng)
+        }
+    }
+
+    /// Full-domain generation for primitives (backs [`crate::any`]).
+    pub trait Arbitrary: Sized {
+        /// Draw one value from the type's whole domain.
+        fn arbitrary(rng: &mut StdRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut StdRng) -> Self {
+                    rng.random()
+                }
+            }
+        )*};
+    }
+    impl_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool, f64, f32);
+
+    /// Strategy wrapper for [`Arbitrary`] types.
+    pub struct Any<T>(core::marker::PhantomData<T>);
+
+    impl<T> Default for Any<T> {
+        fn default() -> Self {
+            Any(core::marker::PhantomData)
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// `Vec` of `element` values with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: core::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    /// Output of [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: core::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = rng.random_range(self.size.clone());
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Full-domain strategy for a primitive type.
+pub fn any<T: strategy::Arbitrary>() -> strategy::Any<T> {
+    strategy::Any::default()
+}
+
+/// The glob-import module, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        TestCaseError,
+    };
+}
+
+/// Declare property tests: each `fn name(arg in strategy, …) { body }`
+/// becomes a `#[test]`-able function running [`test_runner::case_count`]
+/// deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    ($( $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cases = $crate::test_runner::case_count();
+                let ident = concat!(module_path!(), "::", stringify!($name));
+                for case in 0..cases {
+                    let mut proptest_rng = $crate::test_runner::rng_for_case(ident, case);
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(
+                            &($strat), &mut proptest_rng);
+                    )+
+                    let outcome: ::core::result::Result<(), $crate::TestCaseError> =
+                        (move || {
+                            $body
+                            Ok(())
+                        })();
+                    match outcome {
+                        Ok(()) => {}
+                        Err($crate::TestCaseError::Reject) => continue,
+                        Err($crate::TestCaseError::Fail(msg)) => {
+                            panic!("property {ident} failed at case {case}: {msg}");
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Assert a condition inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::Fail(
+                format!("assertion failed: {}", stringify!($cond))));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Assert equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err($crate::TestCaseError::Fail(
+                format!("{:?} != {:?} ({} vs {})",
+                        l, r, stringify!($left), stringify!($right))));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err($crate::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    }};
+}
+
+/// Assert inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return Err($crate::TestCaseError::Fail(format!(
+                "{:?} == {:?} ({} vs {})",
+                l,
+                r,
+                stringify!($left),
+                stringify!($right)
+            )));
+        }
+    }};
+}
+
+/// Skip cases whose generated inputs do not satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Uniform choice among same-typed strategy arms.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($arm),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_respected(x in 3u8..=9, y in -5i64..5, f in 0.0f64..1.0) {
+            prop_assert!((3..=9).contains(&x));
+            prop_assert!((-5..5).contains(&y));
+            prop_assert!((0.0..1.0).contains(&f), "f = {}", f);
+        }
+
+        #[test]
+        fn map_and_tuple_compose(pair in (1u32..10, 1u32..10).prop_map(|(a, b)| a + b)) {
+            prop_assert!((2..19).contains(&pair));
+        }
+
+        #[test]
+        fn oneof_selects_every_arm(v in prop_oneof![Just(1usize), Just(2), Just(3)]) {
+            prop_assert!((1..=3).contains(&v));
+        }
+
+        #[test]
+        fn vec_lengths_in_range(xs in crate::collection::vec(any::<u16>(), 2..7)) {
+            prop_assert!((2..7).contains(&xs.len()));
+        }
+
+        #[test]
+        fn assume_skips(x in 0u32..10) {
+            prop_assume!(x != 0);
+            prop_assert!(x > 0);
+        }
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let s = (1u32..100, 0.0f64..1.0);
+        let a: Vec<_> = (0..10)
+            .map(|c| {
+                let mut rng = crate::test_runner::rng_for_case("d", c);
+                crate::strategy::Strategy::generate(&s, &mut rng)
+            })
+            .collect();
+        let b: Vec<_> = (0..10)
+            .map(|c| {
+                let mut rng = crate::test_runner::rng_for_case("d", c);
+                crate::strategy::Strategy::generate(&s, &mut rng)
+            })
+            .collect();
+        assert_eq!(a, b);
+    }
+}

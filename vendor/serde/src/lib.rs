@@ -1,0 +1,36 @@
+//! Offline stand-in for `serde`.
+//!
+//! The container cannot reach a cargo registry, so this crate keeps the
+//! workspace compiling without the real serde: [`Serialize`] and
+//! [`Deserialize`] are marker traits with blanket implementations, and the
+//! derive macros (re-exported from the local `serde_derive` stub) expand to
+//! nothing. No code in this repository performs actual serde
+//! serialization — structured outputs are written by hand (CSV/JSON
+//! emitters in `rlir-bench`) — so the markers are sufficient. Replacing
+//! this stub with real serde is a manifest-only change.
+
+/// Marker for serializable types. Blanket-implemented for everything.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker for deserializable types. Blanket-implemented for everything.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker mirroring `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}
+
+/// Mirror of `serde::de` with the owned-deserialization marker.
+pub mod de {
+    pub use crate::{Deserialize, DeserializeOwned};
+}
+
+/// Mirror of `serde::ser`.
+pub mod ser {
+    pub use crate::Serialize;
+}
+
+// Derive macros live in the macro namespace, the traits above in the type
+// namespace, so the same names coexist exactly like in real serde.
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,24 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a no-op implementation: `#[derive(Serialize, Deserialize)]` and
+//! `#[serde(...)]` attributes parse and expand to nothing, and the matching
+//! `serde` stub provides blanket trait impls so bounds stay satisfiable.
+//! Swap both stubs for the real crates by editing `[patch]`-free path deps
+//! in the root manifest once a registry is reachable.
+
+use proc_macro::TokenStream;
+
+/// Accept `#[derive(Serialize)]` (and inert `#[serde(...)]` attributes) and
+/// emit nothing; the `serde` stub's blanket impl covers every type.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accept `#[derive(Deserialize)]` (and inert `#[serde(...)]` attributes)
+/// and emit nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
