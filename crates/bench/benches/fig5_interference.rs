@@ -3,6 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use rlir::experiment::{run_loss_sweep_on, LossSweepConfig, TwoHopConfig};
+use rlir_exec::SweepRunner;
 use rlir_net::time::SimDuration;
 use rlir_rli::PolicyKind;
 use rlir_trace::generate;
@@ -23,7 +24,9 @@ fn bench_fig5(c: &mut Criterion) {
                 base: base.clone(),
                 targets: vec![0.93],
             };
-            run_loss_sweep_on(&sweep, &regular, &cross)
+            // Single-threaded so the benchmark measures the pipeline, not
+            // the host's scheduling.
+            run_loss_sweep_on(&sweep, &regular, &cross, &SweepRunner::single())
         })
     });
     group.finish();

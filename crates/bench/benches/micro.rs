@@ -369,7 +369,7 @@ fn bench_sender_observe(c: &mut Criterion) {
         RliSender::new(
             SenderId(1),
             ClockModel::perfect(),
-            Box::new(StaticPolicy::one_in(100)),
+            StaticPolicy::one_in(100),
             vec![pipeline_ref_key()],
         )
     };

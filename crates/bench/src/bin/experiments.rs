@@ -1,8 +1,11 @@
-//! Regenerate every table and figure of the paper's evaluation.
+//! Regenerate every table and figure of the paper's evaluation, and run
+//! registered scenarios by name.
 //!
 //! ```text
-//! experiments <command>
+//! experiments <command> [--threads N]
 //!
+//!   list        list the registered scenarios (for `run`)
+//!   run <name>  run one registered scenario through the shared SweepRunner
 //!   fig4a       Fig. 4(a): per-flow mean-error CDFs (adaptive/static × 67/93%)
 //!   fig4b       Fig. 4(b): per-flow std-dev-error CDFs (same runs)
 //!   fig4c       Fig. 4(c): bursty vs random cross traffic (34%, 67%)
@@ -13,34 +16,27 @@
 //!   sync        A4: clock-synchronisation-error sensitivity
 //!   baselines   A6: RLI vs LDA vs Multiflow on an identical run
 //!   localize    A5: latency-anomaly localization demo
-//!   all         everything above
+//!   all         every figure command above
 //! ```
 //!
-//! Scale via `RLIR_SCALE={quick,default,full}`, `RLIR_DURATION_MS`,
-//! `RLIR_SEEDS`, `RLIR_SEED`; output directory via `RLIR_RESULTS_DIR`
-//! (default `results/`). CSV series are written per curve.
+//! `--threads N` sizes the sweep worker pool (default: `RLIR_THREADS`, else
+//! available parallelism); results are byte-identical for any N. Scale via
+//! `RLIR_SCALE={quick,default,full}`, `RLIR_DURATION_MS`, `RLIR_SEEDS`,
+//! `RLIR_SEED`; output directory via `RLIR_RESULTS_DIR` (default
+//! `results/`). CSV series are written per curve.
 
 use rlir_bench::{
-    baselines_comparison, demux_ablation, fig4a, fig4a_shape_checks, fig4b, fig4c,
-    fig4c_shape_checks, fig5, fig5_shape_checks, interp_ablation, localization_demo,
-    placement_rows, quantile_accuracy, sync_ablation, write_csv, AccuracyCurve, OutputDir, Scale,
-    ShapeCheck,
+    baselines_comparison, build_registry, demux_ablation, emit_demux, emit_fig5, emit_interp,
+    emit_quantiles, emit_sync, fig4a, fig4a_shape_checks, fig4b, fig4c, fig4c_shape_checks, fig5,
+    fig5_shape_checks, interp_ablation, localization_demo, placement_rows, print_shape_checks,
+    quantile_accuracy, sync_ablation, write_csv, AccuracyCurve, OutputDir, RunContext, Scale,
 };
+use rlir_exec::SweepRunner;
 
-const HELP: &str = "experiments <fig4a|fig4b|fig4c|fig5|placement|demux|interp|sync|baselines|quantiles|localize|all>
+const HELP: &str = "experiments <list|run <name>|fig4a|fig4b|fig4c|fig5|placement|demux|interp|sync|baselines|quantiles|localize|all> [--threads N]
 Scale: RLIR_SCALE={quick,default,full} RLIR_DURATION_MS=<ms> RLIR_SEEDS=<n> RLIR_SEED=<n>
+Threads: --threads N (default RLIR_THREADS, else available parallelism)
 Output: RLIR_RESULTS_DIR=<dir> (default results/)";
-
-fn print_checks(checks: &[ShapeCheck]) {
-    for c in checks {
-        println!(
-            "  [{}] {} — {}",
-            if c.holds { "PASS" } else { "MISS" },
-            c.claim,
-            c.detail
-        );
-    }
-}
 
 fn emit_accuracy_figure(
     name: &str,
@@ -61,20 +57,20 @@ fn emit_accuracy_figure(
     Ok(())
 }
 
-fn run(cmd: &str, scale: &Scale, out: &OutputDir) -> std::io::Result<()> {
+fn run(cmd: &str, scale: &Scale, out: &OutputDir, runner: &SweepRunner) -> std::io::Result<()> {
     match cmd {
         "fig4a" => {
-            let curves = fig4a(scale);
+            let curves = fig4a(scale, runner);
             emit_accuracy_figure(
                 "fig4a",
                 "Figure 4(a): per-flow MEAN latency — relative-error CDFs (random cross traffic)",
                 &curves,
                 out,
             )?;
-            print_checks(&fig4a_shape_checks(&curves));
+            print_shape_checks(&fig4a_shape_checks(&curves));
         }
         "fig4b" => {
-            let curves = fig4b(scale);
+            let curves = fig4b(scale, runner);
             emit_accuracy_figure(
                 "fig4b",
                 "Figure 4(b): per-flow STD-DEV latency — relative-error CDFs (random cross traffic)",
@@ -83,43 +79,24 @@ fn run(cmd: &str, scale: &Scale, out: &OutputDir) -> std::io::Result<()> {
             )?;
         }
         "fig4c" => {
-            let curves = fig4c(scale);
+            let curves = fig4c(scale, runner);
             emit_accuracy_figure(
                 "fig4c",
                 "Figure 4(c): mean-error CDFs — bursty vs random cross traffic",
                 &curves,
                 out,
             )?;
-            print_checks(&fig4c_shape_checks(&curves));
+            print_shape_checks(&fig4c_shape_checks(&curves));
         }
         "fig5" => {
-            let points = fig5(scale);
-            println!("== Figure 5: loss-rate difference caused by reference packets ==");
-            println!(
-                "  {:<10} {:>8} {:>10} {:>16} {:>12}",
-                "policy", "target", "realised", "loss diff", "base loss"
-            );
-            for p in &points {
-                println!(
-                    "  {:<10} {:>7.0}% {:>9.1}% {:>15.6}% {:>11.4}%",
-                    p.policy,
-                    p.target * 100.0,
-                    p.utilization * 100.0,
-                    p.loss_difference * 100.0,
-                    p.base_loss * 100.0
-                );
-            }
-            let csv = write_csv(
-                "policy,target_utilization,utilization,loss_difference,base_loss",
-                points.iter().map(|p| {
-                    format!(
-                        "{},{},{},{},{}",
-                        p.policy, p.target, p.utilization, p.loss_difference, p.base_loss
-                    )
-                }),
-            );
-            out.write("fig5_interference.csv", &csv)?;
-            print_checks(&fig5_shape_checks(&points));
+            let points = fig5(scale, runner);
+            emit_fig5(
+                "Figure 5: loss-rate difference caused by reference packets",
+                &points,
+                &fig5_shape_checks(&points),
+                "fig5_interference.csv",
+                out,
+            )?;
         }
         "placement" => {
             println!("== §3.1: partial-placement complexity on k-ary fat-trees ==");
@@ -163,74 +140,28 @@ fn run(cmd: &str, scale: &Scale, out: &OutputDir) -> std::io::Result<()> {
             out.write("placement_table.csv", &csv)?;
         }
         "demux" => {
-            println!("== A1/A3: demultiplexing ablation on the k=4 fat-tree ==");
-            println!(
-                "  {:<14} {:>10} {:>16} {:>16} {:>12}",
-                "mode", "assoc acc", "seg1 median err", "seg2 median err", "estimates"
-            );
-            let rows = demux_ablation(scale);
-            for r in &rows {
-                println!(
-                    "  {:<14} {:>9.1}% {:>15.2}% {:>15.2}% {:>12}",
-                    r.mode,
-                    r.accuracy * 100.0,
-                    r.seg1_median_error * 100.0,
-                    r.seg2_median_error * 100.0,
-                    r.seg2_estimates
-                );
-            }
-            let csv = write_csv(
-                "mode,accuracy,seg1_median_error,seg2_median_error,seg2_estimates",
-                rows.iter().map(|r| {
-                    format!(
-                        "{},{},{},{},{}",
-                        r.mode,
-                        r.accuracy,
-                        r.seg1_median_error,
-                        r.seg2_median_error,
-                        r.seg2_estimates
-                    )
-                }),
-            );
-            out.write("demux_ablation.csv", &csv)?;
+            emit_demux(
+                "A1/A3: demultiplexing ablation on the k=4 fat-tree",
+                &demux_ablation(scale, runner),
+                "demux_ablation.csv",
+                out,
+            )?;
         }
         "interp" => {
-            println!(
-                "== A2: interpolation-estimator ablation (93% utilization, static 1-and-100) =="
-            );
-            let rows = interp_ablation(scale);
-            for r in &rows {
-                println!(
-                    "  {:<16} median {:>6.2}%   p90 {:>7.2}%",
-                    r.interpolator,
-                    r.median_error * 100.0,
-                    r.p90_error * 100.0
-                );
-            }
-            let csv = write_csv(
-                "interpolator,median_error,p90_error",
-                rows.iter()
-                    .map(|r| format!("{},{},{}", r.interpolator, r.median_error, r.p90_error)),
-            );
-            out.write("interp_ablation.csv", &csv)?;
+            emit_interp(
+                "A2: interpolation-estimator ablation (93% utilization, static 1-and-100)",
+                &interp_ablation(scale, runner),
+                "interp_ablation.csv",
+                out,
+            )?;
         }
         "sync" => {
-            println!("== A4: clock-synchronisation sensitivity (93% utilization) ==");
-            let rows = sync_ablation(scale);
-            for r in &rows {
-                println!(
-                    "  {:<34} median {:>7.2}%   mean |err| {:>9.1} ns",
-                    r.scenario,
-                    r.median_error * 100.0,
-                    r.mean_abs_error_ns
-                );
-            }
-            let csv = write_csv(
-                "scenario,median_error,mean_abs_error_ns",
-                rows.iter()
-                    .map(|r| format!("{},{},{}", r.scenario, r.median_error, r.mean_abs_error_ns)),
-            );
-            out.write("sync_ablation.csv", &csv)?;
+            emit_sync(
+                "A4: clock-synchronisation sensitivity (93% utilization)",
+                &sync_ablation(scale, runner),
+                "sync_ablation.csv",
+                out,
+            )?;
         }
         "baselines" => {
             println!("== A6: RLI vs LDA vs Multiflow (identical 93% run) ==");
@@ -260,28 +191,12 @@ fn run(cmd: &str, scale: &Scale, out: &OutputDir) -> std::io::Result<()> {
             out.write("baselines_comparison.csv", &csv)?;
         }
         "quantiles" => {
-            println!("== A7: per-flow p90 tail-latency accuracy (93% utilization) ==");
-            let rows = quantile_accuracy(scale);
-            for r in &rows {
-                println!(
-                    "  {:<10} p{:.0} median err {:>6.2}%   (mean-est median {:>6.2}%)   flows {:>7}",
-                    r.policy,
-                    r.p * 100.0,
-                    r.median_error * 100.0,
-                    r.mean_median_error * 100.0,
-                    r.flows
-                );
-            }
-            let csv = write_csv(
-                "policy,p,median_error,mean_median_error,flows",
-                rows.iter().map(|r| {
-                    format!(
-                        "{},{},{},{},{}",
-                        r.policy, r.p, r.median_error, r.mean_median_error, r.flows
-                    )
-                }),
-            );
-            out.write("quantile_accuracy.csv", &csv)?;
+            emit_quantiles(
+                "A7: per-flow p90 tail-latency accuracy (93% utilization)",
+                &quantile_accuracy(scale, runner),
+                "quantile_accuracy.csv",
+                out,
+            )?;
         }
         "localize" => {
             println!("== A5: anomaly localization on the fat-tree ==");
@@ -322,7 +237,7 @@ fn run(cmd: &str, scale: &Scale, out: &OutputDir) -> std::io::Result<()> {
                 "quantiles",
                 "localize",
             ] {
-                run(c, scale, out)?;
+                run(c, scale, out, runner)?;
                 println!();
             }
         }
@@ -335,21 +250,82 @@ fn run(cmd: &str, scale: &Scale, out: &OutputDir) -> std::io::Result<()> {
 }
 
 fn main() -> std::io::Result<()> {
-    let args: Vec<String> = std::env::args().collect();
-    let cmd = args.get(1).map(String::as_str).unwrap_or("all");
-    if cmd == "--help" || cmd == "-h" {
-        println!("{HELP}");
+    // Split `--threads N` out of the positional arguments.
+    let mut positional: Vec<String> = Vec::new();
+    let mut threads: Option<usize> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--threads" => {
+                let n = args
+                    .next()
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("--threads needs a positive integer\n{HELP}");
+                        std::process::exit(2);
+                    });
+                threads = Some(n);
+            }
+            "--help" | "-h" => {
+                println!("{HELP}");
+                return Ok(());
+            }
+            flag if flag.starts_with('-') => {
+                eprintln!("unknown flag {flag:?}\n{HELP}");
+                std::process::exit(2);
+            }
+            _ => positional.push(a),
+        }
+    }
+    let cmd = positional.first().map(String::as_str).unwrap_or("all");
+    // `run` takes exactly one scenario name; every other command takes no
+    // operands. Anything extra is a mistake (e.g. `run loss_sweep 8` hoping
+    // to set the thread count) — fail loudly rather than silently run with
+    // defaults.
+    let expected = if cmd == "run" { 2 } else { 1 };
+    if positional.len() > expected {
+        eprintln!("unexpected argument {:?}\n{HELP}", positional[expected]);
+        std::process::exit(2);
+    }
+    let runner = threads.map(SweepRunner::new).unwrap_or_default();
+
+    if cmd == "list" {
+        let reg = build_registry();
+        println!("registered scenarios ({}):", reg.len());
+        for e in reg.entries() {
+            println!("  {:<14} {}", e.name(), e.summary());
+        }
+        println!("\nrun one with: experiments run <name> [--threads N]");
         return Ok(());
     }
+
     let scale = Scale::from_env();
     let out = OutputDir::from_env()?;
     eprintln!(
-        "scale: accuracy {} | interference {} | fat-tree {} | seeds {} | base seed {}",
+        "scale: accuracy {} | interference {} | fat-tree {} | seeds {} | base seed {} | threads {}",
         scale.accuracy_duration,
         scale.interference_duration,
         scale.fattree_duration,
         scale.seeds,
-        scale.base_seed
+        scale.base_seed,
+        runner.threads()
     );
-    run(cmd, &scale, &out)
+
+    if cmd == "run" {
+        let Some(name) = positional.get(1) else {
+            eprintln!("run needs a scenario name; try `experiments list`\n{HELP}");
+            std::process::exit(2);
+        };
+        let ctx = RunContext { scale, out };
+        return match build_registry().run(name, &ctx, &runner) {
+            Ok(()) => Ok(()),
+            Err(rlir_exec::RegistryError::Io(e)) => Err(e),
+            Err(e @ rlir_exec::RegistryError::Unknown { .. }) => {
+                eprintln!("{e}");
+                std::process::exit(2);
+            }
+        };
+    }
+
+    run(cmd, &scale, &out, &runner)
 }

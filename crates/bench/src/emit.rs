@@ -1,0 +1,172 @@
+//! Shared terminal-table + CSV emitters.
+//!
+//! The `experiments` binary's legacy figure subcommands (`experiments
+//! fig5`, `experiments interp`, …) and the scenario registry entries
+//! (`experiments run interference`, `experiments run interp`, …) print the
+//! same tables and persist the same series. These helpers are the single
+//! source of truth for both paths, so the two cannot drift apart; only the
+//! title and CSV file name stay caller-chosen (registry files are prefixed
+//! `scenario_`).
+
+use crate::figures::{DemuxRow, Fig5Point, InterpRow, QuantileRow, ShapeCheck, SyncRow};
+use crate::output::{write_csv, OutputDir};
+
+/// Print `[PASS]`/`[MISS]` shape-check lines.
+pub fn print_shape_checks(checks: &[ShapeCheck]) {
+    for c in checks {
+        println!(
+            "  [{}] {} — {}",
+            if c.holds { "PASS" } else { "MISS" },
+            c.claim,
+            c.detail
+        );
+    }
+}
+
+/// Fig. 5 interference table + shape checks + CSV.
+pub fn emit_fig5(
+    title: &str,
+    points: &[Fig5Point],
+    checks: &[ShapeCheck],
+    csv_name: &str,
+    out: &OutputDir,
+) -> std::io::Result<()> {
+    println!("== {title} ==");
+    println!(
+        "  {:<10} {:>8} {:>10} {:>16} {:>12}",
+        "policy", "target", "realised", "loss diff", "base loss"
+    );
+    for p in points {
+        println!(
+            "  {:<10} {:>7.0}% {:>9.1}% {:>15.6}% {:>11.4}%",
+            p.policy,
+            p.target * 100.0,
+            p.utilization * 100.0,
+            p.loss_difference * 100.0,
+            p.base_loss * 100.0
+        );
+    }
+    print_shape_checks(checks);
+    let csv = write_csv(
+        "policy,target_utilization,utilization,loss_difference,base_loss",
+        points.iter().map(|p| {
+            format!(
+                "{},{},{},{},{}",
+                p.policy, p.target, p.utilization, p.loss_difference, p.base_loss
+            )
+        }),
+    );
+    out.write(csv_name, &csv).map(|_| ())
+}
+
+/// Demultiplexing-ablation table + CSV.
+pub fn emit_demux(
+    title: &str,
+    rows: &[DemuxRow],
+    csv_name: &str,
+    out: &OutputDir,
+) -> std::io::Result<()> {
+    println!("== {title} ==");
+    println!(
+        "  {:<14} {:>10} {:>16} {:>16} {:>12}",
+        "mode", "assoc acc", "seg1 median err", "seg2 median err", "estimates"
+    );
+    for r in rows {
+        println!(
+            "  {:<14} {:>9.1}% {:>15.2}% {:>15.2}% {:>12}",
+            r.mode,
+            r.accuracy * 100.0,
+            r.seg1_median_error * 100.0,
+            r.seg2_median_error * 100.0,
+            r.seg2_estimates
+        );
+    }
+    let csv = write_csv(
+        "mode,accuracy,seg1_median_error,seg2_median_error,seg2_estimates",
+        rows.iter().map(|r| {
+            format!(
+                "{},{},{},{},{}",
+                r.mode, r.accuracy, r.seg1_median_error, r.seg2_median_error, r.seg2_estimates
+            )
+        }),
+    );
+    out.write(csv_name, &csv).map(|_| ())
+}
+
+/// Interpolation-ablation table + CSV.
+pub fn emit_interp(
+    title: &str,
+    rows: &[InterpRow],
+    csv_name: &str,
+    out: &OutputDir,
+) -> std::io::Result<()> {
+    println!("== {title} ==");
+    for r in rows {
+        println!(
+            "  {:<16} median {:>6.2}%   p90 {:>7.2}%",
+            r.interpolator,
+            r.median_error * 100.0,
+            r.p90_error * 100.0
+        );
+    }
+    let csv = write_csv(
+        "interpolator,median_error,p90_error",
+        rows.iter()
+            .map(|r| format!("{},{},{}", r.interpolator, r.median_error, r.p90_error)),
+    );
+    out.write(csv_name, &csv).map(|_| ())
+}
+
+/// Clock-sensitivity table + CSV.
+pub fn emit_sync(
+    title: &str,
+    rows: &[SyncRow],
+    csv_name: &str,
+    out: &OutputDir,
+) -> std::io::Result<()> {
+    println!("== {title} ==");
+    for r in rows {
+        println!(
+            "  {:<34} median {:>7.2}%   mean |err| {:>9.1} ns",
+            r.scenario,
+            r.median_error * 100.0,
+            r.mean_abs_error_ns
+        );
+    }
+    let csv = write_csv(
+        "scenario,median_error,mean_abs_error_ns",
+        rows.iter()
+            .map(|r| format!("{},{},{}", r.scenario, r.median_error, r.mean_abs_error_ns)),
+    );
+    out.write(csv_name, &csv).map(|_| ())
+}
+
+/// Tail-quantile accuracy table + CSV.
+pub fn emit_quantiles(
+    title: &str,
+    rows: &[QuantileRow],
+    csv_name: &str,
+    out: &OutputDir,
+) -> std::io::Result<()> {
+    println!("== {title} ==");
+    for r in rows {
+        println!(
+            "  {:<10} p{:.0} median err {:>6.2}%   (mean-est median {:>6.2}%)   flows {:>7}",
+            r.policy,
+            r.p * 100.0,
+            r.median_error * 100.0,
+            r.mean_median_error * 100.0,
+            r.flows
+        );
+    }
+    let csv = write_csv(
+        "policy,p,median_error,mean_median_error,flows",
+        rows.iter().map(|r| {
+            format!(
+                "{},{},{},{},{}",
+                r.policy, r.p, r.median_error, r.mean_median_error, r.flows
+            )
+        }),
+    );
+    out.write(csv_name, &csv).map(|_| ())
+}

@@ -3,14 +3,16 @@
 
 use crate::scale::Scale;
 use rlir::experiment::{
-    run_fattree, run_loss_sweep_on, run_two_hop_on, CoreAnomaly, CrossSpec, FatTreeExpConfig,
-    LossSweepConfig, TwoHopConfig, TwoHopOutcome,
+    run_fattree, run_fattree_sweep, run_loss_sweep_on, run_two_hop_on, run_two_hop_sweep,
+    CoreAnomaly, CrossSpec, FatTreeExpConfig, FatTreeSweep, LossSweepConfig, TwoHopConfig,
+    TwoHopOutcome, TwoHopPoint, TwoHopSweep,
 };
 use rlir::localization::{localize, LocalizerConfig};
 use rlir::CoreDemux;
 use rlir_baselines::{
     estimate_all, trajectory_join, Lda, LdaConfig, TrajectoryConfig, TrajectoryPoint,
 };
+use rlir_exec::SweepRunner;
 use rlir_net::clock::{ClockModel, ClockPair};
 use rlir_net::fxhash::FxHashMap;
 use rlir_net::time::SimDuration;
@@ -92,59 +94,62 @@ pub fn base_traces(scale: &Scale, duration: SimDuration) -> (Trace, Trace) {
     (generate(&cfg.regular_trace()), generate(&cfg.cross_trace()))
 }
 
-fn accuracy_run(
+/// The grid point every accuracy figure builds on.
+fn accuracy_point(
     scale: &Scale,
-    regular: &Trace,
-    cross: &Trace,
+    label: String,
+    target: f64,
     policy: PolicyKind,
     cross_spec: CrossSpec,
-) -> TwoHopOutcome {
+    cross: usize,
+) -> TwoHopPoint {
     let mut cfg = TwoHopConfig::paper(scale.base_seed, scale.accuracy_duration);
     cfg.policy = policy;
     cfg.cross = cross_spec;
-    run_two_hop_on(&cfg, regular, cross)
+    TwoHopPoint {
+        label,
+        target,
+        cfg,
+        cross,
+    }
 }
 
 /// Figures 4(a) and 4(b): {Adaptive, Static} × {67%, 93%} under the random
 /// cross-traffic model. Returns the four outcomes with labels; 4(a) reads
 /// `mean_errors`, 4(b) reads `std_errors` from the same runs.
-pub fn fig4_runs(scale: &Scale) -> Vec<(String, f64, TwoHopOutcome)> {
+pub fn fig4_runs(scale: &Scale, runner: &SweepRunner) -> Vec<(String, f64, TwoHopOutcome)> {
     let (regular, cross) = base_traces(scale, scale.accuracy_duration);
-    let configs: Vec<(String, f64, PolicyKind)> = paper_policies()
+    let points: Vec<TwoHopPoint> = paper_policies()
         .into_iter()
         .flat_map(|(name, policy)| {
-            [0.93f64, 0.67].map(|u| (format!("{name}, {:.0}%", u * 100.0), u, policy.clone()))
-        })
-        .collect();
-    let results = std::sync::Mutex::new(Vec::new());
-    std::thread::scope(|s| {
-        for (label, target, policy) in &configs {
-            let (regular, cross, results) = (&regular, &cross, &results);
-            s.spawn(move || {
-                let out = accuracy_run(
+            [0.93f64, 0.67].map(|u| {
+                accuracy_point(
                     scale,
-                    regular,
-                    cross,
+                    format!("{name}, {:.0}%", u * 100.0),
+                    u,
                     policy.clone(),
                     CrossSpec::Uniform {
-                        target_utilization: *target,
+                        target_utilization: u,
                     },
-                );
-                results
-                    .lock()
-                    .expect("fig4 results poisoned")
-                    .push((label.clone(), *target, out));
-            });
-        }
-    });
-    let mut v = results.into_inner().expect("fig4 results poisoned");
+                    0,
+                )
+            })
+        })
+        .collect();
+    let sweep = TwoHopSweep {
+        seed: scale.base_seed,
+        points,
+        regular: &regular,
+        crosses: vec![&cross],
+    };
+    let mut v = run_two_hop_sweep(&sweep, runner);
     v.sort_by(|a, b| a.0.cmp(&b.0));
     v
 }
 
 /// Figure 4(a): CDFs of per-flow *mean* relative error.
-pub fn fig4a(scale: &Scale) -> Vec<AccuracyCurve> {
-    fig4_runs(scale)
+pub fn fig4a(scale: &Scale, runner: &SweepRunner) -> Vec<AccuracyCurve> {
+    fig4_runs(scale, runner)
         .into_iter()
         .map(|(label, target, out)| {
             let errors = out.mean_errors.clone();
@@ -154,8 +159,8 @@ pub fn fig4a(scale: &Scale) -> Vec<AccuracyCurve> {
 }
 
 /// Figure 4(b): CDFs of per-flow *standard deviation* relative error.
-pub fn fig4b(scale: &Scale) -> Vec<AccuracyCurve> {
-    fig4_runs(scale)
+pub fn fig4b(scale: &Scale, runner: &SweepRunner) -> Vec<AccuracyCurve> {
+    fig4_runs(scale, runner)
         .into_iter()
         .map(|(label, target, out)| {
             let errors = out.std_errors.clone();
@@ -179,7 +184,7 @@ fn burst_shape(duration: SimDuration) -> (SimDuration, SimDuration) {
 /// rate) so that on-periods genuinely overload the bottleneck — the regime
 /// behind the paper's 117 µs average at 67% — while the off-periods drain
 /// it; the long-run average still meets the utilization target.
-pub fn fig4c(scale: &Scale) -> Vec<AccuracyCurve> {
+pub fn fig4c(scale: &Scale, runner: &SweepRunner) -> Vec<AccuracyCurve> {
     let (regular, cross) = base_traces(scale, scale.accuracy_duration);
     let cross_hot = {
         let mut tc = TwoHopConfig::paper(scale.base_seed, scale.accuracy_duration).cross_trace();
@@ -187,55 +192,49 @@ pub fn fig4c(scale: &Scale) -> Vec<AccuracyCurve> {
         generate(&tc)
     };
     let (on, off) = burst_shape(scale.accuracy_duration);
-    let specs: Vec<(String, f64, CrossSpec)> = [0.67f64, 0.34]
+    let points: Vec<TwoHopPoint> = [0.67f64, 0.34]
         .into_iter()
         .flat_map(|u| {
+            let policy = PolicyKind::Adaptive(rlir_rli::AdaptiveConfig::paper_default());
             [
-                (
+                accuracy_point(
+                    scale,
                     format!("Bursty, {:.0}%", u * 100.0),
                     u,
+                    policy.clone(),
                     CrossSpec::Bursty {
                         target_utilization: u,
                         on,
                         off,
                     },
+                    1, // the hotter cross trace: on-periods genuinely overload
                 ),
-                (
+                accuracy_point(
+                    scale,
                     format!("Random, {:.0}%", u * 100.0),
                     u,
+                    policy,
                     CrossSpec::Uniform {
                         target_utilization: u,
                     },
+                    0,
                 ),
             ]
         })
         .collect();
-    let results = std::sync::Mutex::new(Vec::new());
-    std::thread::scope(|s| {
-        for (label, target, spec) in &specs {
-            let cross = if matches!(spec, CrossSpec::Bursty { .. }) {
-                &cross_hot
-            } else {
-                &cross
-            };
-            let (regular, results) = (&regular, &results);
-            s.spawn(move || {
-                let policy = PolicyKind::Adaptive(rlir_rli::AdaptiveConfig::paper_default());
-                let out = accuracy_run(scale, regular, cross, policy, *spec);
-                let errors = out.mean_errors.clone();
-                results
-                    .lock()
-                    .expect("fig5 results poisoned")
-                    .push(AccuracyCurve::from_errors(
-                        label.clone(),
-                        *target,
-                        &out,
-                        errors,
-                    ));
-            });
-        }
-    });
-    let mut v = results.into_inner().expect("fig4c results poisoned");
+    let sweep = TwoHopSweep {
+        seed: scale.base_seed,
+        points,
+        regular: &regular,
+        crosses: vec![&cross, &cross_hot],
+    };
+    let mut v: Vec<AccuracyCurve> = run_two_hop_sweep(&sweep, runner)
+        .into_iter()
+        .map(|(label, target, out)| {
+            let errors = out.mean_errors.clone();
+            AccuracyCurve::from_errors(label, target, &out, errors)
+        })
+        .collect();
     v.sort_by(|a, b| a.label.cmp(&b.label));
     v
 }
@@ -255,33 +254,51 @@ pub struct Fig5Point {
     pub base_loss: f64,
 }
 
+/// The Fig. 5 interference setup shared by [`fig5`] and the registry's
+/// `loss_sweep` scenario: a paper two-hop base with the given policy, plus
+/// its pre-generated regular and cross traces.
+///
+/// The cross trace is generated at ≈90% of link rate (hotter than the
+/// paper's 71% base) so that keep-probability calibration can reach the
+/// 0.94–0.98 utilization points without saturating.
+pub fn interference_base(
+    policy: PolicyKind,
+    seed: u64,
+    duration: SimDuration,
+) -> (TwoHopConfig, Trace, Trace) {
+    let base = TwoHopConfig {
+        policy,
+        ..TwoHopConfig::paper(seed, duration)
+    };
+    let regular = generate(&base.regular_trace());
+    let cross = {
+        let mut tc = base.cross_trace();
+        tc.target_utilization = 0.90;
+        generate(&tc)
+    };
+    (base, regular, cross)
+}
+
 /// Figure 5: reference-packet interference sweep for both policies.
 ///
-/// The sweep's cross trace is generated at ≈90% of link rate (hotter than
-/// the paper's 71% base) so that keep-probability calibration can reach the
-/// 0.94–0.98 utilization points without saturating.
-pub fn fig5(scale: &Scale) -> Vec<Fig5Point> {
+/// See [`interference_base`] for the cross-trace calibration rationale.
+pub fn fig5(scale: &Scale, runner: &SweepRunner) -> Vec<Fig5Point> {
     let targets = LossSweepConfig::paper_targets();
     let mut out = Vec::new();
     for (name, policy) in paper_policies() {
         // Accumulate across seeds.
         let mut acc: Vec<(f64, f64, f64)> = vec![(0.0, 0.0, 0.0); targets.len()];
         for s in 0..scale.seeds {
-            let base = TwoHopConfig {
-                policy: policy.clone(),
-                ..TwoHopConfig::paper(scale.base_seed + s, scale.interference_duration)
-            };
-            let regular = generate(&base.regular_trace());
-            let cross = {
-                let mut tc = base.cross_trace();
-                tc.target_utilization = 0.90;
-                generate(&tc)
-            };
+            let (base, regular, cross) = interference_base(
+                policy.clone(),
+                scale.base_seed + s,
+                scale.interference_duration,
+            );
             let sweep = LossSweepConfig {
                 base,
                 targets: targets.clone(),
             };
-            for (i, p) in run_loss_sweep_on(&sweep, &regular, &cross)
+            for (i, p) in run_loss_sweep_on(&sweep, &regular, &cross, runner)
                 .iter()
                 .enumerate()
             {
@@ -328,8 +345,8 @@ pub struct DemuxRow {
 /// correlation with the delay of a packet that traverses a different path",
 /// §1). With homogeneous paths even the naive receiver looks fine, which is
 /// precisely why the paper's warning is about multipath *divergence*.
-pub fn demux_ablation(scale: &Scale) -> Vec<DemuxRow> {
-    [CoreDemux::Naive, CoreDemux::Marking, CoreDemux::ReverseEcmp]
+pub fn demux_ablation(scale: &Scale, runner: &SweepRunner) -> Vec<DemuxRow> {
+    let points = [CoreDemux::Naive, CoreDemux::Marking, CoreDemux::ReverseEcmp]
         .into_iter()
         .map(|mode| {
             let mut cfg = FatTreeExpConfig::paper(scale.base_seed, scale.fattree_duration);
@@ -338,13 +355,22 @@ pub fn demux_ablation(scale: &Scale) -> Vec<DemuxRow> {
                 core_ordinal: 0,
                 extra_processing: SimDuration::from_micros(150),
             });
-            let out = run_fattree(&cfg);
+            (mode.label().to_string(), cfg)
+        })
+        .collect();
+    let sweep = FatTreeSweep {
+        seed: scale.base_seed,
+        points,
+    };
+    run_fattree_sweep(&sweep, runner)
+        .into_iter()
+        .map(|(mode, out)| {
             let med = |v: &[f64]| {
                 let finite: Vec<f64> = v.iter().copied().filter(|x| x.is_finite()).collect();
                 Ecdf::new(finite).median().unwrap_or(f64::NAN)
             };
             DemuxRow {
-                mode: mode.label().to_string(),
+                mode,
                 accuracy: out.demux_accuracy(),
                 seg1_median_error: med(&out.seg1_errors),
                 seg2_median_error: med(&out.seg2_errors),
@@ -366,14 +392,25 @@ pub struct InterpRow {
 }
 
 /// Interpolation-estimator ablation at 93% utilization (static 1-and-100).
-pub fn interp_ablation(scale: &Scale) -> Vec<InterpRow> {
+pub fn interp_ablation(scale: &Scale, runner: &SweepRunner) -> Vec<InterpRow> {
     let (regular, cross) = base_traces(scale, scale.accuracy_duration);
-    Interpolator::all()
+    let points = Interpolator::all()
         .into_iter()
         .map(|interp| {
             let mut cfg = TwoHopConfig::paper(scale.base_seed, scale.accuracy_duration);
             cfg.interpolator = interp;
-            let out = run_two_hop_on(&cfg, &regular, &cross);
+            TwoHopPoint::new(interp.label(), 0.93, cfg)
+        })
+        .collect();
+    let sweep = TwoHopSweep {
+        seed: scale.base_seed,
+        points,
+        regular: &regular,
+        crosses: vec![&cross],
+    };
+    run_two_hop_sweep(&sweep, runner)
+        .into_iter()
+        .map(|(label, _, out)| {
             let e = Ecdf::new(
                 out.mean_errors
                     .iter()
@@ -382,7 +419,7 @@ pub fn interp_ablation(scale: &Scale) -> Vec<InterpRow> {
                     .collect(),
             );
             InterpRow {
-                interpolator: interp.label().to_string(),
+                interpolator: label,
                 median_error: e.median().unwrap_or(f64::NAN),
                 p90_error: e.quantile(0.9).unwrap_or(f64::NAN),
             }
@@ -403,7 +440,7 @@ pub struct SyncRow {
 }
 
 /// Clock-synchronisation-error sensitivity at 93% utilization.
-pub fn sync_ablation(scale: &Scale) -> Vec<SyncRow> {
+pub fn sync_ablation(scale: &Scale, runner: &SweepRunner) -> Vec<SyncRow> {
     let (regular, cross) = base_traces(scale, scale.accuracy_duration);
     let scenarios: Vec<(&str, ClockPair)> = vec![
         ("perfect", ClockPair::perfect()),
@@ -429,12 +466,23 @@ pub fn sync_ablation(scale: &Scale) -> Vec<SyncRow> {
             },
         ),
     ];
-    scenarios
+    let points = scenarios
         .into_iter()
         .map(|(name, clocks)| {
             let mut cfg = TwoHopConfig::paper(scale.base_seed, scale.accuracy_duration);
             cfg.clocks = clocks;
-            let out = run_two_hop_on(&cfg, &regular, &cross);
+            TwoHopPoint::new(name, 0.93, cfg)
+        })
+        .collect();
+    let sweep = TwoHopSweep {
+        seed: scale.base_seed,
+        points,
+        regular: &regular,
+        crosses: vec![&cross],
+    };
+    run_two_hop_sweep(&sweep, runner)
+        .into_iter()
+        .map(|(name, _, out)| {
             let e = Ecdf::new(
                 out.mean_errors
                     .iter()
@@ -451,7 +499,7 @@ pub fn sync_ablation(scale: &Scale) -> Vec<SyncRow> {
                 }
             }
             SyncRow {
-                scenario: name.to_string(),
+                scenario: name,
                 median_error: e.median().unwrap_or(f64::NAN),
                 mean_abs_error_ns: abs.mean().unwrap_or(f64::NAN),
             }
@@ -657,19 +705,30 @@ pub struct QuantileRow {
 /// A7: per-flow p90 tail-latency accuracy at 93% utilization — the RLI line
 /// of work's extension beyond means and standard deviations, using P²
 /// streaming quantile trackers (O(1) memory per flow).
-pub fn quantile_accuracy(scale: &Scale) -> Vec<QuantileRow> {
+pub fn quantile_accuracy(scale: &Scale, runner: &SweepRunner) -> Vec<QuantileRow> {
     let (regular, cross) = base_traces(scale, scale.accuracy_duration);
-    paper_policies()
+    let points = paper_policies()
         .into_iter()
         .map(|(name, policy)| {
             let mut cfg = TwoHopConfig::paper(scale.base_seed, scale.accuracy_duration);
             cfg.policy = policy;
             cfg.track_quantile = Some(0.9);
-            let out = run_two_hop_on(&cfg, &regular, &cross);
+            TwoHopPoint::new(name, 0.93, cfg)
+        })
+        .collect();
+    let sweep = TwoHopSweep {
+        seed: scale.base_seed,
+        points,
+        regular: &regular,
+        crosses: vec![&cross],
+    };
+    run_two_hop_sweep(&sweep, runner)
+        .into_iter()
+        .map(|(name, _, out)| {
             let finite =
                 |v: &[f64]| -> Vec<f64> { v.iter().copied().filter(|x| x.is_finite()).collect() };
             QuantileRow {
-                policy: name.to_string(),
+                policy: name,
                 p: 0.9,
                 median_error: Ecdf::new(finite(&out.quantile_errors))
                     .median()

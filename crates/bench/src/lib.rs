@@ -9,10 +9,14 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod emit;
 pub mod figures;
 pub mod output;
+pub mod registry;
 pub mod scale;
 
+pub use emit::*;
 pub use figures::*;
 pub use output::{write_csv, OutputDir};
+pub use registry::{build_registry, RunContext};
 pub use scale::Scale;

@@ -1,0 +1,304 @@
+//! The concrete scenario registrations behind `experiments list` /
+//! `experiments run <name> [--threads N]`.
+//!
+//! Each entry wraps one harness in a closure that runs it at the ambient
+//! [`Scale`] on the caller's [`SweepRunner`], prints the terminal summary
+//! and persists the CSV series — so adding a workload to the binary is one
+//! `register` call, not a new subcommand.
+
+use crate::emit::{
+    emit_demux, emit_fig5, emit_interp, emit_quantiles, emit_sync, print_shape_checks,
+};
+use crate::figures::{
+    demux_ablation, fig4a, fig4a_shape_checks, fig5, fig5_shape_checks, interference_base,
+    interp_ablation, quantile_accuracy, sync_ablation,
+};
+use crate::output::{write_csv, OutputDir};
+use crate::scale::Scale;
+use rlir::experiment::{
+    run_asymmetric, run_incast, AsymmetricConfig, IncastConfig, LossSweepConfig,
+};
+use rlir_exec::ScenarioRegistry;
+use rlir_rli::PolicyKind;
+
+/// Everything a registered scenario needs besides the runner.
+pub struct RunContext {
+    /// Scale knobs (durations, seeds).
+    pub scale: Scale,
+    /// Where CSV series land.
+    pub out: OutputDir,
+}
+
+/// Build the registry of runnable scenarios.
+pub fn build_registry() -> ScenarioRegistry<RunContext> {
+    let mut reg: ScenarioRegistry<RunContext> = ScenarioRegistry::new();
+
+    reg.register(
+        "two_hop",
+        "Fig. 4(a) accuracy grid: {Adaptive, Static} x {67%, 93%} on the two-hop tandem",
+        |ctx, runner| {
+            let curves = fig4a(&ctx.scale, runner);
+            println!("== two_hop: per-flow mean-error CDFs (random cross traffic) ==");
+            for c in &curves {
+                println!("  {}", c.summary());
+            }
+            print_shape_checks(&fig4a_shape_checks(&curves));
+            let csv = write_csv(
+                "label,target_utilization,utilization,median_error,frac_below_10pct,flows",
+                curves.iter().map(|c| {
+                    format!(
+                        "{},{},{},{},{},{}",
+                        c.label,
+                        c.target_utilization,
+                        c.utilization,
+                        c.median_error,
+                        c.frac_below_10pct,
+                        c.flows
+                    )
+                }),
+            );
+            ctx.out.write("scenario_two_hop.csv", &csv)?;
+            Ok(())
+        },
+    );
+
+    reg.register(
+        "loss_sweep",
+        "Fig. 5 interference sweep: loss-rate difference caused by reference packets",
+        |ctx, runner| {
+            let (base, regular, cross) = interference_base(
+                PolicyKind::Static { n: 100 },
+                ctx.scale.base_seed,
+                ctx.scale.interference_duration,
+            );
+            let cfg = LossSweepConfig {
+                base,
+                targets: LossSweepConfig::paper_targets(),
+            };
+            let points = rlir::experiment::run_loss_sweep_on(&cfg, &regular, &cross, runner);
+            println!("== loss_sweep: reference-packet interference (static 1-and-100) ==");
+            println!(
+                "  {:>8} {:>10} {:>16} {:>12}",
+                "target", "realised", "loss diff", "refs"
+            );
+            for p in &points {
+                println!(
+                    "  {:>7.0}% {:>9.1}% {:>15.6}% {:>12}",
+                    p.target_utilization * 100.0,
+                    p.utilization * 100.0,
+                    p.loss_difference() * 100.0,
+                    p.refs_emitted
+                );
+            }
+            let csv = write_csv(
+                "target_utilization,utilization,loss_with_refs,loss_without_refs,refs_emitted",
+                points.iter().map(|p| {
+                    format!(
+                        "{},{},{},{},{}",
+                        p.target_utilization,
+                        p.utilization,
+                        p.loss_with_refs,
+                        p.loss_without_refs,
+                        p.refs_emitted
+                    )
+                }),
+            );
+            ctx.out.write("scenario_loss_sweep.csv", &csv)?;
+            Ok(())
+        },
+    );
+
+    reg.register(
+        "fattree",
+        "S3 RLIR fat-tree demux ablation: naive vs marking vs reverse-ECMP",
+        |ctx, runner| {
+            emit_demux(
+                "fattree: demultiplexing ablation (k = 4)",
+                &demux_ablation(&ctx.scale, runner),
+                "scenario_fattree.csv",
+                &ctx.out,
+            )
+        },
+    );
+
+    reg.register(
+        "asymmetric",
+        "NEW: round-trip measurement under asymmetric routing (per-direction RLI attribution)",
+        |ctx, runner| {
+            let cfg = AsymmetricConfig::paper(ctx.scale.base_seed, ctx.scale.accuracy_duration);
+            let points = run_asymmetric(&cfg, runner);
+            println!("== asymmetric: forward fixed at 50%, reverse path swept ==");
+            println!(
+                "  {:>8} {:>8} {:>8} {:>9} {:>9} {:>9} {:>11} {:>7}",
+                "rev tgt", "fwd", "rev", "fwd err", "rev err", "rtt err", "attribution", "flows"
+            );
+            for p in &points {
+                println!(
+                    "  {:>7.0}% {:>7.1}% {:>7.1}% {:>8.2}% {:>8.2}% {:>8.2}% {:>10.1}% {:>7}",
+                    p.target_reverse_utilization * 100.0,
+                    p.forward_utilization * 100.0,
+                    p.reverse_utilization * 100.0,
+                    p.forward_median_error * 100.0,
+                    p.reverse_median_error * 100.0,
+                    p.rtt_median_error * 100.0,
+                    p.attribution_accuracy * 100.0,
+                    p.paired_flows
+                );
+            }
+            let csv = write_csv(
+                "target_reverse_utilization,forward_utilization,reverse_utilization,forward_median_error,reverse_median_error,rtt_median_error,attribution_accuracy,paired_flows",
+                points.iter().map(|p| {
+                    format!(
+                        "{},{},{},{},{},{},{},{}",
+                        p.target_reverse_utilization,
+                        p.forward_utilization,
+                        p.reverse_utilization,
+                        p.forward_median_error,
+                        p.reverse_median_error,
+                        p.rtt_median_error,
+                        p.attribution_accuracy,
+                        p.paired_flows
+                    )
+                }),
+            );
+            ctx.out.write("scenario_asymmetric.csv", &csv)?;
+            Ok(())
+        },
+    );
+
+    reg.register(
+        "incast",
+        "NEW: synchronized burst fan-in on the fat-tree (per-flow accuracy vs fan-in)",
+        |ctx, runner| {
+            let cfg = IncastConfig::paper(ctx.scale.base_seed, ctx.scale.fattree_duration);
+            let points = run_incast(&cfg, runner);
+            println!("== incast: synchronized 20%-duty bursts into one destination ToR ==");
+            println!(
+                "  {:>7} {:>13} {:>13} {:>14} {:>10} {:>10}",
+                "fan-in", "seg1 med err", "seg2 med err", "seg2 delay µs", "demux", "delivered"
+            );
+            for p in &points {
+                println!(
+                    "  {:>7} {:>12.2}% {:>12.2}% {:>14.1} {:>9.1}% {:>10}",
+                    p.fan_in,
+                    p.seg1_median_error * 100.0,
+                    p.seg2_median_error * 100.0,
+                    p.seg2_true_delay_us,
+                    p.demux_accuracy * 100.0,
+                    p.measured_delivered
+                );
+            }
+            let csv = write_csv(
+                "fan_in,seg1_median_error,seg2_median_error,seg2_true_delay_us,demux_accuracy,measured_delivered,refs_emitted",
+                points.iter().map(|p| {
+                    format!(
+                        "{},{},{},{},{},{},{}",
+                        p.fan_in,
+                        p.seg1_median_error,
+                        p.seg2_median_error,
+                        p.seg2_true_delay_us,
+                        p.demux_accuracy,
+                        p.measured_delivered,
+                        p.refs_emitted
+                    )
+                }),
+            );
+            ctx.out.write("scenario_incast.csv", &csv)?;
+            Ok(())
+        },
+    );
+
+    reg.register(
+        "interference",
+        "Fig. 5 with seed averaging and both policies (the full figure)",
+        |ctx, runner| {
+            let points = fig5(&ctx.scale, runner);
+            emit_fig5(
+                &format!(
+                    "interference: Fig. 5, both policies, {} seed(s)",
+                    ctx.scale.seeds
+                ),
+                &points,
+                &fig5_shape_checks(&points),
+                "scenario_interference.csv",
+                &ctx.out,
+            )
+        },
+    );
+
+    reg.register(
+        "interp",
+        "A2: interpolation-estimator ablation at 93% utilization",
+        |ctx, runner| {
+            emit_interp(
+                "interp: estimator ablation",
+                &interp_ablation(&ctx.scale, runner),
+                "scenario_interp.csv",
+                &ctx.out,
+            )
+        },
+    );
+
+    reg.register(
+        "sync",
+        "A4: clock-synchronisation-error sensitivity at 93% utilization",
+        |ctx, runner| {
+            emit_sync(
+                "sync: clock sensitivity",
+                &sync_ablation(&ctx.scale, runner),
+                "scenario_sync.csv",
+                &ctx.out,
+            )
+        },
+    );
+
+    reg.register(
+        "quantiles",
+        "A7: per-flow p90 tail-latency accuracy at 93% utilization",
+        |ctx, runner| {
+            emit_quantiles(
+                "quantiles: per-flow p90 accuracy",
+                &quantile_accuracy(&ctx.scale, runner),
+                "scenario_quantiles.csv",
+                &ctx.out,
+            )
+        },
+    );
+
+    reg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlir_exec::SweepRunner;
+
+    #[test]
+    fn registry_resolves_the_required_scenarios() {
+        let reg = build_registry();
+        let names = reg.names();
+        assert!(reg.len() >= 5, "only {} scenarios registered", reg.len());
+        for required in ["two_hop", "loss_sweep", "fattree", "asymmetric", "incast"] {
+            assert!(names.contains(&required), "missing scenario {required}");
+        }
+    }
+
+    #[test]
+    fn loss_sweep_scenario_runs_end_to_end() {
+        let dir = std::env::temp_dir().join("rlir-registry-smoke");
+        let ctx = RunContext {
+            scale: Scale {
+                accuracy_duration: rlir_net::time::SimDuration::from_millis(10),
+                interference_duration: rlir_net::time::SimDuration::from_millis(10),
+                fattree_duration: rlir_net::time::SimDuration::from_millis(10),
+                seeds: 1,
+                base_seed: 42,
+            },
+            out: OutputDir::at(&dir).unwrap(),
+        };
+        build_registry()
+            .run("loss_sweep", &ctx, &SweepRunner::new(2))
+            .unwrap();
+        assert!(dir.join("scenario_loss_sweep.csv").exists());
+    }
+}

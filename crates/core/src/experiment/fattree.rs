@@ -68,6 +68,10 @@ pub struct FatTreeExpConfig {
     pub link_delay: SimDuration,
     /// Optional core fault.
     pub anomaly: Option<CoreAnomaly>,
+    /// Optional synchronized burst envelope applied to every *measured*
+    /// source trace (the incast regime: all sources transmit in the same
+    /// windows, fan-in collides at the destination's downlink).
+    pub burst: Option<rlir_trace::BurstShape>,
     /// Flow filter for error CDFs.
     pub min_flow_packets: u64,
 }
@@ -89,6 +93,7 @@ impl FatTreeExpConfig {
             queue: QueueConfig::oc192(),
             link_delay: SimDuration::from_micros(1),
             anomaly: None,
+            burst: None,
             min_flow_packets: 1,
         }
     }
@@ -181,7 +186,10 @@ pub fn run_fattree(cfg: &FatTreeExpConfig) -> FatTreeOutcome {
     let mut injections: Vec<(usize, Packet)> = Vec::new();
     let mut measured_traces = Vec::new();
     for (i, &src) in src_tors.iter().enumerate() {
-        let trace = rlir_trace::generate(&measured_trace_cfg(cfg, &tree, i, src, dst_tor));
+        let mut trace = rlir_trace::generate(&measured_trace_cfg(cfg, &tree, i, src, dst_tor));
+        if let Some(shape) = cfg.burst {
+            trace = rlir_trace::compress_into_bursts(&trace, shape);
+        }
         injections.extend(trace.packets.iter().map(|p| (src, *p)));
         measured_traces.push((src, trace));
     }
@@ -532,6 +540,53 @@ fn extract_measurements(
         measured_delivered,
         refs_emitted,
     }
+}
+
+/// A labeled batch of fat-tree runs (demux ablations, incast fan-in
+/// sweeps, …) executed by the shared [`rlir_exec::SweepRunner`]. Each point
+/// is a self-contained config; runs are independent and seed-deterministic.
+pub struct FatTreeSweep {
+    /// Master seed for point-context derivation.
+    pub seed: u64,
+    /// `(label, config)` per point.
+    pub points: Vec<(String, FatTreeExpConfig)>,
+}
+
+impl rlir_exec::Scenario for FatTreeSweep {
+    type Point = (String, FatTreeExpConfig);
+    type Outcome = (String, FatTreeOutcome);
+    type Aggregate = Vec<(String, FatTreeOutcome)>;
+
+    fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    fn points(&self) -> Vec<(String, FatTreeExpConfig)> {
+        self.points.clone()
+    }
+
+    fn run_point(
+        &self,
+        _ctx: &rlir_exec::PointContext,
+        (label, cfg): &(String, FatTreeExpConfig),
+    ) -> (String, FatTreeOutcome) {
+        (label.clone(), run_fattree(cfg))
+    }
+
+    fn aggregate(
+        &self,
+        outcomes: impl Iterator<Item = (String, FatTreeOutcome)>,
+    ) -> Vec<(String, FatTreeOutcome)> {
+        outcomes.collect()
+    }
+}
+
+/// Run a labeled fat-tree batch through the shared executor.
+pub fn run_fattree_sweep(
+    sweep: &FatTreeSweep,
+    runner: &rlir_exec::SweepRunner,
+) -> Vec<(String, FatTreeOutcome)> {
+    runner.run(sweep)
 }
 
 #[cfg(test)]

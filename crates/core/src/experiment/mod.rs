@@ -1,18 +1,38 @@
 //! Ready-made experiment harnesses reproducing the paper's evaluation.
 //!
+//! Every harness is a [`rlir_exec::Scenario`] executed by the shared
+//! [`rlir_exec::SweepRunner`] — one worker pool, deterministic point order,
+//! derived per-point seeds, thread-count-invariant results.
+//!
 //! * [`two_hop`] — the Fig. 3 controlled environment behind Figs. 4(a)–(c)
 //!   (per-flow accuracy under cross traffic) and Fig. 5 (reference-packet
-//!   interference).
+//!   interference); [`two_hop::TwoHopSweep`] runs labeled config grids.
 //! * [`loss_sweep`] — the paired with/without-references utilization sweep
 //!   of Fig. 5.
 //! * [`fattree`] — the §3 RLIR architecture on a k-ary fat-tree: partial
 //!   deployment, reference-stream engineering, demultiplexing ablations and
-//!   anomaly localization.
+//!   anomaly localization; [`fattree::FatTreeSweep`] runs labeled batches.
+//! * [`asymmetric`] — round-trip measurement when forward and reverse
+//!   traverse different queues: per-direction RLI attribution under
+//!   progressively asymmetric load.
+//! * [`incast`] — synchronized burst fan-in on the fat-tree: per-flow
+//!   estimate accuracy as partition–aggregate bursts steepen.
 
+pub mod asymmetric;
 pub mod fattree;
+pub mod incast;
 pub mod loss_sweep;
 pub mod two_hop;
 
-pub use fattree::{run_fattree, CoreAnomaly, FatTreeExpConfig, FatTreeOutcome};
-pub use loss_sweep::{run_loss_sweep, run_loss_sweep_on, LossPoint, LossSweepConfig};
-pub use two_hop::{run_two_hop, run_two_hop_on, CrossSpec, TwoHopConfig, TwoHopOutcome};
+pub use asymmetric::{
+    asymmetric_traces, run_asymmetric, AsymmetricConfig, AsymmetricPoint, AsymmetricSweep,
+};
+pub use fattree::{
+    run_fattree, run_fattree_sweep, CoreAnomaly, FatTreeExpConfig, FatTreeOutcome, FatTreeSweep,
+};
+pub use incast::{run_incast, IncastConfig, IncastPoint, IncastSweep};
+pub use loss_sweep::{run_loss_sweep, run_loss_sweep_on, LossPoint, LossSweep, LossSweepConfig};
+pub use two_hop::{
+    run_two_hop, run_two_hop_on, run_two_hop_sweep, CrossSpec, TwoHopConfig, TwoHopOutcome,
+    TwoHopPoint, TwoHopSweep,
+};

@@ -1,0 +1,174 @@
+//! String-keyed scenario registry.
+//!
+//! The `experiments` binary resolves scenario names (`experiments run
+//! loss_sweep --threads 4`) through a [`ScenarioRegistry`]. The registry is
+//! generic over a context type `Ctx` (scale knobs, output directory, …) so
+//! this crate stays free of harness-specific types; the concrete
+//! registrations live next to the harnesses.
+
+use crate::runner::SweepRunner;
+
+/// The boxed run function a registry entry stores.
+type RunFn<Ctx> = Box<dyn Fn(&Ctx, &SweepRunner) -> std::io::Result<()> + Send + Sync>;
+
+/// A registered, runnable scenario.
+pub struct ScenarioEntry<Ctx> {
+    name: &'static str,
+    summary: &'static str,
+    run: RunFn<Ctx>,
+}
+
+impl<Ctx> ScenarioEntry<Ctx> {
+    /// The key `run <name>` resolves.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// One-line description shown by `list`.
+    pub fn summary(&self) -> &'static str {
+        self.summary
+    }
+}
+
+/// Why [`ScenarioRegistry::run`] failed.
+#[derive(Debug)]
+pub enum RegistryError {
+    /// No scenario registered under the requested name; carries the list
+    /// of known names (in registration order) for the error message.
+    Unknown {
+        /// The name that failed to resolve.
+        name: String,
+        /// Every registered name, in registration order.
+        known: Vec<&'static str>,
+    },
+    /// The scenario ran but its output failed.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegistryError::Unknown { name, known } => {
+                write!(f, "unknown scenario {name:?}; known: {}", known.join(", "))
+            }
+            RegistryError::Io(e) => write!(f, "scenario output failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+/// Maps scenario names to runnable entries.
+pub struct ScenarioRegistry<Ctx> {
+    entries: Vec<ScenarioEntry<Ctx>>,
+}
+
+impl<Ctx> Default for ScenarioRegistry<Ctx> {
+    fn default() -> Self {
+        ScenarioRegistry {
+            entries: Vec::new(),
+        }
+    }
+}
+
+impl<Ctx> ScenarioRegistry<Ctx> {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register `name` → `run`. Panics on duplicate names — registries are
+    /// built once at startup, so a duplicate is a programming error.
+    pub fn register(
+        &mut self,
+        name: &'static str,
+        summary: &'static str,
+        run: impl Fn(&Ctx, &SweepRunner) -> std::io::Result<()> + Send + Sync + 'static,
+    ) {
+        assert!(
+            self.entries.iter().all(|e| e.name != name),
+            "duplicate scenario name {name:?}"
+        );
+        self.entries.push(ScenarioEntry {
+            name,
+            summary,
+            run: Box::new(run),
+        });
+    }
+
+    /// Registered entries, in registration order.
+    pub fn entries(&self) -> impl Iterator<Item = &ScenarioEntry<Ctx>> {
+        self.entries.iter()
+    }
+
+    /// Every registered name, in registration order.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.entries.iter().map(|e| e.name).collect()
+    }
+
+    /// Number of registered scenarios.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Resolve `name` and run it with the given context and runner.
+    pub fn run(&self, name: &str, ctx: &Ctx, runner: &SweepRunner) -> Result<(), RegistryError> {
+        let entry = self
+            .entries
+            .iter()
+            .find(|e| e.name == name)
+            .ok_or_else(|| RegistryError::Unknown {
+                name: name.to_string(),
+                known: self.names(),
+            })?;
+        (entry.run)(ctx, runner).map_err(RegistryError::Io)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn registers_lists_and_runs() {
+        let hits = Arc::new(AtomicUsize::new(0));
+        let mut reg: ScenarioRegistry<u32> = ScenarioRegistry::new();
+        let h = hits.clone();
+        reg.register("alpha", "first", move |ctx, runner| {
+            assert_eq!(*ctx, 7);
+            assert_eq!(runner.threads(), 2);
+            h.fetch_add(1, Ordering::SeqCst);
+            Ok(())
+        });
+        reg.register("beta", "second", |_, _| Ok(()));
+        assert_eq!(reg.names(), vec!["alpha", "beta"]);
+        assert_eq!(reg.len(), 2);
+        assert!(!reg.is_empty());
+        reg.run("alpha", &7, &SweepRunner::new(2)).unwrap();
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn unknown_name_lists_known() {
+        let mut reg: ScenarioRegistry<()> = ScenarioRegistry::new();
+        reg.register("alpha", "first", |_, _| Ok(()));
+        let err = reg.run("nope", &(), &SweepRunner::single()).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("nope") && msg.contains("alpha"), "{msg}");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate scenario name")]
+    fn duplicate_names_panic() {
+        let mut reg: ScenarioRegistry<()> = ScenarioRegistry::new();
+        reg.register("alpha", "first", |_, _| Ok(()));
+        reg.register("alpha", "again", |_, _| Ok(()));
+    }
+}

@@ -1,0 +1,74 @@
+//! The [`Scenario`] abstraction every experiment harness implements.
+
+use crate::seed::derive_seed;
+
+/// Everything a sweep point needs besides the point itself: its position in
+/// the deterministic point order and its derived RNG seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PointContext {
+    /// Index of this point in [`Scenario::points`] order.
+    pub index: usize,
+    /// Total number of points in the sweep.
+    pub total: usize,
+    /// Per-point RNG seed, [`derive_seed`]`(scenario.seed(), index)` — a
+    /// pure function of the configuration, never of scheduling.
+    pub seed: u64,
+}
+
+impl PointContext {
+    /// Build the context for point `index` of a `total`-point sweep seeded
+    /// by `master`.
+    pub fn new(master: u64, index: usize, total: usize) -> Self {
+        PointContext {
+            index,
+            total,
+            seed: derive_seed(master, index as u64),
+        }
+    }
+}
+
+/// One experiment: a finite list of points, a deterministic per-point run,
+/// and an order-preserving aggregation.
+///
+/// The contract that makes [`crate::SweepRunner`] thread-count-invariant:
+///
+/// * [`points`](Scenario::points) is deterministic in the configuration;
+/// * [`run_point`](Scenario::run_point) depends only on `(ctx, point)` —
+///   all randomness must come from `ctx.seed` (or be fixed in the point);
+/// * [`aggregate`](Scenario::aggregate) receives outcomes **in point
+///   order** regardless of which worker finished first, so it needs no
+///   order-independence of its own.
+pub trait Scenario: Sync {
+    /// One sweep point (a utilization target, a labeled config, …).
+    type Point: Sync;
+    /// What one point produces.
+    type Outcome: Send;
+    /// What the whole sweep produces.
+    type Aggregate;
+
+    /// Master seed; every point derives its own seed from it.
+    fn seed(&self) -> u64;
+
+    /// The sweep points, in deterministic order.
+    fn points(&self) -> Vec<Self::Point>;
+
+    /// Run one point. Must be a pure function of `(ctx, point)` plus the
+    /// scenario's immutable shared state (e.g. pre-generated base traces).
+    fn run_point(&self, ctx: &PointContext, point: &Self::Point) -> Self::Outcome;
+
+    /// Fold the outcomes, streamed in point order, into the final result.
+    fn aggregate(&self, outcomes: impl Iterator<Item = Self::Outcome>) -> Self::Aggregate;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_seed_is_derived_not_positional() {
+        let a = PointContext::new(42, 3, 9);
+        assert_eq!(a.seed, derive_seed(42, 3));
+        assert_ne!(a.seed, PointContext::new(42, 4, 9).seed);
+        assert_ne!(a.seed, PointContext::new(43, 3, 9).seed);
+    }
+}

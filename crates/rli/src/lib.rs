@@ -27,6 +27,8 @@ pub mod sender;
 
 pub use flowstats::{FlowAccumulator, FlowReport, FlowTable, SipFlowTable};
 pub use interpolate::{DelaySample, Interpolator, Segment};
-pub use policy::{AdaptiveConfig, AdaptivePolicy, InjectionPolicy, PolicyKind, StaticPolicy};
+pub use policy::{
+    AdaptiveConfig, AdaptivePolicy, InjectionPolicy, Policy, PolicyKind, StaticPolicy,
+};
 pub use receiver::{EstimateRecord, ReceiverConfig, ReceiverCounters, ReceiverReport, RliReceiver};
 pub use sender::{InstrumentedStream, RliSender, REF_ID_BASE};

@@ -157,6 +157,74 @@ impl InjectionPolicy for AdaptivePolicy {
     }
 }
 
+/// Enum-dispatch policy used on the sender hot path.
+///
+/// [`crate::RliSender`] consults its policy once per observed regular
+/// packet; boxing that behind `dyn InjectionPolicy` costs an indirect call
+/// per packet. The two shipped policies are dispatched statically through
+/// this enum; the trait remains the extension point — any other
+/// implementation rides along as [`Policy::Custom`] (still boxed, still
+/// object-dispatched), and the differential test below pins the enum and
+/// boxed forms to identical injection sequences.
+pub enum Policy {
+    /// The static 1-and-n scheme, statically dispatched.
+    Static(StaticPolicy),
+    /// The adaptive scheme, statically dispatched.
+    Adaptive(AdaptivePolicy),
+    /// An out-of-tree policy behind the extension trait.
+    Custom(Box<dyn InjectionPolicy + Send>),
+}
+
+impl std::fmt::Debug for Policy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Policy::Static(p) => f.debug_tuple("Static").field(p).finish(),
+            Policy::Adaptive(p) => f.debug_tuple("Adaptive").field(p).finish(),
+            Policy::Custom(p) => f
+                .debug_tuple("Custom")
+                .field(&format_args!("1-and-{}", p.current_n()))
+                .finish(),
+        }
+    }
+}
+
+impl InjectionPolicy for Policy {
+    #[inline]
+    fn on_regular(&mut self, now_ns: u64, bytes: u32) -> bool {
+        match self {
+            Policy::Static(p) => p.on_regular(now_ns, bytes),
+            Policy::Adaptive(p) => p.on_regular(now_ns, bytes),
+            Policy::Custom(p) => p.on_regular(now_ns, bytes),
+        }
+    }
+
+    fn current_n(&self) -> u32 {
+        match self {
+            Policy::Static(p) => p.current_n(),
+            Policy::Adaptive(p) => p.current_n(),
+            Policy::Custom(p) => p.current_n(),
+        }
+    }
+}
+
+impl From<StaticPolicy> for Policy {
+    fn from(p: StaticPolicy) -> Self {
+        Policy::Static(p)
+    }
+}
+
+impl From<AdaptivePolicy> for Policy {
+    fn from(p: AdaptivePolicy) -> Self {
+        Policy::Adaptive(p)
+    }
+}
+
+impl From<Box<dyn InjectionPolicy + Send>> for Policy {
+    fn from(p: Box<dyn InjectionPolicy + Send>) -> Self {
+        Policy::Custom(p)
+    }
+}
+
 /// Serialisable policy selector used by experiment configs.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub enum PolicyKind {
@@ -170,11 +238,11 @@ pub enum PolicyKind {
 }
 
 impl PolicyKind {
-    /// Instantiate the policy.
-    pub fn build(&self) -> Box<dyn InjectionPolicy + Send> {
+    /// Instantiate the policy (enum-dispatched on the hot path).
+    pub fn build(&self) -> Policy {
         match self {
-            PolicyKind::Static { n } => Box::new(StaticPolicy::one_in(*n)),
-            PolicyKind::Adaptive(cfg) => Box::new(AdaptivePolicy::new(*cfg)),
+            PolicyKind::Static { n } => Policy::Static(StaticPolicy::one_in(*n)),
+            PolicyKind::Adaptive(cfg) => Policy::Adaptive(AdaptivePolicy::new(*cfg)),
         }
     }
 
@@ -280,5 +348,39 @@ mod tests {
         let a = PolicyKind::Adaptive(AdaptiveConfig::paper_default());
         assert_eq!(a.label(), "Adaptive");
         assert_eq!(a.build().current_n(), 10);
+    }
+
+    /// Feed the same (time, bytes) stream through a policy and record the
+    /// firing sequence.
+    fn fire_sequence(p: &mut dyn InjectionPolicy, pkts: usize) -> Vec<bool> {
+        (0..pkts)
+            .map(|i| p.on_regular(i as u64 * 4_000, 400 + (i as u32 * 37) % 1100))
+            .collect()
+    }
+
+    #[test]
+    fn enum_dispatch_matches_boxed_static() {
+        let mut devirt = Policy::from(StaticPolicy::one_in(23));
+        let mut boxed =
+            Policy::from(Box::new(StaticPolicy::one_in(23)) as Box<dyn InjectionPolicy + Send>);
+        assert!(matches!(boxed, Policy::Custom(_)));
+        assert_eq!(
+            fire_sequence(&mut devirt, 500),
+            fire_sequence(&mut boxed, 500)
+        );
+        assert_eq!(devirt.current_n(), boxed.current_n());
+    }
+
+    #[test]
+    fn enum_dispatch_matches_boxed_adaptive() {
+        let mut devirt = Policy::from(AdaptivePolicy::paper_default());
+        let mut boxed = Policy::from(
+            Box::new(AdaptivePolicy::paper_default()) as Box<dyn InjectionPolicy + Send>
+        );
+        assert_eq!(
+            fire_sequence(&mut devirt, 2_000),
+            fire_sequence(&mut boxed, 2_000)
+        );
+        assert_eq!(devirt.current_n(), boxed.current_n());
     }
 }

@@ -12,7 +12,7 @@
 //! the fabric's ECMP hashes place each reference stream on the intended
 //! path. One injection event emits one reference per target.
 
-use crate::policy::InjectionPolicy;
+use crate::policy::{InjectionPolicy, Policy};
 use rlir_net::clock::ClockModel;
 use rlir_net::packet::{Packet, SenderId};
 use rlir_net::FlowKey;
@@ -27,7 +27,9 @@ pub const REF_ID_BASE: u64 = 1 << 56;
 pub struct RliSender {
     id: SenderId,
     clock: ClockModel,
-    policy: Box<dyn InjectionPolicy + Send>,
+    /// Enum-dispatched on the per-packet hot path; out-of-tree policies
+    /// ride along as [`Policy::Custom`].
+    policy: Policy,
     targets: Vec<FlowKey>,
     seq: u32,
     next_ref_id: u64,
@@ -56,20 +58,22 @@ impl RliSender {
     ///
     /// * `id` — this instance's identity, embedded in every reference packet.
     /// * `clock` — the local (possibly imperfect) timestamping clock.
-    /// * `policy` — static or adaptive injection.
+    /// * `policy` — static or adaptive injection: a [`Policy`], a concrete
+    ///   [`crate::StaticPolicy`]/[`crate::AdaptivePolicy`], or a boxed
+    ///   custom [`InjectionPolicy`] (anything `Into<Policy>`).
     /// * `targets` — one flow key per reference stream (per downstream
     ///   receiver/path). Must be non-empty.
     pub fn new(
         id: SenderId,
         clock: ClockModel,
-        policy: Box<dyn InjectionPolicy + Send>,
+        policy: impl Into<Policy>,
         targets: Vec<FlowKey>,
     ) -> Self {
         assert!(!targets.is_empty(), "sender needs at least one target");
         RliSender {
             id,
             clock,
-            policy,
+            policy: policy.into(),
             targets,
             seq: 0,
             next_ref_id: REF_ID_BASE ^ ((id.0 as u64) << 40),
@@ -231,7 +235,7 @@ mod tests {
         RliSender::new(
             SenderId(1),
             ClockModel::perfect(),
-            Box::new(StaticPolicy::one_in(n)),
+            StaticPolicy::one_in(n),
             vec![target()],
         )
     }
@@ -268,7 +272,7 @@ mod tests {
         let mut s = RliSender::new(
             SenderId(2),
             ClockModel::with_offset(500),
-            Box::new(StaticPolicy::one_in(1)),
+            StaticPolicy::one_in(1),
             vec![target()],
         );
         let r = s.observe(&regular(1, 1000)).last().copied().unwrap();
@@ -300,7 +304,7 @@ mod tests {
         let mut s = RliSender::new(
             SenderId(3),
             ClockModel::perfect(),
-            Box::new(StaticPolicy::one_in(1)),
+            StaticPolicy::one_in(1),
             vec![target(), t2],
         );
         let refs: Vec<Packet> = s.observe(&regular(1, 100)).to_vec();
@@ -333,7 +337,7 @@ mod tests {
         let mut s = RliSender::new(
             SenderId(4),
             ClockModel::perfect(),
-            Box::new(AdaptivePolicy::paper_default()),
+            AdaptivePolicy::paper_default(),
             vec![target()],
         );
         // Default spacing before utilization builds is the densest (10).

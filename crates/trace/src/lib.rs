@@ -31,4 +31,7 @@ pub mod synthetic;
 pub use divider::{TrafficClass, TrafficDivider, UnmatchedPolicy};
 pub use flowmeter::{FlowMeter, FlowMeterConfig, FlowRecord};
 pub use stats::TraceStats;
-pub use synthetic::{generate, merge, Trace, TraceClass, TraceConfig};
+pub use synthetic::{
+    compress_into_bursts, generate, merge, reverse, reverse_flow, BurstShape, Trace, TraceClass,
+    TraceConfig,
+};

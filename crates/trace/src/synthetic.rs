@@ -276,6 +276,83 @@ pub fn generate(cfg: &TraceConfig) -> Trace {
     }
 }
 
+/// An on/off burst envelope: every `period`, transmission is squeezed into
+/// the leading `duty` fraction.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct BurstShape {
+    /// Burst repetition period.
+    pub period: SimDuration,
+    /// Fraction of the period spent transmitting, in `(0, 1]`.
+    pub duty: f64,
+}
+
+/// Compress a trace into synchronized bursts: each packet keeps its period
+/// but its offset within the period is scaled by `duty`, so all sources
+/// sharing the same shape transmit in the same windows (the incast regime —
+/// the long-run average load is unchanged while the instantaneous rate is
+/// multiplied by `1/duty`).
+pub fn compress_into_bursts(trace: &Trace, shape: BurstShape) -> Trace {
+    assert!(
+        shape.duty > 0.0 && shape.duty <= 1.0,
+        "burst duty {} out of (0, 1]",
+        shape.duty
+    );
+    let period = shape.period.as_nanos().max(1);
+    let mut packets: Vec<Packet> = trace
+        .packets
+        .iter()
+        .map(|p| {
+            let t = p.created_at.as_nanos();
+            let offset = (t % period) as f64 * shape.duty;
+            let mut q = *p;
+            q.created_at = SimTime::from_nanos(t - t % period + offset as u64);
+            q
+        })
+        .collect();
+    // Compression preserves order within a period up to rounding; restore
+    // the (time, id) invariant every consumer relies on.
+    packets.sort_by_key(|p| (p.created_at, p.id));
+    Trace {
+        packets,
+        link_rate_bps: trace.link_rate_bps,
+        duration: trace.duration,
+    }
+}
+
+/// Mirror a trace into the reverse direction: every flow key is reversed
+/// (src/dst and ports swapped) while timing and sizes are kept, modelling a
+/// response stream of equal shape; packet ids are rebased at
+/// `first_packet_id` to stay disjoint from the forward trace.
+pub fn reverse(trace: &Trace, first_packet_id: u64) -> Trace {
+    let packets = trace
+        .packets
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let mut q = *p;
+            q.flow = reverse_flow(&p.flow);
+            q.id = rlir_net::packet::PacketId(first_packet_id + i as u64);
+            q
+        })
+        .collect();
+    Trace {
+        packets,
+        link_rate_bps: trace.link_rate_bps,
+        duration: trace.duration,
+    }
+}
+
+/// The reverse-direction key of a flow (src/dst and ports swapped).
+pub fn reverse_flow(flow: &FlowKey) -> FlowKey {
+    FlowKey {
+        src: flow.dst,
+        dst: flow.src,
+        proto: flow.proto,
+        sport: flow.dport,
+        dport: flow.sport,
+    }
+}
+
 /// Merge two traces (e.g. regular + cross) into a single time-ordered trace,
 /// as the paper's single input trace file contains both classes.
 pub fn merge(a: &Trace, b: &Trace) -> Trace {
@@ -400,6 +477,60 @@ mod tests {
         assert_eq!(m.packets.len(), reg.packets.len() + cross.packets.len());
         for w in m.packets.windows(2) {
             assert!(w[0].created_at <= w[1].created_at);
+        }
+    }
+
+    #[test]
+    fn burst_compression_preserves_bytes_and_order() {
+        let t = generate(&small_cfg());
+        let shape = BurstShape {
+            period: SimDuration::from_millis(5),
+            duty: 0.2,
+        };
+        let b = compress_into_bursts(&t, shape);
+        assert_eq!(b.packets.len(), t.packets.len());
+        assert_eq!(b.total_bytes(), t.total_bytes());
+        for w in b.packets.windows(2) {
+            assert!(w[0].created_at <= w[1].created_at);
+        }
+        // Every packet lands inside its period's on-window.
+        let period = shape.period.as_nanos();
+        let on = (period as f64 * shape.duty) as u64;
+        for p in &b.packets {
+            assert!(p.created_at.as_nanos() % period <= on, "{:?}", p.created_at);
+        }
+    }
+
+    #[test]
+    fn burst_compression_raises_peak_rate() {
+        let t = generate(&small_cfg());
+        let shape = BurstShape {
+            period: SimDuration::from_millis(10),
+            duty: 0.25,
+        };
+        let b = compress_into_bursts(&t, shape);
+        // Count packets in the first on-window vs the rest of the period.
+        let period = shape.period.as_nanos();
+        let on = (period as f64 * shape.duty) as u64;
+        let in_window = b
+            .packets
+            .iter()
+            .filter(|p| p.created_at.as_nanos() % period <= on)
+            .count();
+        assert_eq!(in_window, b.packets.len(), "all packets inside bursts");
+    }
+
+    #[test]
+    fn reverse_swaps_flows_and_rebases_ids() {
+        let t = generate(&small_cfg());
+        let r = reverse(&t, 1 << 39);
+        assert_eq!(r.packets.len(), t.packets.len());
+        for (f, b) in t.packets.iter().zip(&r.packets) {
+            assert_eq!(b.flow, reverse_flow(&f.flow));
+            assert_eq!(reverse_flow(&b.flow), f.flow, "reversal is an involution");
+            assert_eq!(b.created_at, f.created_at);
+            assert_eq!(b.size, f.size);
+            assert!(b.id.0 >= 1 << 39);
         }
     }
 

@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Time a registry scenario through the shared SweepRunner at 1 thread vs N
+# threads and emit BENCH_sweep.json — the wall-clock record for the parallel
+# sweep executor. Results are byte-identical for any thread count
+# (tests/sweep_determinism.rs); this script measures only elapsed time.
+#
+# Usage: scripts/sweep_bench.sh [output.json]
+# Knobs: RLIR_SWEEP_SCENARIO (default loss_sweep)
+#        RLIR_SWEEP_THREADS  (default: nproc, or 2 on a 1-CPU host so the
+#                             scheduling overhead is still measured honestly)
+#        RLIR_DURATION_MS    (default 40), RLIR_SEEDS (default 1)
+#        RLIR_SWEEP_REPS     (default 3; best-of is reported)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_sweep.json}"
+SCENARIO="${RLIR_SWEEP_SCENARIO:-loss_sweep}"
+CPUS="$(nproc)"
+if [ "$CPUS" -gt 1 ]; then
+    DEFAULT_THREADS="$CPUS"
+else
+    DEFAULT_THREADS=2
+fi
+THREADS="${RLIR_SWEEP_THREADS:-$DEFAULT_THREADS}"
+REPS="${RLIR_SWEEP_REPS:-3}"
+export RLIR_DURATION_MS="${RLIR_DURATION_MS:-40}"
+export RLIR_SEEDS="${RLIR_SEEDS:-1}"
+export RLIR_RESULTS_DIR="${RLIR_RESULTS_DIR:-results}"
+
+cargo build --release -p rlir-bench --bin experiments
+BIN=target/release/experiments
+
+# Best-of-$REPS wall-clock in milliseconds for one thread count.
+best_ms() {
+    local threads="$1" best="" start end ms
+    for _ in $(seq "$REPS"); do
+        start=$(date +%s%N)
+        "$BIN" run "$SCENARIO" --threads "$threads" >/dev/null
+        end=$(date +%s%N)
+        ms=$(((end - start) / 1000000))
+        if [ -z "$best" ] || [ "$ms" -lt "$best" ]; then best="$ms"; fi
+    done
+    echo "$best"
+}
+
+ONE_MS=$(best_ms 1)
+N_MS=$(best_ms "$THREADS")
+GIT_REV=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
+
+python3 - "$OUT" <<PY
+import json, sys
+one, n = $ONE_MS, $N_MS
+doc = {
+    "bench": "registry sweep wall-clock ($SCENARIO, RLIR_DURATION_MS=$RLIR_DURATION_MS, RLIR_SEEDS=$RLIR_SEEDS, best of $REPS)",
+    "commit": "$GIT_REV",
+    "host_cpus": $CPUS,
+    "single_thread_ms": one,
+    "multi_thread_ms": n,
+    "multi_threads": $THREADS,
+    "speedup": round(one / n, 3) if n else None,
+    "determinism": "N-thread output byte-identical to 1-thread (tests/sweep_determinism.rs)",
+}
+with open(sys.argv[1], "w") as fh:
+    json.dump(doc, fh, indent=2)
+    fh.write("\n")
+print(f"wrote {sys.argv[1]}: 1 thread {one} ms, $THREADS threads {n} ms "
+      f"({one / n:.2f}x)" if n else "zero-time run")
+PY

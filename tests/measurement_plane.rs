@@ -35,7 +35,7 @@ fn sender_to_receiver_closed_loop() {
     let mut sender = RliSender::new(
         SenderId(1),
         ClockModel::perfect(),
-        Box::new(StaticPolicy::one_in(5)),
+        StaticPolicy::one_in(5),
         vec![ref_target()],
     );
     let mut receiver: RliReceiver = RliReceiver::new(ReceiverConfig::for_sender(SenderId(1)));
@@ -76,7 +76,7 @@ fn reference_loss_degrades_gracefully() {
         let mut sender = RliSender::new(
             SenderId(1),
             ClockModel::perfect(),
-            Box::new(StaticPolicy::one_in(5)),
+            StaticPolicy::one_in(5),
             vec![ref_target()],
         );
         let mut receiver: RliReceiver = RliReceiver::new(ReceiverConfig::for_sender(SenderId(1)));
@@ -124,7 +124,7 @@ fn clock_skew_shifts_estimates_by_offset() {
     let mut sender = RliSender::new(
         SenderId(1),
         clocks.sender,
-        Box::new(StaticPolicy::one_in(4)),
+        StaticPolicy::one_in(4),
         vec![ref_target()],
     );
     let mut receiver: RliReceiver = RliReceiver::new(ReceiverConfig {
@@ -159,7 +159,7 @@ fn wire_encoding_is_transparent_to_the_receiver() {
     let mut sender = RliSender::new(
         SenderId(9),
         ClockModel::perfect(),
-        Box::new(StaticPolicy::one_in(1)),
+        StaticPolicy::one_in(1),
         vec![ref_target()],
     );
     let p = Packet::regular(1, flow(1), 700, SimTime::from_micros(5));

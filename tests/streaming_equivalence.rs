@@ -133,7 +133,7 @@ proptest! {
             RliSender::new(
                 SenderId(7),
                 ClockModel::perfect(),
-                Box::new(StaticPolicy::one_in(n)),
+                StaticPolicy::one_in(n),
                 targets,
             )
         };
@@ -162,7 +162,7 @@ fn instrument_owning_equals_by_ref() {
         RliSender::new(
             SenderId(3),
             ClockModel::perfect(),
-            Box::new(StaticPolicy::one_in(7)),
+            StaticPolicy::one_in(7),
             vec![flow(200)],
         )
     };

@@ -27,7 +27,7 @@ fn transient_congestion_is_pinned_to_its_window() {
     let mut sender = RliSender::new(
         SenderId(1),
         ClockModel::perfect(),
-        Box::new(StaticPolicy::one_in(10)),
+        StaticPolicy::one_in(10),
         vec![FlowKey::udp(
             Ipv4Addr::new(10, 0, 0, 250),
             40_000,

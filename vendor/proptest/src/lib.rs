@@ -4,9 +4,14 @@
 //! this workspace uses: the [`proptest!`] macro, [`strategy::Strategy`]
 //! with `prop_map`, [`any`], range strategies, tuple strategies,
 //! [`strategy::Just`], [`prop_oneof!`] over same-typed arms, and
-//! [`collection::vec`]. Failing inputs are reported (seed + rendered
-//! message) but **not shrunk** — rerun with the printed case seed to
-//! reproduce. Case count defaults to 64; set `PROPTEST_CASES` to override.
+//! [`collection::vec`]. Failing inputs are **minimally shrunk**: integers
+//! halve toward their range start (or zero), sequences truncate, tuples
+//! shrink component-wise — candidates are accepted while the failure
+//! persists and abandoned the moment it disappears (no backtracking), then
+//! the smallest still-failing input is reported alongside the case seed.
+//! `prop_map` and `prop_oneof!` outputs do not shrink (the mapping is not
+//! invertible). Case count defaults to 64; set `PROPTEST_CASES` to
+//! override.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -42,6 +47,68 @@ pub mod test_runner {
         }
         StdRng::seed_from_u64(h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15))
     }
+
+    /// Upper bound on accepted shrink steps (each step re-runs the body, so
+    /// this also bounds shrinking time on pathological chains).
+    pub const MAX_SHRINK_STEPS: usize = 1024;
+
+    /// Run one property end to end: [`case_count`] deterministic cases,
+    /// each generated from its own [`rng_for_case`] stream; on failure the
+    /// input is minimised via [`shrink_failure`] before the panic reports
+    /// the smallest still-failing input. Backs the [`crate::proptest!`]
+    /// macro (which passes all arguments as one tuple strategy).
+    pub fn run_property<S>(
+        ident: &str,
+        strat: S,
+        run: impl Fn(&S::Value) -> Result<(), TestCaseError>,
+    ) where
+        S: crate::strategy::Strategy,
+        S::Value: core::fmt::Debug,
+    {
+        for case in 0..case_count() {
+            let mut rng = rng_for_case(ident, case);
+            let values = crate::strategy::Strategy::generate(&strat, &mut rng);
+            match run(&values) {
+                Ok(()) => {}
+                Err(TestCaseError::Reject) => continue,
+                Err(TestCaseError::Fail(msg)) => {
+                    let (min_values, min_msg, steps) =
+                        shrink_failure(&strat, values, msg, |v| run(v));
+                    panic!(
+                        "property {ident} failed at case {case}: {min_msg}\n\
+                         (shrunk {steps} step(s); minimal input: {min_values:?})"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Greedily minimise a failing input: repeatedly ask the strategy for
+    /// smaller candidates (halved integers, truncated sequences) and accept
+    /// the first candidate on which the failure persists; stop when every
+    /// candidate passes (the failure disappeared) or no candidates remain.
+    /// Returns the smallest still-failing value, its failure message, and
+    /// the number of accepted shrink steps.
+    pub fn shrink_failure<S: crate::strategy::Strategy>(
+        strat: &S,
+        mut value: S::Value,
+        mut message: String,
+        mut run: impl FnMut(&S::Value) -> Result<(), TestCaseError>,
+    ) -> (S::Value, String, usize) {
+        let mut steps = 0usize;
+        'shrinking: while steps < MAX_SHRINK_STEPS {
+            for candidate in strat.shrink(&value) {
+                if let Err(TestCaseError::Fail(msg)) = run(&candidate) {
+                    value = candidate;
+                    message = msg;
+                    steps += 1;
+                    continue 'shrinking;
+                }
+            }
+            break;
+        }
+        (value, message, steps)
+    }
 }
 
 /// Value-generation strategies.
@@ -56,6 +123,15 @@ pub mod strategy {
 
         /// Draw one value.
         fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Smaller candidates derived from a failing `value`, most
+        /// aggressive first (range start before midpoint, empty before
+        /// half-length). The runner accepts a candidate only while the
+        /// failure persists. Default: no candidates (unshrinkable).
+        fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+            let _ = value;
+            Vec::new()
+        }
 
         /// Transform generated values with a pure function.
         fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
@@ -115,18 +191,73 @@ pub mod strategy {
     pub trait Arbitrary: Sized {
         /// Draw one value from the type's whole domain.
         fn arbitrary(rng: &mut StdRng) -> Self;
+
+        /// Smaller candidates for a failing value (default: none).
+        fn shrink(value: &Self) -> Vec<Self> {
+            let _ = value;
+            Vec::new()
+        }
     }
 
-    macro_rules! impl_arbitrary {
+    macro_rules! impl_arbitrary_int {
         ($($t:ty),*) => {$(
             impl Arbitrary for $t {
                 fn arbitrary(rng: &mut StdRng) -> Self {
                     rng.random()
                 }
+
+                fn shrink(value: &Self) -> Vec<Self> {
+                    let mut out = Vec::new();
+                    if *value != 0 {
+                        out.push(0);
+                        let half = *value / 2;
+                        if half != 0 && half != *value {
+                            out.push(half);
+                        }
+                    }
+                    out
+                }
             }
         )*};
     }
-    impl_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool, f64, f32);
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut StdRng) -> Self {
+            rng.random()
+        }
+
+        fn shrink(value: &Self) -> Vec<Self> {
+            if *value {
+                vec![false]
+            } else {
+                Vec::new()
+            }
+        }
+    }
+
+    macro_rules! impl_arbitrary_float {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut StdRng) -> Self {
+                    rng.random()
+                }
+
+                fn shrink(value: &Self) -> Vec<Self> {
+                    let mut out = Vec::new();
+                    if *value != 0.0 && value.is_finite() {
+                        out.push(0.0);
+                        let half = *value / 2.0;
+                        if half != 0.0 && half != *value {
+                            out.push(half);
+                        }
+                    }
+                    out
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_float!(f64, f32);
 
     /// Strategy wrapper for [`Arbitrary`] types.
     pub struct Any<T>(core::marker::PhantomData<T>);
@@ -142,14 +273,22 @@ pub mod strategy {
         fn generate(&self, rng: &mut StdRng) -> T {
             T::arbitrary(rng)
         }
+
+        fn shrink(&self, value: &T) -> Vec<T> {
+            T::shrink(value)
+        }
     }
 
-    macro_rules! impl_range_strategy {
+    macro_rules! impl_range_strategy_int {
         ($($t:ty),*) => {$(
             impl Strategy for core::ops::Range<$t> {
                 type Value = $t;
                 fn generate(&self, rng: &mut StdRng) -> $t {
                     rng.random_range(self.clone())
+                }
+
+                fn shrink(&self, value: &$t) -> Vec<$t> {
+                    int_shrink_candidates(self.start, *value)
                 }
             }
             impl Strategy for core::ops::RangeInclusive<$t> {
@@ -157,29 +296,127 @@ pub mod strategy {
                 fn generate(&self, rng: &mut StdRng) -> $t {
                     rng.random_range(self.clone())
                 }
+
+                fn shrink(&self, value: &$t) -> Vec<$t> {
+                    int_shrink_candidates(*self.start(), *value)
+                }
             }
         )*};
     }
-    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+    impl_range_strategy_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// Halving candidates toward the range start: `[start, midpoint]`.
+    fn int_shrink_candidates<T>(start: T, value: T) -> Vec<T>
+    where
+        T: Copy + PartialEq + IntHalf,
+    {
+        let mut out = Vec::new();
+        if value != start {
+            out.push(start);
+            if let Some(mid) = T::midpoint_toward(start, value) {
+                if mid != start && mid != value {
+                    out.push(mid);
+                }
+            }
+        }
+        out
+    }
+
+    /// Overflow-safe `start + (value - start) / 2` per integer type.
+    pub trait IntHalf: Sized {
+        /// The point halfway from `start` to `value` (`None` on overflow).
+        fn midpoint_toward(start: Self, value: Self) -> Option<Self>;
+    }
+
+    macro_rules! impl_int_half {
+        ($($t:ty),*) => {$(
+            impl IntHalf for $t {
+                fn midpoint_toward(start: Self, value: Self) -> Option<Self> {
+                    value.checked_sub(start).map(|d| start + d / 2)
+                }
+            }
+        )*};
+    }
+    impl_int_half!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_range_strategy_float {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+
+                fn shrink(&self, value: &$t) -> Vec<$t> {
+                    let start = self.start;
+                    let mut out = Vec::new();
+                    if *value != start {
+                        out.push(start);
+                        let mid = start + (*value - start) / 2.0;
+                        if mid.is_finite() && mid != start && mid != *value {
+                            out.push(mid);
+                        }
+                    }
+                    out
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+
+                fn shrink(&self, value: &$t) -> Vec<$t> {
+                    let start = *self.start();
+                    let mut out = Vec::new();
+                    if *value != start {
+                        out.push(start);
+                        let mid = start + (*value - start) / 2.0;
+                        if mid.is_finite() && mid != start && mid != *value {
+                            out.push(mid);
+                        }
+                    }
+                    out
+                }
+            }
+        )*};
+    }
+    impl_range_strategy_float!(f64);
 
     macro_rules! impl_tuple_strategy {
-        ($($name:ident),+) => {
-            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+        ($(($name:ident, $idx:tt)),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+)
+            where
+                $($name::Value: Clone),+
+            {
                 type Value = ($($name::Value,)+);
-                #[allow(non_snake_case)]
+
                 fn generate(&self, rng: &mut StdRng) -> Self::Value {
-                    let ($($name,)+) = self;
-                    ($($name.generate(rng),)+)
+                    ($(self.$idx.generate(rng),)+)
+                }
+
+                /// Component-wise: every candidate changes exactly one
+                /// component, earlier components first.
+                fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                    let mut out: Vec<Self::Value> = Vec::new();
+                    $(
+                        for cand in self.$idx.shrink(&value.$idx) {
+                            let mut next = value.clone();
+                            next.$idx = cand;
+                            out.push(next);
+                        }
+                    )+
+                    out
                 }
             }
         };
     }
-    impl_tuple_strategy!(A);
-    impl_tuple_strategy!(A, B);
-    impl_tuple_strategy!(A, B, C);
-    impl_tuple_strategy!(A, B, C, D);
-    impl_tuple_strategy!(A, B, C, D, E);
-    impl_tuple_strategy!(A, B, C, D, E, F);
+    impl_tuple_strategy!((A, 0));
+    impl_tuple_strategy!((A, 0), (B, 1));
+    impl_tuple_strategy!((A, 0), (B, 1), (C, 2));
+    impl_tuple_strategy!((A, 0), (B, 1), (C, 2), (D, 3));
+    impl_tuple_strategy!((A, 0), (B, 1), (C, 2), (D, 3), (E, 4));
+    impl_tuple_strategy!((A, 0), (B, 1), (C, 2), (D, 3), (E, 4), (F, 5));
 }
 
 /// Collection strategies.
@@ -199,11 +436,29 @@ pub mod collection {
         size: core::ops::Range<usize>,
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
         fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
             let n = rng.random_range(self.size.clone());
             (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+
+        /// Truncation candidates: the minimum length first, then half the
+        /// current length (element values are not shrunk).
+        fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let min = self.size.start;
+            let mut out = Vec::new();
+            if value.len() > min {
+                out.push(value[..min].to_vec());
+                let half = value.len() / 2;
+                if half > min && half < value.len() {
+                    out.push(value[..half].to_vec());
+                }
+            }
+            out
         }
     }
 }
@@ -224,34 +479,26 @@ pub mod prelude {
 
 /// Declare property tests: each `fn name(arg in strategy, …) { body }`
 /// becomes a `#[test]`-able function running [`test_runner::case_count`]
-/// deterministic cases.
+/// deterministic cases. On failure the inputs are minimally shrunk
+/// ([`test_runner::shrink_failure`]) before the panic reports the smallest
+/// still-failing input alongside the case number.
 #[macro_export]
 macro_rules! proptest {
     ($( $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )*) => {
         $(
             $(#[$meta])*
             fn $name() {
-                let cases = $crate::test_runner::case_count();
                 let ident = concat!(module_path!(), "::", stringify!($name));
-                for case in 0..cases {
-                    let mut proptest_rng = $crate::test_runner::rng_for_case(ident, case);
-                    $(
-                        let $arg = $crate::strategy::Strategy::generate(
-                            &($strat), &mut proptest_rng);
-                    )+
-                    let outcome: ::core::result::Result<(), $crate::TestCaseError> =
-                        (move || {
-                            $body
-                            Ok(())
-                        })();
-                    match outcome {
-                        Ok(()) => {}
-                        Err($crate::TestCaseError::Reject) => continue,
-                        Err($crate::TestCaseError::Fail(msg)) => {
-                            panic!("property {ident} failed at case {case}: {msg}");
-                        }
-                    }
-                }
+                // All arguments form one tuple strategy; generation order
+                // (and thus the value stream per case seed) matches the
+                // historical per-argument order.
+                $crate::test_runner::run_property(ident, ($($strat,)+), |values| {
+                    let ($($arg,)+) = ::core::clone::Clone::clone(values);
+                    (move || {
+                        $body
+                        Ok(())
+                    })()
+                });
             }
         )*
     };
@@ -359,6 +606,88 @@ mod tests {
             prop_assume!(x != 0);
             prop_assert!(x > 0);
         }
+    }
+
+    proptest! {
+        /// A seeded failing case must shrink: every generated value in
+        /// 200..10_000 fails the `< 100` assertion, and halving toward the
+        /// range start (100) must walk the reported minimum down to exactly
+        /// the boundary — asserted via the expected panic payload.
+        #[test]
+        #[should_panic(expected = "minimal input: (100,)")]
+        fn shrinks_failing_case_to_the_boundary(x in 100u32..10_000) {
+            prop_assert!(x < 100, "x = {} is not below 100", x);
+        }
+    }
+
+    #[test]
+    fn shrink_failure_halves_integers_until_failure_disappears() {
+        // Fails iff x >= 17; halving from a large seed value must stop at a
+        // small witness (the chain passes through values ≥ 17 only).
+        let strat = (0u32..1000,);
+        let fails = |v: &(u32,)| -> Result<(), crate::TestCaseError> {
+            if v.0 >= 17 {
+                Err(crate::TestCaseError::Fail(format!("{} >= 17", v.0)))
+            } else {
+                Ok(())
+            }
+        };
+        let (min, msg, steps) =
+            crate::test_runner::shrink_failure(&strat, (731,), "731 >= 17".into(), fails);
+        assert!(min.0 >= 17, "shrunk value {} no longer fails", min.0);
+        assert!(min.0 <= 34, "halving stalled at {}", min.0);
+        assert!(steps > 0, "no shrink steps taken");
+        assert!(msg.contains(">= 17"));
+    }
+
+    #[test]
+    fn shrink_failure_truncates_sequences() {
+        let strat = (crate::collection::vec(any::<u8>(), 0..64),);
+        let fails = |v: &(Vec<u8>,)| -> Result<(), crate::TestCaseError> {
+            if v.0.len() >= 3 {
+                Err(crate::TestCaseError::Fail(format!("len {}", v.0.len())))
+            } else {
+                Ok(())
+            }
+        };
+        let seed: Vec<u8> = (0..40).collect();
+        let (min, _, steps) =
+            crate::test_runner::shrink_failure(&strat, (seed,), "len 40".into(), fails);
+        assert!(min.0.len() >= 3, "over-shrunk to {}", min.0.len());
+        assert!(min.0.len() <= 5, "truncation stalled at {}", min.0.len());
+        assert!(steps > 0);
+    }
+
+    #[test]
+    fn shrink_respects_range_starts() {
+        // Candidates never leave the declared range.
+        let strat = 50u64..100;
+        for cand in crate::strategy::Strategy::shrink(&strat, &99) {
+            assert!((50..100).contains(&cand), "candidate {cand} out of range");
+        }
+        assert!(crate::strategy::Strategy::shrink(&strat, &50).is_empty());
+    }
+
+    #[test]
+    fn tuple_shrink_changes_one_component_per_candidate() {
+        let strat = (0u32..100, 0u32..100);
+        let cands = crate::strategy::Strategy::shrink(&strat, &(80, 60));
+        assert!(!cands.is_empty());
+        for (a, b) in &cands {
+            let changed = usize::from(*a != 80) + usize::from(*b != 60);
+            assert_eq!(
+                changed, 1,
+                "candidate ({a}, {b}) changed {changed} components"
+            );
+        }
+    }
+
+    #[test]
+    fn unshrinkable_strategies_yield_no_candidates() {
+        use crate::strategy::{Just, Strategy};
+        assert!(Just(42u8).shrink(&42).is_empty());
+        let mapped = (0u32..10).prop_map(|x| x * 2);
+        assert!(mapped.shrink(&6).is_empty());
     }
 
     #[test]
