@@ -1,0 +1,108 @@
+//! Heap vs calendar-queue scheduler wall-clock on the event engine.
+//!
+//! Runs the k = 4 fat-tree under the incast workload (synchronized-burst
+//! measured traffic into one destination ToR plus all-ToR background) with
+//! both [`SchedulerKind`]s and reports best-of-N wall-clock as JSON on
+//! stdout — `scripts/network_bench.sh` captures it into
+//! `BENCH_network.json`. A delivery digest cross-checks that the two
+//! schedulers produced byte-identical runs while being timed.
+//!
+//! Knobs: `RLIR_NETBENCH_MS` (trace duration, default 40),
+//! `RLIR_NETBENCH_REPS` (best-of, default 3), `RLIR_NETBENCH_FANIN`
+//! (synchronized sources, default 4).
+
+use rlir::experiment::{background_injections, measured_traces, FatTreeExpConfig, IncastConfig};
+use rlir::fabric::{build_network, FatTreeFabric};
+use rlir_net::packet::Packet;
+use rlir_net::time::SimDuration;
+use rlir_sim::{run_network_sched, NullSink, SchedulerKind};
+use rlir_topo::{FatTree, TopoId};
+use std::time::Instant;
+
+fn env_u64(key: &str, default: u64) -> u64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// The `incast` scenario's workload at one fan-in point, minus the
+/// measurement plane: pure event-engine stress. Built from the *same*
+/// generators the experiment uses, so the benchmark can never drift from
+/// the workload it claims to time.
+fn build_workload(cfg: &FatTreeExpConfig, tree: &FatTree) -> Vec<(TopoId, Packet)> {
+    let mut injections = Vec::new();
+    for (src, trace) in measured_traces(cfg, tree) {
+        injections.extend(trace.packets.iter().map(|p| (src, *p)));
+    }
+    injections.extend(background_injections(cfg, tree));
+    injections
+}
+
+fn main() {
+    let duration = SimDuration::from_millis(env_u64("RLIR_NETBENCH_MS", 40));
+    let reps = env_u64("RLIR_NETBENCH_REPS", 3).max(1);
+    let fan_in = env_u64("RLIR_NETBENCH_FANIN", 4) as usize;
+
+    // The incast configuration at this fan-in (25% measured load squeezed
+    // into 20%-duty bursts, 15% background — see IncastConfig::paper).
+    let incast = IncastConfig::paper(0xBE_7C, duration);
+    let mut cfg = incast.base;
+    cfg.n_src_tors = fan_in;
+    cfg.burst = Some(incast.burst);
+    let queue = cfg.queue;
+    let link_delay = cfg.link_delay;
+
+    let tree = FatTree::new(cfg.k, cfg.hash);
+    let fabric = FatTreeFabric::new(&tree, false);
+    let injections = build_workload(&cfg, &tree);
+
+    let mut results: Vec<(SchedulerKind, u128, u64, usize)> = Vec::new();
+    for kind in [SchedulerKind::Heap, SchedulerKind::Calendar] {
+        let mut best_ns = u128::MAX;
+        let mut digest = 0u64;
+        let mut deliveries = 0usize;
+        for _ in 0..reps {
+            let net = build_network(&tree, queue, link_delay, &[]);
+            let inj = injections.clone();
+            let start = Instant::now();
+            let run = run_network_sched(net, &fabric, inj, &mut NullSink, kind);
+            let elapsed = start.elapsed().as_nanos();
+            best_ns = best_ns.min(elapsed);
+            deliveries = run.deliveries.len();
+            digest = run.deliveries.iter().fold(0u64, |h, d| {
+                h.rotate_left(7) ^ (d.delivered_at.as_nanos() ^ d.packet.id.0)
+            });
+        }
+        results.push((kind, best_ns, digest, deliveries));
+    }
+    let (heap_ns, cal_ns) = (results[0].1, results[1].1);
+    assert_eq!(
+        (results[0].2, results[0].3),
+        (results[1].2, results[1].3),
+        "schedulers diverged — the differential tests should have caught this"
+    );
+
+    let packets = injections.len();
+    println!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"event engine: heap vs calendar queue (k=4 fat-tree incast, {}ms, fan-in {}, best of {})\",\n",
+            "  \"injected_packets\": {},\n",
+            "  \"deliveries\": {},\n",
+            "  \"heap_ms\": {:.3},\n",
+            "  \"calendar_ms\": {:.3},\n",
+            "  \"speedup\": {:.3},\n",
+            "  \"runs_identical\": true\n",
+            "}}"
+        ),
+        duration.as_nanos() / 1_000_000,
+        fan_in,
+        reps,
+        packets,
+        results[1].3,
+        heap_ns as f64 / 1e6,
+        cal_ns as f64 / 1e6,
+        heap_ns as f64 / cal_ns as f64,
+    );
+}

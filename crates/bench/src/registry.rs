@@ -16,7 +16,8 @@ use crate::figures::{
 use crate::output::{write_csv, OutputDir};
 use crate::scale::Scale;
 use rlir::experiment::{
-    run_asymmetric, run_incast, AsymmetricConfig, IncastConfig, LossSweepConfig,
+    run_asymmetric, run_incast, run_localize, AsymmetricConfig, IncastConfig, LocalizeConfig,
+    LossSweepConfig,
 };
 use rlir_exec::ScenarioRegistry;
 use rlir_rli::PolicyKind;
@@ -209,6 +210,45 @@ pub fn build_registry() -> ScenarioRegistry<RunContext> {
     );
 
     reg.register(
+        "localize",
+        "NEW: fabric-wide anomaly localization (random core/edge victim per point, accuracy vs background load)",
+        |ctx, runner| {
+            let cfg = LocalizeConfig::paper(ctx.scale.base_seed, ctx.scale.fattree_duration);
+            let points = run_localize(&cfg, runner);
+            println!(
+                "== localize: {} fault at one random core/edge switch per trial ==",
+                cfg.extra_processing
+            );
+            println!(
+                "  {:>11} {:>7} {:>8} {:>8} {:>9} {:>13}",
+                "background", "trials", "flagged", "correct", "accuracy", "mean severity"
+            );
+            for p in &points {
+                println!(
+                    "  {:>10.0}% {:>7} {:>8} {:>8} {:>8.1}% {:>13.1}",
+                    p.utilization * 100.0,
+                    p.trials,
+                    p.flagged,
+                    p.correct,
+                    p.accuracy * 100.0,
+                    p.mean_severity
+                );
+            }
+            let csv = write_csv(
+                "utilization,trials,flagged,correct,accuracy,mean_severity",
+                points.iter().map(|p| {
+                    format!(
+                        "{},{},{},{},{},{}",
+                        p.utilization, p.trials, p.flagged, p.correct, p.accuracy, p.mean_severity
+                    )
+                }),
+            );
+            ctx.out.write("scenario_localize.csv", &csv)?;
+            Ok(())
+        },
+    );
+
+    reg.register(
         "interference",
         "Fig. 5 with seed averaging and both policies (the full figure)",
         |ctx, runner| {
@@ -278,8 +318,28 @@ mod tests {
         let reg = build_registry();
         let names = reg.names();
         assert!(reg.len() >= 5, "only {} scenarios registered", reg.len());
-        for required in ["two_hop", "loss_sweep", "fattree", "asymmetric", "incast"] {
+        for required in [
+            "two_hop",
+            "loss_sweep",
+            "fattree",
+            "asymmetric",
+            "incast",
+            "localize",
+        ] {
             assert!(names.contains(&required), "missing scenario {required}");
+        }
+    }
+
+    #[test]
+    fn every_entry_carries_a_description_for_list() {
+        // `experiments list` prints each scenario's one-liner next to its
+        // name; an empty summary would render as a bare key.
+        for e in build_registry().entries() {
+            assert!(
+                e.summary().len() > 20,
+                "scenario {} has no useful description",
+                e.name()
+            );
         }
     }
 

@@ -21,13 +21,14 @@ use crate::demux::{CoreDemux, RlirDemux};
 use crate::deployment::{Deployment, CORE_SENDER_BASE};
 use crate::fabric::{build_network, FatTreeFabric};
 use crate::localization::SegmentObservation;
+use crate::plane::{MeasurementPlane, TapPoint, TapSpec, TruthRef};
 use rlir_net::clock::ClockModel;
 use rlir_net::fxhash::FxHashMap;
 use rlir_net::packet::{Packet, ReferenceInfo, SenderId};
 use rlir_net::time::{SimDuration, SimTime};
 use rlir_net::{FlowKey, HashAlgo};
-use rlir_rli::{FlowTable, Interpolator, PolicyKind, ReceiverConfig, RliReceiver, RliSender};
-use rlir_sim::{run_network, NetworkRun, QueueConfig};
+use rlir_rli::{FlowTable, PolicyKind, RliSender};
+use rlir_sim::{run_network, run_network_with, QueueConfig};
 use rlir_topo::{FatTree, Role, TopoId};
 use serde::{Deserialize, Serialize};
 
@@ -37,6 +38,16 @@ pub struct CoreAnomaly {
     /// Which core, as an ordinal into [`FatTree::cores`].
     pub core_ordinal: usize,
     /// Extra per-packet processing delay at that core.
+    pub extra_processing: SimDuration,
+}
+
+/// A latency fault at an *arbitrary* switch (cores and edge/aggregation
+/// switches alike) — the `localize` scenario's victim injection.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SwitchAnomaly {
+    /// The afflicted switch.
+    pub node: TopoId,
+    /// Extra per-packet processing delay at that switch.
     pub extra_processing: SimDuration,
 }
 
@@ -68,6 +79,9 @@ pub struct FatTreeExpConfig {
     pub link_delay: SimDuration,
     /// Optional core fault.
     pub anomaly: Option<CoreAnomaly>,
+    /// Optional fault at an arbitrary switch (composes with `anomaly`;
+    /// takes precedence if both name the same switch).
+    pub switch_anomaly: Option<SwitchAnomaly>,
     /// Optional synchronized burst envelope applied to every *measured*
     /// source trace (the incast regime: all sources transmit in the same
     /// windows, fan-in collides at the destination's downlink).
@@ -93,9 +107,25 @@ impl FatTreeExpConfig {
             queue: QueueConfig::oc192(),
             link_delay: SimDuration::from_micros(1),
             anomaly: None,
+            switch_anomaly: None,
             burst: None,
             min_flow_packets: 1,
         }
+    }
+
+    /// The measured destination ToR this configuration targets (first ToR
+    /// of the last pod).
+    pub fn dst_tor(&self, tree: &FatTree) -> TopoId {
+        tree.tor(self.k - 1, 0)
+    }
+
+    /// The measured source ToRs: round-robin over pods other than the
+    /// destination's.
+    pub fn src_tors(&self, tree: &FatTree) -> Vec<TopoId> {
+        let half = tree.half();
+        (0..self.n_src_tors)
+            .map(|i| tree.tor(i % (self.k - 1), (i / (self.k - 1)) % half))
+            .collect()
     }
 }
 
@@ -139,19 +169,6 @@ impl FatTreeOutcome {
 /// naive ablation.
 const NAIVE_ID: SenderId = SenderId(u16::MAX);
 
-#[derive(Debug, Clone, Copy)]
-enum Ev {
-    Reference(ReferenceInfo),
-    Regular { flow: FlowKey, truth: SimDuration },
-}
-
-#[derive(Debug, Clone, Copy)]
-struct Event {
-    at: SimTime,
-    order: u64,
-    ev: Ev,
-}
-
 fn measured_trace_cfg(
     cfg: &FatTreeExpConfig,
     tree: &FatTree,
@@ -168,34 +185,34 @@ fn measured_trace_cfg(
     tc
 }
 
-/// Run the experiment.
-pub fn run_fattree(cfg: &FatTreeExpConfig) -> FatTreeOutcome {
-    let tree = FatTree::new(cfg.k, cfg.hash);
+/// The measured traffic of a configuration: one trace per source ToR
+/// towards the destination block, with the burst envelope applied when
+/// configured. Shared by [`run_fattree`] and the engine benchmarks (so
+/// `BENCH_network.json` times exactly this workload).
+pub fn measured_traces(cfg: &FatTreeExpConfig, tree: &FatTree) -> Vec<(TopoId, rlir_trace::Trace)> {
+    let dst_tor = cfg.dst_tor(tree);
+    cfg.src_tors(tree)
+        .into_iter()
+        .enumerate()
+        .map(|(i, src)| {
+            let mut trace = rlir_trace::generate(&measured_trace_cfg(cfg, tree, i, src, dst_tor));
+            if let Some(shape) = cfg.burst {
+                trace = rlir_trace::compress_into_bursts(&trace, shape);
+            }
+            (src, trace)
+        })
+        .collect()
+}
+
+/// The background traffic of a configuration: every non-measured ToR sends
+/// to a rotated partner (never the destination ToR, never a measured
+/// source as origin). Shared by [`run_fattree`] and the engine benchmarks.
+pub fn background_injections(cfg: &FatTreeExpConfig, tree: &FatTree) -> Vec<(TopoId, Packet)> {
     let half = tree.half();
-    let dst_pod = cfg.k - 1;
-    let dst_tor = tree.tor(dst_pod, 0);
-
-    // Measured sources: round-robin over pods other than the destination's.
-    let src_tors: Vec<TopoId> = (0..cfg.n_src_tors)
-        .map(|i| tree.tor(i % (cfg.k - 1), (i / (cfg.k - 1)) % half))
-        .collect();
-    let deployment = Deployment::for_destination(&tree, &src_tors, dst_tor);
-    let demux = RlirDemux::new(&tree, cfg.demux);
-
-    // ---- Workload -------------------------------------------------------
-    let mut injections: Vec<(usize, Packet)> = Vec::new();
-    let mut measured_traces = Vec::new();
-    for (i, &src) in src_tors.iter().enumerate() {
-        let mut trace = rlir_trace::generate(&measured_trace_cfg(cfg, &tree, i, src, dst_tor));
-        if let Some(shape) = cfg.burst {
-            trace = rlir_trace::compress_into_bursts(&trace, shape);
-        }
-        injections.extend(trace.packets.iter().map(|p| (src, *p)));
-        measured_traces.push((src, trace));
-    }
-    // Background: every other ToR sends to a rotated partner (never the
-    // destination ToR, never a measured source as origin).
+    let dst_tor = cfg.dst_tor(tree);
+    let src_tors = cfg.src_tors(tree);
     let all_tors: Vec<TopoId> = tree.tors().collect();
+    let mut injections = Vec::new();
     for (bi, &tor) in all_tors.iter().enumerate() {
         if tor == dst_tor || src_tors.contains(&tor) || cfg.background_load <= 0.0 {
             continue;
@@ -219,6 +236,27 @@ pub fn run_fattree(cfg: &FatTreeExpConfig) -> FatTreeOutcome {
         let trace = rlir_trace::generate(&tc);
         injections.extend(trace.packets.iter().map(|p| (tor, *p)));
     }
+    injections
+}
+
+/// Run the experiment.
+pub fn run_fattree(cfg: &FatTreeExpConfig) -> FatTreeOutcome {
+    let tree = FatTree::new(cfg.k, cfg.hash);
+    let half = tree.half();
+    let dst_tor = cfg.dst_tor(&tree);
+
+    // Measured sources: round-robin over pods other than the destination's.
+    let src_tors = cfg.src_tors(&tree);
+    let deployment = Deployment::for_destination(&tree, &src_tors, dst_tor);
+    let demux = RlirDemux::new(&tree, cfg.demux);
+
+    // ---- Workload -------------------------------------------------------
+    let measured_traces = measured_traces(cfg, &tree);
+    let mut injections: Vec<(usize, Packet)> = Vec::new();
+    for (src, trace) in &measured_traces {
+        injections.extend(trace.packets.iter().map(|p| (*src, *p)));
+    }
+    injections.extend(background_injections(cfg, &tree));
 
     // ---- ToR-uplink senders (computable offline: the uplink a packet
     // takes is a pure function of its flow key) --------------------------
@@ -246,22 +284,23 @@ pub fn run_fattree(cfg: &FatTreeExpConfig) -> FatTreeOutcome {
     }
 
     // ---- Simulation phases ---------------------------------------------
+    let slowed = |extra: SimDuration| QueueConfig {
+        processing_delay: cfg.queue.processing_delay + extra,
+        ..cfg.queue
+    };
+    // `switch_anomaly` first: `build_network` takes the first matching
+    // override, so it wins over `anomaly` on the same switch.
     let overrides: Vec<(TopoId, QueueConfig)> = cfg
-        .anomaly
+        .switch_anomaly
         .iter()
-        .map(|a| {
+        .map(|a| (a.node, slowed(a.extra_processing)))
+        .chain(cfg.anomaly.iter().map(|a| {
             let core = tree
                 .cores()
                 .nth(a.core_ordinal)
                 .expect("core ordinal in range");
-            (
-                core,
-                QueueConfig {
-                    processing_delay: cfg.queue.processing_delay + a.extra_processing,
-                    ..cfg.queue
-                },
-            )
-        })
+            (core, slowed(a.extra_processing))
+        }))
         .collect();
     let fabric = FatTreeFabric::new(&tree, matches!(cfg.demux, CoreDemux::Marking));
 
@@ -309,221 +348,62 @@ pub fn run_fattree(cfg: &FatTreeExpConfig) -> FatTreeOutcome {
         }
     }
 
-    // Phase 2: the full run.
-    let phase2 = run_network(
+    // Phase 2: the full run, observed live by the measurement plane — the
+    // paper's router-level deployment expressed as hop-event taps instead
+    // of post-hoc event-queue plumbing.
+    let (mut plane, seg1_taps) = attach_rlir_taps(cfg, &tree, &deployment, &demux);
+    let phase2 = run_network_with(
         build_network(&tree, cfg.queue, cfg.link_delay, &overrides),
         &fabric,
         injections,
+        &mut plane,
     );
 
-    extract_measurements(
-        cfg,
-        &tree,
-        &deployment,
-        &demux,
-        &phase2,
-        (refs_tor, refs_core),
-    )
-}
-
-fn extract_measurements(
-    cfg: &FatTreeExpConfig,
-    tree: &FatTree,
-    deployment: &Deployment,
-    demux: &RlirDemux<'_>,
-    run: &NetworkRun,
-    refs_emitted: (u64, u64),
-) -> FatTreeOutcome {
+    // Workload accounting (not a measurement-plane concern): how well the
+    // downstream demux associated measured packets, from ground truth.
     let dst_tor = deployment.dst_tor;
-    let measured_src = |flow: &FlowKey| {
-        demux
-            .origin_tor(&Packet::regular(0, *flow, 0, SimTime::ZERO))
-            .filter(|t| deployment.src_tors.contains(t))
-    };
-    let naive = matches!(cfg.demux, CoreDemux::Naive);
-
-    // Event queues per receiver.
-    let mut seg1: FxHashMap<(TopoId, SenderId), Vec<Event>> = FxHashMap::default();
-    let mut seg2: FxHashMap<SenderId, Vec<Event>> = FxHashMap::default();
     let mut demux_total = 0u64;
     let mut demux_correct = 0u64;
     let mut demux_unassociated = 0u64;
     let mut measured_delivered = 0u64;
-
-    for (order, d) in run.deliveries.iter().enumerate() {
-        let order = order as u64;
-        match d.packet.reference_info() {
-            Some(info) if info.sender.0 < CORE_SENDER_BASE => {
-                // ToR-sender reference: received at the core it crosses.
-                if let Some(h) = d
-                    .hops
-                    .iter()
-                    .find(|h| matches!(tree.node(h.node).role, Role::Core { .. }))
-                {
-                    let key = if naive { NAIVE_ID } else { info.sender };
-                    let info = if naive {
-                        ReferenceInfo {
-                            sender: NAIVE_ID,
-                            ..*info
-                        }
-                    } else {
-                        *info
-                    };
-                    seg1.entry((h.node, key)).or_default().push(Event {
-                        at: h.arrived,
-                        order,
-                        ev: Ev::Reference(info),
-                    });
-                }
-            }
-            Some(info) => {
-                // Core-sender reference: received at the destination ToR.
-                if d.delivered_node == dst_tor {
-                    let key = if naive { NAIVE_ID } else { info.sender };
-                    let info = if naive {
-                        ReferenceInfo {
-                            sender: NAIVE_ID,
-                            ..*info
-                        }
-                    } else {
-                        *info
-                    };
-                    seg2.entry(key).or_default().push(Event {
-                        at: d.delivered_at,
-                        order,
-                        ev: Ev::Reference(info),
-                    });
-                }
-            }
-            None => {
-                // Regular packet: measured iff from a measured ToR to the
-                // destination block.
-                if d.delivered_node != dst_tor || !d.packet.is_regular() {
-                    continue;
-                }
-                let Some(origin) = measured_src(&d.packet.flow) else {
-                    continue;
-                };
-                let Some(core_hop) = d
-                    .hops
-                    .iter()
-                    .find(|h| matches!(tree.node(h.node).role, Role::Core { .. }))
-                else {
-                    continue; // intra-pod: not covered by this deployment
-                };
-                measured_delivered += 1;
-                let actual_core = core_hop.node;
-
-                // Segment 1 (origin ToR → core): the receiver at the actual
-                // core physically sees the packet; association picks the
-                // reference stream (upstream demux via prefix matching).
-                let seg1_truth = core_hop.arrived.saturating_since(d.injected_at);
-                let seg1_key = if naive {
-                    Some(NAIVE_ID)
-                } else {
-                    deployment.tor_sender_for(tree, origin, actual_core)
-                };
-                if let Some(k) = seg1_key {
-                    seg1.entry((actual_core, k)).or_default().push(Event {
-                        at: core_hop.arrived,
-                        order,
-                        ev: Ev::Regular {
-                            flow: d.packet.flow,
-                            truth: seg1_truth,
-                        },
-                    });
-                }
-
-                // Segment 2 (core → destination ToR): downstream demux must
-                // *infer* the core.
-                demux_total += 1;
-                let inferred = demux.traversed_core(&d.packet);
-                match inferred {
-                    Some(c) if c == actual_core => demux_correct += 1,
-                    Some(_) => {}
-                    None => demux_unassociated += 1,
-                }
-                let seg2_truth = d.delivered_at.saturating_since(core_hop.arrived);
-                let seg2_key = if naive {
-                    Some(NAIVE_ID)
-                } else {
-                    inferred.and_then(|c| deployment.core_sender(c).map(|s| s.id))
-                };
-                if let Some(k) = seg2_key {
-                    seg2.entry(k).or_default().push(Event {
-                        at: d.delivered_at,
-                        order,
-                        ev: Ev::Regular {
-                            flow: d.packet.flow,
-                            truth: seg2_truth,
-                        },
-                    });
-                }
-            }
+    for d in &phase2.deliveries {
+        if d.packet.reference_info().is_some()
+            || !d.packet.is_regular()
+            || d.delivered_node != dst_tor
+            || measured_src(&demux, &deployment, &d.packet.flow).is_none()
+        {
+            continue;
+        }
+        let Some(core_hop) = d
+            .hops
+            .iter()
+            .find(|h| matches!(tree.node(h.node).role, Role::Core { .. }))
+        else {
+            continue; // intra-pod: not covered by this deployment
+        };
+        measured_delivered += 1;
+        demux_total += 1;
+        match demux.traversed_core(&d.packet) {
+            Some(c) if c == core_hop.node => demux_correct += 1,
+            Some(_) => {}
+            None => demux_unassociated += 1,
         }
     }
 
-    // Drain the event queues through receiver instances.
+    // Fold tap reports into the per-segment outcome.
+    let report = plane.finish();
     let mut seg1_flows = FlowTable::new();
     let mut seg2_flows = FlowTable::new();
     let mut segments = Vec::new();
-    let mut drain =
-        |events: &mut Vec<Event>, bound: SenderId, name: String, out: &mut FlowTable| {
-            events.sort_by_key(|e| (e.at, e.order));
-            let mut rx: RliReceiver = RliReceiver::new(ReceiverConfig {
-                sender: bound,
-                clock: ClockModel::perfect(),
-                interpolator: Interpolator::Linear,
-                max_buffer: 1 << 22,
-                record_estimates: false,
-            });
-            for e in events.iter() {
-                match e.ev {
-                    Ev::Reference(info) => rx.on_reference(e.at, &info),
-                    Ev::Regular { flow, truth } => rx.on_regular(e.at, flow, Some(truth)),
-                }
-            }
-            let report = rx.finish();
-            if let (Some(est), Some(truth)) = (
-                report.flows.aggregate_est_mean(),
-                report.flows.aggregate_true_mean(),
-            ) {
-                segments.push(SegmentObservation {
-                    name,
-                    est_mean_ns: est,
-                    true_mean_ns: truth,
-                    packets: report.counters.estimated,
-                });
-            }
-            out.merge(report.flows);
-        };
-
-    let mut seg1_keys: Vec<(TopoId, SenderId)> = seg1.keys().copied().collect();
-    seg1_keys.sort();
-    for key in seg1_keys {
-        let (core, sender) = key;
-        let from = deployment
-            .tor_senders
-            .iter()
-            .find(|s| s.id == sender)
-            .map(|s| tree.node(s.tor).name.clone())
-            .unwrap_or_else(|| "mixed".to_string());
-        let name = format!("{from}→{}", tree.node(core).name);
-        let mut events = seg1.remove(&key).expect("key exists");
-        drain(&mut events, sender, name, &mut seg1_flows);
-    }
-    let mut seg2_keys: Vec<SenderId> = seg2.keys().copied().collect();
-    seg2_keys.sort();
-    for key in seg2_keys {
-        let from = deployment
-            .core_senders
-            .iter()
-            .find(|s| s.id == key)
-            .map(|s| tree.node(s.core).name.clone())
-            .unwrap_or_else(|| "mixed".to_string());
-        let name = format!("{from}→{}", tree.node(dst_tor).name);
-        let mut events = seg2.remove(&key).expect("key exists");
-        drain(&mut events, key, name, &mut seg2_flows);
+    for (i, tap) in report.taps.into_iter().enumerate() {
+        if let Some(seg) = tap.segment() {
+            segments.push(seg);
+        }
+        if i < seg1_taps {
+            seg1_flows.merge(tap.report.flows);
+        } else {
+            seg2_flows.merge(tap.report.flows);
+        }
     }
 
     let seg1_errors = seg1_flows.mean_relative_errors(cfg.min_flow_packets);
@@ -538,8 +418,142 @@ fn extract_measurements(
         demux_unassociated,
         segments,
         measured_delivered,
-        refs_emitted,
+        refs_emitted: (refs_tor, refs_core),
     }
+}
+
+/// Origin ToR of a measured flow, if it is one of the deployment's sources
+/// (upstream demultiplexing by IP-prefix matching, §3.1).
+fn measured_src(demux: &RlirDemux<'_>, deployment: &Deployment, flow: &FlowKey) -> Option<TopoId> {
+    demux
+        .origin_tor(&Packet::regular(0, *flow, 0, SimTime::ZERO))
+        .filter(|t| deployment.src_tors.contains(t))
+}
+
+/// Instantiate the paper's RLIR deployment as measurement-plane taps.
+///
+/// Segment 1 (ToR → core): one receiver per `(core, ToR-uplink sender)`
+/// pair at the core's ingress, scoring against injection-to-core truth.
+/// Segment 2 (core → destination ToR): one receiver per core sender at the
+/// destination ToR's delivery point, scoring against core-to-delivery
+/// truth; the meter applies the downstream demux (marking / reverse-ECMP)
+/// to decide which receiver a packet belongs to. Under the naive ablation
+/// each point collapses to a single "mixed" receiver ([`NAIVE_ID`]).
+///
+/// Returns the plane plus the number of segment-1 taps (taps are reported
+/// in attachment order: segment 1 first).
+fn attach_rlir_taps<'a>(
+    cfg: &FatTreeExpConfig,
+    tree: &'a FatTree,
+    deployment: &'a Deployment,
+    demux: &'a RlirDemux<'a>,
+) -> (MeasurementPlane<'a>, usize) {
+    let naive = matches!(cfg.demux, CoreDemux::Naive);
+    let dst_tor = deployment.dst_tor;
+    let cores: Vec<TopoId> = tree.cores().collect();
+    let mut plane = MeasurementPlane::new();
+
+    let seg1_keys: Vec<(TopoId, SenderId)> = if naive {
+        cores.iter().map(|&c| (c, NAIVE_ID)).collect()
+    } else {
+        let mut keys: Vec<_> = deployment
+            .tor_senders
+            .iter()
+            .flat_map(|s| s.targets.iter().map(move |(core, _)| (*core, s.id)))
+            .collect();
+        keys.sort();
+        keys
+    };
+    let seg1_taps = seg1_keys.len();
+    for (core, sender) in seg1_keys {
+        let from = deployment
+            .tor_senders
+            .iter()
+            .find(|s| s.id == sender)
+            .map(|s| tree.node(s.tor).name.clone())
+            .unwrap_or_else(|| "mixed".to_string());
+        let mut tap = TapSpec::new(
+            format!("{from}→{}", tree.node(core).name),
+            TapPoint::NodeArrival(core),
+            sender,
+        );
+        tap.truth = TruthRef::SinceInjection;
+        tap.ref_map = Some(if naive {
+            // The mixed receiver listens to every ToR-sender stream at
+            // once (core-sender references belong to segment 2).
+            Box::new(|info| {
+                (info.sender.0 < CORE_SENDER_BASE).then_some(ReferenceInfo {
+                    sender: NAIVE_ID,
+                    ..*info
+                })
+            })
+        } else {
+            Box::new(move |info: &ReferenceInfo| (info.sender == sender).then_some(*info))
+        });
+        tap.meter = Some(Box::new(move |ev| {
+            if ev.node != dst_tor {
+                return false; // only flows measured end-to-end are judged
+            }
+            let Some(origin) = measured_src(demux, deployment, &ev.packet.flow) else {
+                return false;
+            };
+            naive || deployment.tor_sender_for(tree, origin, core) == Some(sender)
+        }));
+        plane.attach(tap);
+    }
+
+    let seg2_keys: Vec<SenderId> = if naive {
+        vec![NAIVE_ID]
+    } else {
+        deployment.core_senders.iter().map(|s| s.id).collect()
+    };
+    for sender in seg2_keys {
+        let from = deployment
+            .core_senders
+            .iter()
+            .find(|s| s.id == sender)
+            .map(|s| tree.node(s.core).name.clone())
+            .unwrap_or_else(|| "mixed".to_string());
+        let mut tap = TapSpec::new(
+            format!("{from}→{}", tree.node(dst_tor).name),
+            TapPoint::Delivery(dst_tor),
+            sender,
+        );
+        tap.truth = TruthRef::SinceArrivalAt(cores.clone());
+        tap.ref_map = Some(if naive {
+            Box::new(|info| {
+                (info.sender.0 >= CORE_SENDER_BASE).then_some(ReferenceInfo {
+                    sender: NAIVE_ID,
+                    ..*info
+                })
+            })
+        } else {
+            Box::new(move |info: &ReferenceInfo| (info.sender == sender).then_some(*info))
+        });
+        tap.meter = Some(Box::new(move |ev| {
+            if !ev
+                .hops
+                .iter()
+                .any(|h| matches!(tree.node(h.node).role, Role::Core { .. }))
+            {
+                return false; // intra-pod
+            }
+            if measured_src(demux, deployment, &ev.packet.flow).is_none() {
+                return false;
+            }
+            // Downstream demultiplexing: *infer* the traversed core and
+            // route the packet to that core's receiver.
+            naive
+                || demux
+                    .traversed_core(ev.packet)
+                    .and_then(|c| deployment.core_sender(c))
+                    .map(|s| s.id)
+                    == Some(sender)
+        }));
+        plane.attach(tap);
+    }
+
+    (plane, seg1_taps)
 }
 
 /// A labeled batch of fat-tree runs (demux ablations, incast fan-in

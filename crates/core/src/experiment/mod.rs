@@ -17,10 +17,13 @@
 //!   progressively asymmetric load.
 //! * [`incast`] — synchronized burst fan-in on the fat-tree: per-flow
 //!   estimate accuracy as partition–aggregate bursts steepen.
+//! * [`localize`] — fabric-wide anomaly localization: a random core/edge
+//!   victim per point, detection accuracy swept over background load.
 
 pub mod asymmetric;
 pub mod fattree;
 pub mod incast;
+pub mod localize;
 pub mod loss_sweep;
 pub mod two_hop;
 
@@ -28,9 +31,13 @@ pub use asymmetric::{
     asymmetric_traces, run_asymmetric, AsymmetricConfig, AsymmetricPoint, AsymmetricSweep,
 };
 pub use fattree::{
-    run_fattree, run_fattree_sweep, CoreAnomaly, FatTreeExpConfig, FatTreeOutcome, FatTreeSweep,
+    background_injections, measured_traces, run_fattree, run_fattree_sweep, CoreAnomaly,
+    FatTreeExpConfig, FatTreeOutcome, FatTreeSweep, SwitchAnomaly,
 };
 pub use incast::{run_incast, IncastConfig, IncastPoint, IncastSweep};
+pub use localize::{
+    run_localize, victim_pool, LocalizeConfig, LocalizePoint, LocalizeSweep, LocalizeTrial,
+};
 pub use loss_sweep::{run_loss_sweep, run_loss_sweep_on, LossPoint, LossSweep, LossSweepConfig};
 pub use two_hop::{
     run_two_hop, run_two_hop_on, run_two_hop_sweep, CrossSpec, TwoHopConfig, TwoHopOutcome,

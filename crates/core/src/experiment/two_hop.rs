@@ -8,14 +8,13 @@
 //! loss rates and average true latency. Figures 4(a)–(c) and 5 are sweeps
 //! over these runs.
 
+use crate::plane::{MeasurementPlane, TapPoint, TapSpec, TruthRef, TANDEM_SW2};
 use rlir_exec::{PointContext, Scenario, SweepRunner};
 use rlir_net::clock::ClockPair;
 use rlir_net::packet::Packet;
 use rlir_net::time::SimDuration;
 use rlir_net::{FlowKey, SenderId};
-use rlir_rli::{
-    FlowTable, Interpolator, PolicyKind, ReceiverConfig, ReceiverCounters, RliReceiver, RliSender,
-};
+use rlir_rli::{FlowTable, Interpolator, PolicyKind, ReceiverCounters, RliSender};
 use rlir_sim::{calibrate_keep_prob, run_tandem_with, CrossInjector, CrossModel, TandemConfig};
 use rlir_trace::{generate, Trace, TraceConfig};
 use serde::{Deserialize, Serialize};
@@ -248,24 +247,22 @@ pub fn run_two_hop_on(cfg: &TwoHopConfig, regular: &Trace, cross: &Trace) -> Two
         None => EitherIter::R(regular_iter),
     };
 
-    // Receiver, fed directly from the streaming tandem merge in delivery
-    // order.
-    let rx_cfg = ReceiverConfig {
-        sender: SenderId(1),
-        clock: cfg.clocks.receiver,
-        interpolator: cfg.interpolator,
-        max_buffer: 1 << 22,
-        record_estimates: false,
-    };
-    let mut rx = match cfg.track_quantile {
-        Some(p) => RliReceiver::with_quantile(rx_cfg, p),
-        None => RliReceiver::new(rx_cfg),
-    };
+    // The measurement plane with one tap at switch 2's host-facing egress,
+    // fed directly from the streaming tandem merge in delivery order (so
+    // the tap streams — no buffering on this hot path).
+    let mut plane = MeasurementPlane::new();
+    let mut tap = TapSpec::new("sw2-egress", TapPoint::Delivery(TANDEM_SW2), SenderId(1));
+    tap.truth = TruthRef::SinceInjection;
+    tap.ordered = true;
+    tap.clock = cfg.clocks.receiver;
+    tap.interpolator = cfg.interpolator;
+    tap.track_quantile = cfg.track_quantile;
+    plane.attach(tap);
     let result = run_tandem_with(&cfg.tandem, upstream, cross_iter, |d| {
-        rx.on_packet(d.delivered_at, &d.packet, Some(d.true_delay()));
+        plane.observe_tandem(d);
     });
     let refs_emitted = sender.map(|s| s.refs_emitted()).unwrap_or(0);
-    let report = rx.finish();
+    let report = plane.finish().taps.pop().expect("one tap").report;
 
     let mean_errors = report.flows.mean_relative_errors(cfg.min_flow_packets);
     let std_errors = report.flows.std_relative_errors(cfg.min_flow_packets);

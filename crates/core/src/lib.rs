@@ -15,6 +15,9 @@
 //!   with core marking support.
 //! * [`localization`] — segment-level latency-anomaly localization, the
 //!   operator-facing purpose of the architecture.
+//! * [`plane`] — the per-hop measurement plane: attachable RLI taps over
+//!   the simulator's hop-event stream, one estimator instance per
+//!   `(node, port)` observation point, with fabric-wide localization.
 //! * [`windowed`] — time-windowed anomaly detection over per-packet
 //!   estimate logs (transient microbursts, not just run-level means).
 //! * [`experiment`] — the evaluation harnesses (two-hop pipeline for
@@ -40,10 +43,14 @@ pub mod deployment;
 pub mod experiment;
 pub mod fabric;
 pub mod localization;
+pub mod plane;
 pub mod windowed;
 
 pub use demux::{core_from_mark, core_mark, CoreDemux, RlirDemux};
 pub use deployment::{engineer_ref_key, CoreSenderSpec, Deployment, TorSenderSpec};
 pub use fabric::{build_network, FatTreeFabric};
 pub use localization::{localize, AnomalyFinding, LocalizerConfig, SegmentObservation};
+pub use plane::{
+    MeasurementPlane, PlaneReport, TapPoint, TapReport, TapSpec, TruthRef, TANDEM_SW1, TANDEM_SW2,
+};
 pub use windowed::{localize_windows, SegmentWindows, WindowFinding, WindowedConfig};

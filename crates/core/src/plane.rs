@@ -1,0 +1,646 @@
+//! The per-hop measurement plane.
+//!
+//! The paper's deployment model is an RLI instance *at every upgraded
+//! router* (§3, Fig. 10): operators attach estimator instances to
+//! individual devices and segments so latency faults can be localized to a
+//! hop, not just noticed end-to-end. [`MeasurementPlane`] is that layer for
+//! the simulator: any number of RLI estimator instances (sender
+//! interleaving feeds them over the fabric; receiver interpolation from
+//! `rlir-rli` runs inside them) attach to arbitrary taps of the engine's
+//! [`HopEvent`] stream — a switch ingress, a `(node, port)` egress, or a
+//! host-facing delivery point — each with dense per-flow state
+//! ([`FlowTable`]) and optional simulation ground truth for evaluation.
+//!
+//! A tap is an [`RliReceiver`] plus the wiring that a real deployment would
+//! configure out of band: which observation point it sits on
+//! ([`TapPoint`]), which sender's reference stream it locks onto, which
+//! regular packets it meters ([`TapSpec::meter`]), and — simulation only —
+//! which ground-truth span to score against ([`TruthRef`]).
+//!
+//! ## Ordering
+//!
+//! Receivers require time-ordered input. Taps on [`TapPoint::NodeArrival`]
+//! fed live, and taps fed from an already-sorted delivery stream (the
+//! tandem pipeline), can set [`TapSpec::ordered`] and stream straight into
+//! the receiver with no buffering. All other taps buffer observations and
+//! sort them by `(observation time, delivery time, packet id)` at
+//! [`MeasurementPlane::finish`] — the same total order the evaluation
+//! harnesses used before this plane existed, so the rewiring is
+//! output-preserving (see `tests/rewiring_pins.rs`).
+//!
+//! ## Delivered-only taps
+//!
+//! With [`TapSpec::delivered_only`] (the default) a tap scores a packet's
+//! crossing only if the packet ultimately exits the network; the
+//! observation is reconstructed from the [`HopKind::Deliver`] event's hop
+//! record. That matches the paper's evaluation methodology (accuracy is
+//! judged on packets whose end-to-end truth exists). A live tap
+//! (`delivered_only = false`) sees every crossing, including packets
+//! dropped downstream — what a real device-resident instance observes.
+
+use crate::localization::{localize, AnomalyFinding, LocalizerConfig, SegmentObservation};
+use rlir_net::clock::ClockModel;
+use rlir_net::packet::{ReferenceInfo, SenderId};
+use rlir_net::time::{SimDuration, SimTime};
+use rlir_net::FlowKey;
+use rlir_rli::{Interpolator, ReceiverConfig, ReceiverReport, RliReceiver};
+use rlir_sim::pipeline::Delivery;
+use rlir_sim::{Hop, HopEvent, HopKind, HopSink, NodeId, PortId};
+
+/// Where on the hop-event stream a tap sits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TapPoint {
+    /// Switch ingress: the instant a packet arrives at the node. This is
+    /// where the paper's core-router receivers sit (references are
+    /// timestamped on arrival, before local queueing).
+    NodeArrival(NodeId),
+    /// Port egress: the instant a packet's last bit leaves `(node, port)`.
+    PortDeparture(NodeId, PortId),
+    /// Host-facing delivery at the node — where the destination-ToR
+    /// receiver sits.
+    Delivery(NodeId),
+}
+
+impl TapPoint {
+    /// The node this tap observes.
+    pub fn node(&self) -> NodeId {
+        match *self {
+            TapPoint::NodeArrival(n) | TapPoint::PortDeparture(n, _) | TapPoint::Delivery(n) => n,
+        }
+    }
+}
+
+/// Which ground-truth span a tap scores its estimates against
+/// (`None` in deployment — truth is a simulation-only input).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum TruthRef {
+    /// No ground truth: estimates are recorded unscored.
+    #[default]
+    NoTruth,
+    /// Injection → observation (the upstream segment from the sender).
+    SinceInjection,
+    /// First traversed hop from this node set → observation (e.g. "since
+    /// the core": the downstream segment). Unscored if no listed node was
+    /// traversed.
+    SinceArrivalAt(Vec<NodeId>),
+}
+
+/// Decides whether a tap meters a given regular packet (receives the full
+/// hop event, marks applied). `None` meters everything at the point.
+pub type MeterFn<'a> = Box<dyn Fn(&HopEvent<'_>) -> bool + 'a>;
+
+/// Filters/rewrites reference packets before the receiver sees them —
+/// RLIR's receiver-side demultiplexing decides which reference *stream* an
+/// observation point listens to (§3.1). `None` passes references through
+/// unchanged (the receiver still ignores senders it is not bound to).
+pub type RefMapFn<'a> = Box<dyn Fn(&ReferenceInfo) -> Option<ReferenceInfo> + 'a>;
+
+/// Full configuration of one attached tap.
+pub struct TapSpec<'a> {
+    /// Printable name (segment names feed [`SegmentObservation`]).
+    pub name: String,
+    /// Observation point.
+    pub point: TapPoint,
+    /// The reference stream this tap's receiver locks onto.
+    pub sender: SenderId,
+    /// Ground-truth span for evaluation.
+    pub truth: TruthRef,
+    /// Score only packets that ultimately exit the network (see module
+    /// docs). Default `true`.
+    pub delivered_only: bool,
+    /// The feed is already time-ordered: stream into the receiver without
+    /// buffering. Only sound for live [`TapPoint::NodeArrival`] taps and
+    /// externally-sorted feeds. Default `false`.
+    pub ordered: bool,
+    /// The receiver's local clock.
+    pub clock: ClockModel,
+    /// Delay estimator.
+    pub interpolator: Interpolator,
+    /// Receiver interpolation-buffer cap.
+    pub max_buffer: usize,
+    /// Track a per-flow delay quantile (P² estimator), e.g. `Some(0.9)`.
+    pub track_quantile: Option<f64>,
+    /// Regular-packet admission rule.
+    pub meter: Option<MeterFn<'a>>,
+    /// Reference filter/rewrite rule.
+    pub ref_map: Option<RefMapFn<'a>>,
+}
+
+impl<'a> TapSpec<'a> {
+    /// A tap with the evaluation defaults: delivered-only, buffered,
+    /// perfect clock, linear interpolation, 4M-packet buffer cap, truth
+    /// since injection.
+    pub fn new(name: impl Into<String>, point: TapPoint, sender: SenderId) -> Self {
+        TapSpec {
+            name: name.into(),
+            point,
+            sender,
+            truth: TruthRef::SinceInjection,
+            delivered_only: true,
+            ordered: false,
+            clock: ClockModel::perfect(),
+            interpolator: Interpolator::Linear,
+            max_buffer: 1 << 22,
+            track_quantile: None,
+            meter: None,
+            ref_map: None,
+        }
+    }
+}
+
+/// One buffered observation, keyed for the deterministic drain order.
+enum Payload {
+    Reference(ReferenceInfo),
+    Regular {
+        flow: FlowKey,
+        truth: Option<SimDuration>,
+    },
+}
+
+struct TapState<'a> {
+    spec: TapSpec<'a>,
+    rx: RliReceiver,
+    /// `((at, delivery-or-seq tiebreak, packet id), payload)`.
+    pending: Vec<((SimTime, u64, u64), Payload)>,
+}
+
+/// Final output of one tap.
+pub struct TapReport {
+    /// The tap's name.
+    pub name: String,
+    /// Where it sat.
+    pub point: TapPoint,
+    /// The reference stream it was bound to.
+    pub sender: SenderId,
+    /// Receiver output: dense per-flow table, counters, optional
+    /// per-packet log.
+    pub report: ReceiverReport,
+}
+
+impl TapReport {
+    /// The tap folded into a segment-level observation, when it produced
+    /// scored estimates.
+    pub fn segment(&self) -> Option<SegmentObservation> {
+        match (
+            self.report.flows.aggregate_est_mean(),
+            self.report.flows.aggregate_true_mean(),
+        ) {
+            (Some(est), Some(truth)) => Some(SegmentObservation {
+                name: self.name.clone(),
+                est_mean_ns: est,
+                true_mean_ns: truth,
+                packets: self.report.counters.estimated,
+            }),
+            _ => None,
+        }
+    }
+}
+
+/// Everything the plane measured, in tap-attachment order.
+pub struct PlaneReport {
+    /// Per-tap reports.
+    pub taps: Vec<TapReport>,
+}
+
+impl PlaneReport {
+    /// Segment observations of every tap that produced scored estimates,
+    /// in tap order — the localizer's input.
+    pub fn segments(&self) -> Vec<SegmentObservation> {
+        self.taps.iter().filter_map(|t| t.segment()).collect()
+    }
+
+    /// Fabric-wide localization: rank hops whose estimated latency stands
+    /// out from the fabric median (descending severity).
+    pub fn localize(&self, cfg: &LocalizerConfig) -> Vec<AnomalyFinding> {
+        localize(&self.segments(), cfg)
+    }
+}
+
+/// Synthetic node ids for the two-switch tandem feed
+/// ([`MeasurementPlane::observe_tandem`]).
+pub const TANDEM_SW1: NodeId = 0;
+/// Second (bottleneck) tandem switch — where tandem deliveries happen.
+pub const TANDEM_SW2: NodeId = 1;
+
+/// Attachable RLI taps over the engine's hop-event stream. Implements
+/// [`HopSink`], so a plane *is* the sink argument of
+/// [`rlir_sim::run_network_with`].
+#[derive(Default)]
+pub struct MeasurementPlane<'a> {
+    taps: Vec<TapState<'a>>,
+    live_seq: u64,
+    /// Whether any tap is live (`!delivered_only`). Arrive/dequeue events
+    /// dominate the engine's stream; when every tap is delivered-gated
+    /// (the evaluation default) they short-circuit without scanning taps.
+    has_live_taps: bool,
+}
+
+impl<'a> MeasurementPlane<'a> {
+    /// An empty plane.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Attach a tap; returns its index (reports come back in attachment
+    /// order).
+    pub fn attach(&mut self, spec: TapSpec<'a>) -> usize {
+        let rx = {
+            let cfg = ReceiverConfig {
+                sender: spec.sender,
+                clock: spec.clock,
+                interpolator: spec.interpolator,
+                max_buffer: spec.max_buffer,
+                record_estimates: false,
+            };
+            match spec.track_quantile {
+                Some(p) => RliReceiver::with_quantile(cfg, p),
+                None => RliReceiver::new(cfg),
+            }
+        };
+        self.has_live_taps |= !spec.delivered_only;
+        self.taps.push(TapState {
+            spec,
+            rx,
+            pending: Vec::new(),
+        });
+        self.taps.len() - 1
+    }
+
+    /// Number of attached taps.
+    pub fn tap_count(&self) -> usize {
+        self.taps.len()
+    }
+
+    /// Feed one tandem-pipeline delivery (the two-switch topology of
+    /// Fig. 3) as a hop event: switch 1 is [`TANDEM_SW1`], deliveries
+    /// happen at [`TANDEM_SW2`]. Deliveries arrive in delivery-time order,
+    /// so a single [`TapPoint::Delivery`]`(TANDEM_SW2)` tap may set
+    /// [`TapSpec::ordered`] and stream.
+    pub fn observe_tandem(&mut self, d: &Delivery) {
+        let hop_buf;
+        let hops: &[Hop] = match d.sw1_egress {
+            Some(egress) => {
+                hop_buf = [Hop {
+                    node: TANDEM_SW1,
+                    port: 0,
+                    arrived: d.sent_at,
+                    departed: egress,
+                }];
+                &hop_buf
+            }
+            None => &[],
+        };
+        let injected_node = if d.sw1_egress.is_some() {
+            TANDEM_SW1
+        } else {
+            TANDEM_SW2
+        };
+        self.on_hop(&HopEvent {
+            kind: HopKind::Deliver,
+            node: TANDEM_SW2,
+            at: d.delivered_at,
+            packet: &d.packet,
+            injected_node,
+            injected_at: d.sent_at,
+            hops,
+        });
+    }
+
+    /// Route one observation into tap `idx` at observation time `at` with
+    /// tie-break key `(tie, id)`.
+    fn observe(taps: &mut [TapState<'a>], idx: usize, at: SimTime, tie: u64, ev: &HopEvent<'_>) {
+        let tap = &mut taps[idx];
+        let payload = match ev.packet.reference_info() {
+            Some(info) => {
+                let mapped = match &tap.spec.ref_map {
+                    Some(f) => f(info),
+                    None => Some(*info),
+                };
+                match mapped {
+                    Some(info) => Payload::Reference(info),
+                    None => return,
+                }
+            }
+            None if ev.packet.is_regular() => {
+                if let Some(meter) = &tap.spec.meter {
+                    if !meter(ev) {
+                        return;
+                    }
+                }
+                let truth = match &tap.spec.truth {
+                    TruthRef::NoTruth => None,
+                    TruthRef::SinceInjection => Some(at.saturating_since(ev.injected_at)),
+                    TruthRef::SinceArrivalAt(nodes) => ev
+                        .hops
+                        .iter()
+                        .find(|h| nodes.contains(&h.node))
+                        .map(|h| at.saturating_since(h.arrived)),
+                };
+                Payload::Regular {
+                    flow: ev.packet.flow,
+                    truth,
+                }
+            }
+            // Cross traffic is invisible to the measurement plane.
+            None => return,
+        };
+        if tap.spec.ordered {
+            feed(&mut tap.rx, at, &payload);
+        } else {
+            tap.pending.push(((at, tie, ev.packet.id.0), payload));
+        }
+    }
+
+    /// Drain buffered taps (deterministic order) and finish every
+    /// receiver.
+    pub fn finish(self) -> PlaneReport {
+        let taps = self
+            .taps
+            .into_iter()
+            .map(|mut t| {
+                t.pending.sort_by_key(|(key, _)| *key);
+                for ((at, _, _), payload) in &t.pending {
+                    feed(&mut t.rx, *at, payload);
+                }
+                TapReport {
+                    name: t.spec.name,
+                    point: t.spec.point,
+                    sender: t.spec.sender,
+                    report: t.rx.finish(),
+                }
+            })
+            .collect();
+        PlaneReport { taps }
+    }
+}
+
+fn feed(rx: &mut RliReceiver, at: SimTime, payload: &Payload) {
+    match payload {
+        Payload::Reference(info) => rx.on_reference(at, info),
+        Payload::Regular { flow, truth } => rx.on_regular(at, *flow, *truth),
+    }
+}
+
+impl HopSink for MeasurementPlane<'_> {
+    fn on_hop(&mut self, ev: &HopEvent<'_>) {
+        match ev.kind {
+            HopKind::Arrive => {
+                if !self.has_live_taps {
+                    return; // every tap is delivered-gated: nothing to do
+                }
+                self.live_seq += 1;
+                let tie = self.live_seq;
+                for i in 0..self.taps.len() {
+                    let spec = &self.taps[i].spec;
+                    if !spec.delivered_only && spec.point == TapPoint::NodeArrival(ev.node) {
+                        Self::observe(&mut self.taps, i, ev.at, tie, ev);
+                    }
+                }
+            }
+            HopKind::Dequeue { port, .. } => {
+                if !self.has_live_taps {
+                    return;
+                }
+                self.live_seq += 1;
+                let tie = self.live_seq;
+                for i in 0..self.taps.len() {
+                    let spec = &self.taps[i].spec;
+                    if !spec.delivered_only && spec.point == TapPoint::PortDeparture(ev.node, port)
+                    {
+                        Self::observe(&mut self.taps, i, ev.at, tie, ev);
+                    }
+                }
+            }
+            HopKind::Deliver => {
+                let delivered = ev.at.as_nanos();
+                for i in 0..self.taps.len() {
+                    let spec = &self.taps[i].spec;
+                    let at = match spec.point {
+                        TapPoint::Delivery(n) if n == ev.node => Some(ev.at),
+                        TapPoint::NodeArrival(n) if spec.delivered_only => {
+                            ev.hops.iter().find(|h| h.node == n).map(|h| h.arrived)
+                        }
+                        TapPoint::PortDeparture(n, p) if spec.delivered_only => ev
+                            .hops
+                            .iter()
+                            .find(|h| h.node == n && h.port == p)
+                            .map(|h| h.departed),
+                        _ => None,
+                    };
+                    if let Some(at) = at {
+                        Self::observe(&mut self.taps, i, at, delivered, ev);
+                    }
+                }
+            }
+            // Enqueue/drop events carry no measurement semantics (yet):
+            // RLI meters what crosses a point, not what dies at it.
+            HopKind::Enqueue { .. } | HopKind::QueueDrop { .. } | HopKind::RouteDrop => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlir_net::packet::Packet;
+    use std::net::Ipv4Addr;
+
+    fn fk(i: u8) -> FlowKey {
+        FlowKey::tcp(
+            Ipv4Addr::new(10, 0, 0, i),
+            1,
+            Ipv4Addr::new(10, 1, 0, 1),
+            80,
+        )
+    }
+
+    fn deliver_ev<'e>(
+        packet: &'e Packet,
+        hops: &'e [Hop],
+        node: NodeId,
+        at_ns: u64,
+    ) -> HopEvent<'e> {
+        HopEvent {
+            kind: HopKind::Deliver,
+            node,
+            at: SimTime::from_nanos(at_ns),
+            packet,
+            injected_node: 0,
+            injected_at: packet.created_at,
+            hops,
+        }
+    }
+
+    #[test]
+    fn delivery_tap_estimates_and_scores_against_injection_truth() {
+        let mut plane = MeasurementPlane::new();
+        plane.attach(TapSpec::new("end", TapPoint::Delivery(2), SenderId(1)));
+        let hops = [];
+        let r0 = Packet::reference(10, fk(9), SenderId(1), 0, SimTime::ZERO);
+        plane.on_hop(&deliver_ev(&r0, &hops, 2, 100)); // delay 100
+        let p = Packet::regular(11, fk(1), 700, SimTime::from_nanos(40));
+        plane.on_hop(&deliver_ev(&p, &hops, 2, 150)); // truth 110
+        let r1 = Packet::reference(12, fk(9), SenderId(1), 1, SimTime::from_nanos(60));
+        plane.on_hop(&deliver_ev(&r1, &hops, 2, 200)); // delay 140
+        let rep = plane.finish();
+        assert_eq!(rep.taps.len(), 1);
+        let flows = &rep.taps[0].report.flows;
+        let acc = flows.get(&fk(1)).expect("metered");
+        // left 100@100, right 140@200 → estimate at 150 = 120; truth 110.
+        assert_eq!(acc.est.mean(), Some(120.0));
+        assert_eq!(acc.truth.mean(), Some(110.0));
+        let seg = rep.taps[0].segment().expect("scored");
+        assert_eq!(seg.packets, 1);
+    }
+
+    #[test]
+    fn delivered_only_node_tap_reconstructs_hop_crossings() {
+        let mut plane = MeasurementPlane::new();
+        let mut spec = TapSpec::new("mid", TapPoint::NodeArrival(1), SenderId(1));
+        spec.truth = TruthRef::SinceInjection;
+        plane.attach(spec);
+        // Packet injected at t=0, arrives node 1 at t=500, delivered 900.
+        let hops = [
+            Hop {
+                node: 0,
+                port: 0,
+                arrived: SimTime::ZERO,
+                departed: SimTime::from_nanos(400),
+            },
+            Hop {
+                node: 1,
+                port: 0,
+                arrived: SimTime::from_nanos(500),
+                departed: SimTime::from_nanos(800),
+            },
+        ];
+        let r0 = Packet::reference(1, fk(9), SenderId(1), 0, SimTime::ZERO);
+        let rhops = [Hop {
+            node: 1,
+            port: 0,
+            arrived: SimTime::from_nanos(100),
+            departed: SimTime::from_nanos(150),
+        }];
+        plane.on_hop(&deliver_ev(&r0, &rhops, 2, 400)); // seen at node1 @100, delay 100
+        let p = Packet::regular(2, fk(1), 700, SimTime::ZERO);
+        plane.on_hop(&deliver_ev(&p, &hops, 2, 900)); // seen at node1 @500, truth 500
+        let r1 = Packet::reference(3, fk(9), SenderId(1), 1, SimTime::from_nanos(500));
+        let rhops1 = [Hop {
+            node: 1,
+            port: 0,
+            arrived: SimTime::from_nanos(700),
+            departed: SimTime::from_nanos(750),
+        }];
+        plane.on_hop(&deliver_ev(&r1, &rhops1, 2, 1000)); // seen @700, delay 200
+        let rep = plane.finish();
+        let acc = rep.taps[0].report.flows.get(&fk(1)).expect("metered");
+        // left 100@100, right 200@700 → at 500: 100 + 100·(400/600) ≈ 166.67
+        let est = acc.est.mean().unwrap();
+        assert!((est - 166.666).abs() < 0.01, "est {est}");
+        assert_eq!(acc.truth.mean(), Some(500.0));
+    }
+
+    #[test]
+    fn meter_and_ref_map_gate_the_tap() {
+        let mut plane = MeasurementPlane::new();
+        let mut spec = TapSpec::new("gated", TapPoint::Delivery(2), SenderId(7));
+        // Only meter flow fk(1); rewrite every reference to sender 7.
+        spec.meter = Some(Box::new(|ev| ev.packet.flow == fk(1)));
+        spec.ref_map = Some(Box::new(|info| {
+            Some(ReferenceInfo {
+                sender: SenderId(7),
+                ..*info
+            })
+        }));
+        plane.attach(spec);
+        let hops = [];
+        let r0 = Packet::reference(1, fk(9), SenderId(3), 0, SimTime::ZERO);
+        plane.on_hop(&deliver_ev(&r0, &hops, 2, 100));
+        let keep = Packet::regular(2, fk(1), 700, SimTime::ZERO);
+        let drop = Packet::regular(3, fk(2), 700, SimTime::ZERO);
+        plane.on_hop(&deliver_ev(&keep, &hops, 2, 150));
+        plane.on_hop(&deliver_ev(&drop, &hops, 2, 160));
+        let r1 = Packet::reference(4, fk(9), SenderId(3), 1, SimTime::from_nanos(100));
+        plane.on_hop(&deliver_ev(&r1, &hops, 2, 200));
+        let rep = plane.finish();
+        let report = &rep.taps[0].report;
+        assert_eq!(report.counters.refs_accepted, 2, "rewritten refs accepted");
+        assert_eq!(report.counters.estimated, 1, "only fk(1) metered");
+        assert!(report.flows.get(&fk(2)).is_none());
+    }
+
+    #[test]
+    fn buffered_taps_sort_by_time_then_delivery_order() {
+        // Observations arrive out of delivery order (as Deliver events do);
+        // the drain must reorder by (at, delivered, id).
+        let mut plane = MeasurementPlane::new();
+        let mut spec = TapSpec::new("mid", TapPoint::NodeArrival(1), SenderId(1));
+        spec.truth = TruthRef::NoTruth;
+        plane.attach(spec);
+        let hop_at = |ns: u64| {
+            [Hop {
+                node: 1,
+                port: 0,
+                arrived: SimTime::from_nanos(ns),
+                departed: SimTime::from_nanos(ns + 10),
+            }]
+        };
+        // Regular seen at node1 @150 but delivered late (at 900).
+        let p = Packet::regular(5, fk(1), 700, SimTime::ZERO);
+        let h = hop_at(150);
+        let late = deliver_ev(&p, &h, 2, 900);
+        // References bracket it, delivered earlier.
+        let r0 = Packet::reference(1, fk(9), SenderId(1), 0, SimTime::ZERO);
+        let h0 = hop_at(100);
+        let r1 = Packet::reference(2, fk(9), SenderId(1), 1, SimTime::from_nanos(60));
+        let h1 = hop_at(200);
+        // Feed in "wrong" order: closing ref first.
+        plane.on_hop(&deliver_ev(&r1, &h1, 2, 300));
+        plane.on_hop(&late);
+        plane.on_hop(&deliver_ev(&r0, &h0, 2, 250));
+        let rep = plane.finish();
+        let report = &rep.taps[0].report;
+        assert_eq!(report.counters.estimated, 1, "packet bracketed after sort");
+        // left delay 100@100, right delay 140@200 → at 150: 120.
+        let acc = report.flows.get(&fk(1)).expect("metered");
+        assert_eq!(acc.est.mean(), Some(120.0));
+    }
+
+    #[test]
+    fn two_live_taps_see_different_hops_of_one_event_stream() {
+        let mut plane = MeasurementPlane::new();
+        for node in [0usize, 1] {
+            let mut spec =
+                TapSpec::new(format!("n{node}"), TapPoint::NodeArrival(node), SenderId(1));
+            spec.delivered_only = false;
+            spec.ordered = true;
+            spec.truth = TruthRef::SinceInjection;
+            plane.attach(spec);
+        }
+        fn arrive(packet: &Packet, node: NodeId, at_ns: u64) -> HopEvent<'_> {
+            HopEvent {
+                kind: HopKind::Arrive,
+                node,
+                at: SimTime::from_nanos(at_ns),
+                packet,
+                injected_node: 0,
+                injected_at: packet.created_at,
+                hops: &[],
+            }
+        }
+        let r0 = Packet::reference(1, fk(9), SenderId(1), 0, SimTime::ZERO);
+        let p = Packet::regular(2, fk(1), 700, SimTime::ZERO);
+        let r1 = Packet::reference(3, fk(9), SenderId(1), 1, SimTime::from_nanos(100));
+        // Node 0 sees everything early, node 1 sees it all 500 ns later.
+        for (node, shift) in [(0usize, 0u64), (1, 500)] {
+            plane.on_hop(&arrive(&r0, node, 10 + shift));
+            plane.on_hop(&arrive(&p, node, 20 + shift));
+            plane.on_hop(&arrive(&r1, node, 110 + shift));
+        }
+        let rep = plane.finish();
+        assert_eq!(rep.taps.len(), 2);
+        let m0 = rep.taps[0].report.flows.get(&fk(1)).unwrap().est.mean();
+        let m1 = rep.taps[1].report.flows.get(&fk(1)).unwrap().est.mean();
+        assert!(m1.unwrap() > m0.unwrap() + 400.0, "{m0:?} vs {m1:?}");
+    }
+}

@@ -13,7 +13,12 @@
 //!   differential-testing oracle and benchmark baseline.
 //! * [`network`] — a general event-driven engine for arbitrary topologies
 //!   (used for the fat-tree RLIR experiments), with pluggable forwarding,
-//!   ToS-marking hooks and hop-by-hop ground truth.
+//!   ToS-marking hooks, hop-by-hop ground truth and a typed per-hop
+//!   observation stream ([`HopEvent`]/[`HopSink`]) the measurement plane
+//!   taps into.
+//! * [`sched`] — the engine's event schedulers: the default bucketed
+//!   calendar queue and the original binary heap kept as differential
+//!   oracle.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -22,14 +27,17 @@ pub mod crosstraffic;
 pub mod network;
 pub mod pipeline;
 pub mod queue;
+pub mod sched;
 
 pub use crosstraffic::{calibrate_keep_prob, CrossInjector, CrossModel};
 pub use network::{
-    run_network, Forwarder, Hop, NetDelivery, Network, NetworkRun, NodeId, Port, PortId,
-    RouteDecision, SwitchNode,
+    run_network, run_network_sched, run_network_with, Forwarder, Hop, HopEvent, HopKind, HopSink,
+    NetDelivery, Network, NetworkRun, NodeId, NullSink, Port, PortId, RouteDecision, SchedulerKind,
+    SwitchNode,
 };
 pub use pipeline::{
     run_tandem, run_tandem_two_pass, run_tandem_with, Delivery, TandemConfig, TandemResult,
     TandemStats,
 };
 pub use queue::{ClassCounters, FifoQueue, QueueConfig, Verdict};
+pub use sched::{CalendarQueue, EventSchedule, HeapSchedule};

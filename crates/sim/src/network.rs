@@ -7,14 +7,31 @@
 //! [`FifoQueue`]s, links with propagation delay, a pluggable [`Forwarder`]
 //! (implemented by `rlir-topo`), and per-packet hop-by-hop ground truth.
 //!
-//! Events are processed from a binary heap in (time, sequence) order, so the
-//! simulation is deterministic and every queue sees time-ordered arrivals.
+//! Events are drained in (time, sequence) order from a bucketed
+//! [`CalendarQueue`](crate::sched::CalendarQueue) (heap fallback for
+//! far-future events; the original `BinaryHeap` is kept behind
+//! [`SchedulerKind::Heap`] as the differential oracle), so the simulation is
+//! deterministic and every queue sees time-ordered arrivals.
+//!
+//! ## The hop-event stream
+//!
+//! [`run_network_with`] additionally emits a typed, allocation-free stream
+//! of [`HopEvent`]s to a [`HopSink`] — every switch arrival, queue
+//! enqueue/dequeue, drop and delivery, each carrying the packet by
+//! reference plus the hop record accumulated so far. This is the
+//! measurement plane's observation point: an RLI instance "deployed at a
+//! router" is a sink that watches one `(node, port)` tap of this stream
+//! (see `rlir::plane::MeasurementPlane`). Sink callbacks are invoked in
+//! engine processing order: [`HopKind::Arrive`] events are therefore
+//! globally time-ordered, while dequeue/delivery timestamps may run ahead
+//! of the engine clock (the analytic queues decide departure at offer
+//! time) — consumers that need strict delivery-time order sort per tap, as
+//! [`NetworkRun::deliveries`] itself is sorted.
 
 use crate::queue::{FifoQueue, QueueConfig, Verdict};
+use crate::sched::{CalendarQueue, EventSchedule, HeapSchedule};
 use rlir_net::packet::Packet;
 use rlir_net::time::{SimDuration, SimTime};
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
 /// Index of a switch in the network.
 pub type NodeId = usize;
@@ -129,6 +146,82 @@ pub struct Hop {
     pub departed: SimTime,
 }
 
+/// What a [`HopEvent`] describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HopKind {
+    /// The packet arrived at the switch ([`HopEvent::at`] = arrival time).
+    /// These events are emitted in global time order.
+    Arrive,
+    /// The packet was accepted into an output queue (`at` = arrival time;
+    /// the marking hook has already run).
+    Enqueue {
+        /// The egress port.
+        port: PortId,
+    },
+    /// The packet's last bit left the port (`at` = departure time, which
+    /// the analytic queue computed at enqueue; `arrived` is its arrival at
+    /// the switch). [`HopEvent::hops`] already includes this hop.
+    Dequeue {
+        /// The egress port.
+        port: PortId,
+        /// Arrival at the switch.
+        arrived: SimTime,
+    },
+    /// Drop-tail discarded the packet at an output queue (`at` = arrival).
+    QueueDrop {
+        /// The egress port.
+        port: PortId,
+    },
+    /// The forwarder had no route (`at` = arrival).
+    RouteDrop,
+    /// The packet left the network at this switch (`at` = delivery time;
+    /// `hops` is the complete path record).
+    Deliver,
+}
+
+/// One typed observation from the engine's per-hop stream — the
+/// measurement plane's raw input. Borrowed, allocation-free: the packet
+/// and the hop record live in the engine's event.
+#[derive(Debug, Clone, Copy)]
+pub struct HopEvent<'a> {
+    /// What happened.
+    pub kind: HopKind,
+    /// Where.
+    pub node: NodeId,
+    /// When (see [`HopKind`] for which timestamp each kind carries).
+    pub at: SimTime,
+    /// The packet, marks applied so far.
+    pub packet: &'a Packet,
+    /// Where the packet entered the network.
+    pub injected_node: NodeId,
+    /// When the packet entered the network.
+    pub injected_at: SimTime,
+    /// Hops completed so far (complete path for [`HopKind::Deliver`]).
+    pub hops: &'a [Hop],
+}
+
+/// A consumer of the engine's hop-event stream.
+pub trait HopSink {
+    /// Observe one event. Called synchronously from the engine loop.
+    fn on_hop(&mut self, ev: &HopEvent<'_>);
+}
+
+/// Closures are sinks.
+impl<F: FnMut(&HopEvent<'_>)> HopSink for F {
+    fn on_hop(&mut self, ev: &HopEvent<'_>) {
+        self(ev)
+    }
+}
+
+/// The no-op sink used by [`run_network`]; its callbacks compile away.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl HopSink for NullSink {
+    #[inline(always)]
+    fn on_hop(&mut self, _ev: &HopEvent<'_>) {}
+}
+
 /// Ground-truth record of a packet that exited the network.
 #[derive(Debug, Clone)]
 pub struct NetDelivery {
@@ -166,32 +259,23 @@ pub struct NetworkRun {
     pub network: Network,
 }
 
+/// Which event scheduler drives the run (see [`crate::sched`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulerKind {
+    /// Bucketed calendar queue with heap fallback (the default).
+    #[default]
+    Calendar,
+    /// The original binary heap — differential oracle / benchmark baseline.
+    Heap,
+}
+
 #[derive(Debug)]
 struct Event {
-    at: SimTime,
-    seq: u64,
     node: NodeId,
     packet: Packet,
     injected_node: NodeId,
     injected_at: SimTime,
     hops: Vec<Hop>,
-}
-
-impl PartialEq for Event {
-    fn eq(&self, other: &Self) -> bool {
-        (self.at, self.seq) == (other.at, other.seq)
-    }
-}
-impl Eq for Event {}
-impl PartialOrd for Event {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Event {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
-    }
 }
 
 /// Run packets through the network.
@@ -201,75 +285,195 @@ impl Ord for Event {
 /// counts; final per-port queue counters are available in the returned
 /// network.
 pub fn run_network(
-    mut network: Network,
+    network: Network,
     forwarder: &impl Forwarder,
     injections: impl IntoIterator<Item = (NodeId, Packet)>,
 ) -> NetworkRun {
+    run_network_with(network, forwarder, injections, &mut NullSink)
+}
+
+/// Run packets through the network, streaming every per-hop observation to
+/// `sink` (see [`HopEvent`]). Identical simulation semantics to
+/// [`run_network`]; the sink is purely observational.
+pub fn run_network_with(
+    network: Network,
+    forwarder: &impl Forwarder,
+    injections: impl IntoIterator<Item = (NodeId, Packet)>,
+    sink: &mut impl HopSink,
+) -> NetworkRun {
+    run_network_sched(
+        network,
+        forwarder,
+        injections,
+        sink,
+        SchedulerKind::default(),
+    )
+}
+
+/// [`run_network_with`] with an explicit scheduler choice — the two
+/// schedulers produce byte-identical runs (pinned by the scheduler property
+/// tests); `Heap` exists for differential testing and benchmarking.
+pub fn run_network_sched(
+    network: Network,
+    forwarder: &impl Forwarder,
+    injections: impl IntoIterator<Item = (NodeId, Packet)>,
+    sink: &mut impl HopSink,
+    scheduler: SchedulerKind,
+) -> NetworkRun {
+    match scheduler {
+        SchedulerKind::Calendar => {
+            run_core(network, forwarder, injections, sink, CalendarQueue::new())
+        }
+        SchedulerKind::Heap => run_core(network, forwarder, injections, sink, HeapSchedule::new()),
+    }
+}
+
+fn run_core(
+    mut network: Network,
+    forwarder: &impl Forwarder,
+    injections: impl IntoIterator<Item = (NodeId, Packet)>,
+    sink: &mut impl HopSink,
+    mut schedule: impl EventSchedule<Event>,
+) -> NetworkRun {
     let n = network.nodes.len();
-    let mut heap: BinaryHeap<Reverse<Event>> = BinaryHeap::new();
-    let mut seq = 0u64;
     for (node, packet) in injections {
         assert!(node < n, "injection at unknown node {node}");
-        heap.push(Reverse(Event {
-            at: packet.created_at,
-            seq,
-            node,
-            injected_node: node,
-            injected_at: packet.created_at,
-            packet,
-            hops: Vec::new(),
-        }));
-        seq += 1;
+        schedule.push(
+            packet.created_at,
+            Event {
+                node,
+                injected_node: node,
+                injected_at: packet.created_at,
+                packet,
+                hops: Vec::new(),
+            },
+        );
     }
 
     let mut deliveries = Vec::new();
     let mut queue_drops = vec![0u64; n];
     let mut route_drops = vec![0u64; n];
 
-    while let Some(Reverse(mut ev)) = heap.pop() {
+    while let Some((at, mut ev)) = schedule.pop() {
+        sink.on_hop(&HopEvent {
+            kind: HopKind::Arrive,
+            node: ev.node,
+            at,
+            packet: &ev.packet,
+            injected_node: ev.injected_node,
+            injected_at: ev.injected_at,
+            hops: &ev.hops,
+        });
         match forwarder.route(ev.node, &ev.packet) {
-            RouteDecision::Drop => route_drops[ev.node] += 1,
-            RouteDecision::Deliver => deliveries.push(NetDelivery {
-                packet: ev.packet,
-                injected_node: ev.injected_node,
-                injected_at: ev.injected_at,
-                delivered_node: ev.node,
-                delivered_at: ev.at,
-                hops: ev.hops,
-            }),
+            RouteDecision::Drop => {
+                route_drops[ev.node] += 1;
+                sink.on_hop(&HopEvent {
+                    kind: HopKind::RouteDrop,
+                    node: ev.node,
+                    at,
+                    packet: &ev.packet,
+                    injected_node: ev.injected_node,
+                    injected_at: ev.injected_at,
+                    hops: &ev.hops,
+                });
+            }
+            RouteDecision::Deliver => {
+                sink.on_hop(&HopEvent {
+                    kind: HopKind::Deliver,
+                    node: ev.node,
+                    at,
+                    packet: &ev.packet,
+                    injected_node: ev.injected_node,
+                    injected_at: ev.injected_at,
+                    hops: &ev.hops,
+                });
+                deliveries.push(NetDelivery {
+                    packet: ev.packet,
+                    injected_node: ev.injected_node,
+                    injected_at: ev.injected_at,
+                    delivered_node: ev.node,
+                    delivered_at: at,
+                    hops: ev.hops,
+                });
+            }
             RouteDecision::Forward(port_id) => {
                 forwarder.on_forward(ev.node, port_id, &mut ev.packet);
                 let port = &mut network.nodes[ev.node].ports[port_id];
-                match port.queue.offer(ev.at, &ev.packet) {
-                    Verdict::Dropped => queue_drops[ev.node] += 1,
+                match port.queue.offer(at, &ev.packet) {
+                    Verdict::Dropped => {
+                        queue_drops[ev.node] += 1;
+                        sink.on_hop(&HopEvent {
+                            kind: HopKind::QueueDrop { port: port_id },
+                            node: ev.node,
+                            at,
+                            packet: &ev.packet,
+                            injected_node: ev.injected_node,
+                            injected_at: ev.injected_at,
+                            hops: &ev.hops,
+                        });
+                    }
                     Verdict::Departs(departed) => {
+                        sink.on_hop(&HopEvent {
+                            kind: HopKind::Enqueue { port: port_id },
+                            node: ev.node,
+                            at,
+                            packet: &ev.packet,
+                            injected_node: ev.injected_node,
+                            injected_at: ev.injected_at,
+                            hops: &ev.hops,
+                        });
                         ev.hops.push(Hop {
                             node: ev.node,
                             port: port_id,
-                            arrived: ev.at,
+                            arrived: at,
                             departed,
                         });
-                        match port.link_to {
+                        sink.on_hop(&HopEvent {
+                            kind: HopKind::Dequeue {
+                                port: port_id,
+                                arrived: at,
+                            },
+                            node: ev.node,
+                            at: departed,
+                            packet: &ev.packet,
+                            injected_node: ev.injected_node,
+                            injected_at: ev.injected_at,
+                            hops: &ev.hops,
+                        });
+                        let (link_to, link_delay) = (port.link_to, port.link_delay);
+                        match link_to {
                             Some(next) => {
-                                heap.push(Reverse(Event {
-                                    at: departed + port.link_delay,
-                                    seq,
-                                    node: next,
+                                schedule.push(
+                                    departed + link_delay,
+                                    Event {
+                                        node: next,
+                                        packet: ev.packet,
+                                        injected_node: ev.injected_node,
+                                        injected_at: ev.injected_at,
+                                        hops: ev.hops,
+                                    },
+                                );
+                            }
+                            None => {
+                                let delivered_at = departed + link_delay;
+                                sink.on_hop(&HopEvent {
+                                    kind: HopKind::Deliver,
+                                    node: ev.node,
+                                    at: delivered_at,
+                                    packet: &ev.packet,
+                                    injected_node: ev.injected_node,
+                                    injected_at: ev.injected_at,
+                                    hops: &ev.hops,
+                                });
+                                deliveries.push(NetDelivery {
                                     packet: ev.packet,
                                     injected_node: ev.injected_node,
                                     injected_at: ev.injected_at,
+                                    delivered_node: ev.node,
+                                    delivered_at,
                                     hops: ev.hops,
-                                }));
-                                seq += 1;
+                                });
                             }
-                            None => deliveries.push(NetDelivery {
-                                packet: ev.packet,
-                                injected_node: ev.injected_node,
-                                injected_at: ev.injected_at,
-                                delivered_node: ev.node,
-                                delivered_at: departed + port.link_delay,
-                                hops: ev.hops,
-                            }),
                         }
                     }
                 }
@@ -451,16 +655,24 @@ mod tests {
 
     #[test]
     fn deterministic_tie_breaking() {
-        let run_once = || {
+        let run_once = |sched: SchedulerKind| {
             let net = line(2, 10);
             let inj: Vec<(NodeId, Packet)> = (0..50).map(|i| (0usize, pkt(i, 0, 80))).collect(); // all at t=0
-            run_network(net, &LineForwarder { last: 1 }, inj)
+            run_network_sched(net, &LineForwarder { last: 1 }, inj, &mut NullSink, sched)
                 .deliveries
                 .iter()
                 .map(|d| d.packet.id.0)
                 .collect::<Vec<_>>()
         };
-        assert_eq!(run_once(), run_once());
+        assert_eq!(
+            run_once(SchedulerKind::Calendar),
+            run_once(SchedulerKind::Calendar)
+        );
+        // Heap and calendar schedulers break ties identically.
+        assert_eq!(
+            run_once(SchedulerKind::Calendar),
+            run_once(SchedulerKind::Heap)
+        );
     }
 
     #[test]
@@ -468,5 +680,113 @@ mod tests {
         let net = line(3, 1);
         assert_eq!(net.node_by_name("S1"), Some(1));
         assert_eq!(net.node_by_name("nope"), None);
+    }
+
+    #[test]
+    fn hop_stream_narrates_the_path() {
+        let net = line(3, 100);
+        let mut log: Vec<(HopKind, NodeId, u64)> = Vec::new();
+        let mut sink = |ev: &HopEvent<'_>| log.push((ev.kind, ev.node, ev.at.as_nanos()));
+        let run = run_network_with(
+            net,
+            &LineForwarder { last: 2 },
+            vec![(0, pkt(1, 0, 80))],
+            &mut sink,
+        );
+        assert_eq!(run.deliveries.len(), 1);
+        let kinds: Vec<HopKind> = log.iter().map(|(k, _, _)| *k).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                HopKind::Arrive,
+                HopKind::Enqueue { port: 0 },
+                HopKind::Dequeue {
+                    port: 0,
+                    arrived: SimTime::ZERO
+                },
+                HopKind::Arrive,
+                HopKind::Enqueue { port: 0 },
+                HopKind::Dequeue {
+                    port: 0,
+                    arrived: SimTime::from_nanos(1100)
+                },
+                HopKind::Arrive,
+                HopKind::Deliver,
+            ]
+        );
+        // Arrive events are globally time-ordered.
+        let arrivals: Vec<u64> = log
+            .iter()
+            .filter(|(k, _, _)| *k == HopKind::Arrive)
+            .map(|(_, _, t)| *t)
+            .collect();
+        assert_eq!(arrivals, vec![0, 1100, 2200]);
+        // The final Deliver carries the delivery time.
+        assert_eq!(log.last().unwrap().2, 2200);
+    }
+
+    #[test]
+    fn hop_stream_reports_drops() {
+        let net = line(2, 10);
+        struct F;
+        impl Forwarder for F {
+            fn route(&self, node: NodeId, p: &Packet) -> RouteDecision {
+                if p.flow.dport == 666 {
+                    RouteDecision::Drop
+                } else if node == 1 {
+                    RouteDecision::Deliver
+                } else {
+                    RouteDecision::Forward(0)
+                }
+            }
+        }
+        let mut drops = Vec::new();
+        let mut sink = |ev: &HopEvent<'_>| {
+            if matches!(ev.kind, HopKind::RouteDrop | HopKind::QueueDrop { .. }) {
+                drops.push((ev.kind, ev.packet.id.0));
+            }
+        };
+        run_network_with(
+            net,
+            &F,
+            vec![(0, pkt(1, 0, 666)), (0, pkt(2, 5, 80))],
+            &mut sink,
+        );
+        assert_eq!(drops, vec![(HopKind::RouteDrop, 1)]);
+    }
+
+    #[test]
+    fn hop_stream_matches_ground_truth_hops() {
+        let net = line(3, 100);
+        let inj: Vec<(NodeId, Packet)> = (0..20).map(|i| (0usize, pkt(i, i * 400, 80))).collect();
+        let mut dequeues: Vec<(u64, NodeId, u64, u64)> = Vec::new(); // (pkt, node, arrived, departed)
+        let mut sink = |ev: &HopEvent<'_>| {
+            if let HopKind::Dequeue { arrived, .. } = ev.kind {
+                dequeues.push((
+                    ev.packet.id.0,
+                    ev.node,
+                    arrived.as_nanos(),
+                    ev.at.as_nanos(),
+                ));
+            }
+        };
+        let run = run_network_with(net, &LineForwarder { last: 2 }, inj, &mut sink);
+        let mut from_truth: Vec<(u64, NodeId, u64, u64)> = run
+            .deliveries
+            .iter()
+            .flat_map(|d| {
+                d.hops.iter().map(|h| {
+                    (
+                        d.packet.id.0,
+                        h.node,
+                        h.arrived.as_nanos(),
+                        h.departed.as_nanos(),
+                    )
+                })
+            })
+            .collect();
+        dequeues.sort_unstable();
+        from_truth.sort_unstable();
+        assert_eq!(dequeues, from_truth);
     }
 }

@@ -41,8 +41,18 @@ pub struct TandemConfig {
     /// Measurement horizon (normally the trace duration); used for
     /// utilization accounting.
     pub horizon: SimDuration,
-    /// Record deliveries for cross-traffic packets too (costs memory; loss
-    /// statistics are available from the queue counters either way).
+    /// Also report deliveries for *cross-traffic* packets (switch-2
+    /// ingress → egress records with `sw1_egress = None`).
+    ///
+    /// This flag changes **only** what the delivery callback/`Vec` sees —
+    /// cross packets always traverse switch 2, load it identically and are
+    /// always counted in the per-class queue counters
+    /// ([`FifoQueue::cross`]) whether or not their deliveries are
+    /// reported. Loss accounting therefore never depends on this flag:
+    /// [`TandemStats::regular_loss_rate`] / `reference_loss_rate` read the
+    /// counters, and cross drops are visible via the queue's cross class
+    /// either way. Keep it `false` on hot paths (cross deliveries are most
+    /// of the volume at high utilization and usually unconsumed).
     pub record_cross: bool,
 }
 
@@ -517,6 +527,58 @@ mod tests {
         let r = run_tandem(&c, upstream.into_iter(), std::iter::empty());
         assert_eq!(r.reference_loss_rate(), 1.0);
         assert_eq!(r.regular_loss_rate(), 0.0);
+    }
+
+    /// `record_cross` gates only delivery *reporting* — queue counters and
+    /// loss accounting are identical either way (the documented contract).
+    #[test]
+    fn record_cross_gates_reporting_not_accounting() {
+        let mut with = cfg();
+        with.record_cross = true;
+        with.switch2.capacity_bytes = 2_000; // forces cross + regular drops
+        let mut without = with;
+        without.record_cross = false;
+
+        let upstream: Vec<Packet> = (0..80).map(|i| reg(1000 + i, i * 300, 800)).collect();
+        let cross: Vec<Packet> = (0..80).map(|i| crs(i, i * 290, 900)).collect();
+
+        let a = run_tandem(&with, upstream.iter().copied(), cross.iter().copied());
+        let b = run_tandem(&without, upstream.iter().copied(), cross.iter().copied());
+
+        // Reporting differs: only the recording run emits cross deliveries…
+        let a_cross = a.deliveries.iter().filter(|d| d.packet.is_cross()).count();
+        let b_cross = b.deliveries.iter().filter(|d| d.packet.is_cross()).count();
+        assert!(a_cross > 0, "expected some cross deliveries");
+        assert_eq!(b_cross, 0, "record_cross=false must not report cross");
+        for d in a.deliveries.iter().filter(|d| d.packet.is_cross()) {
+            assert_eq!(d.sw1_egress, None, "cross bypasses switch 1");
+        }
+        // …and the regular/reference delivery sequence is unchanged.
+        let a_reg: Vec<_> = a
+            .deliveries
+            .iter()
+            .filter(|d| !d.packet.is_cross())
+            .copied()
+            .collect();
+        let b_reg: Vec<_> = b
+            .deliveries
+            .iter()
+            .filter(|d| !d.packet.is_cross())
+            .copied()
+            .collect();
+        assert_eq!(a_reg, b_reg);
+        assert!(!a_reg.is_empty());
+
+        // Accounting is identical: per-class arrivals/drops/bytes and the
+        // derived loss rates do not depend on the flag.
+        let (ca, cb) = (a.sw2().cross(), b.sw2().cross());
+        assert!(ca.drops > 0, "cross drops expected at this capacity");
+        assert_eq!(
+            (ca.arrivals, ca.drops, ca.bytes),
+            (cb.arrivals, cb.drops, cb.bytes)
+        );
+        assert_eq!(a.regular_loss_rate(), b.regular_loss_rate());
+        assert_eq!(a.bottleneck_utilization(), b.bottleneck_utilization());
     }
 
     #[test]

@@ -1,0 +1,353 @@
+//! Event schedulers for the network engine.
+//!
+//! The engine needs one operation pair — `push(at, item)` / `pop() → min by
+//! (at, seq)` — with FIFO tie-breaking among equal timestamps (`seq` is the
+//! global push order). Two implementations share that contract:
+//!
+//! * [`HeapSchedule`] — the original `BinaryHeap<Reverse<…>>`, kept as the
+//!   differential oracle and benchmark baseline.
+//! * [`CalendarQueue`] — a bucketed calendar queue keyed on [`SimTime`]:
+//!   near-future events land in fixed-width time buckets (O(1) push, cheap
+//!   in-bucket ordering), far-future events fall back to a heap that is
+//!   drained into the wheel one rotation at a time. Event-driven causality
+//!   (a handler never schedules into the past) keeps the cursor monotonic.
+//!
+//! `tests` + the workspace property suite pin the two implementations to
+//! identical `(time, seq)` drain orders, including same-timestamp ties.
+
+use rlir_net::time::SimTime;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// One scheduled entry; ordered by `(at, seq)` so equal timestamps drain in
+/// push (FIFO) order.
+struct Entry<T> {
+    at: u64,
+    seq: u64,
+    item: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        (self.at, self.seq) == (other.at, other.seq)
+    }
+}
+impl<T> Eq for Entry<T> {}
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// The scheduler contract of the event engine.
+pub trait EventSchedule<T> {
+    /// Schedule `item` at `at`. Ties drain in push order.
+    fn push(&mut self, at: SimTime, item: T);
+    /// Remove and return the earliest entry (smallest `(at, seq)`).
+    fn pop(&mut self) -> Option<(SimTime, T)>;
+    /// Number of scheduled entries.
+    fn len(&self) -> usize;
+    /// Whether the schedule is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The original binary-heap scheduler (differential oracle / benchmark
+/// baseline).
+#[derive(Default)]
+pub struct HeapSchedule<T> {
+    heap: BinaryHeap<Reverse<Entry<T>>>,
+    seq: u64,
+}
+
+impl<T> HeapSchedule<T> {
+    /// An empty schedule.
+    pub fn new() -> Self {
+        HeapSchedule {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+}
+
+impl<T> EventSchedule<T> for HeapSchedule<T> {
+    fn push(&mut self, at: SimTime, item: T) {
+        self.heap.push(Reverse(Entry {
+            at: at.as_nanos(),
+            seq: self.seq,
+            item,
+        }));
+        self.seq += 1;
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, T)> {
+        self.heap
+            .pop()
+            .map(|Reverse(e)| (SimTime::from_nanos(e.at), e.item))
+    }
+
+    fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+/// Default bucket width: 2¹⁰ ns ≈ 1 µs — on the same order as one MTU
+/// serialisation at 10 Gb/s, so a bucket holds a handful of events under
+/// load.
+const DEFAULT_BUCKET_NS_LOG2: u32 = 10;
+/// Default wheel size: 2¹⁰ buckets ⇒ a ~1 ms rotation, comfortably wider
+/// than any per-hop delay (queueing caps at ~420 µs for the default 512 KiB
+/// buffer) so in-flight events essentially never hit the overflow heap.
+const DEFAULT_BUCKETS_LOG2: u32 = 10;
+
+/// Bucketed calendar queue keyed on [`SimTime`], with a heap fallback for
+/// events beyond the current rotation.
+///
+/// The wheel covers `[rotation_start, rotation_start + nbuckets·width)`.
+/// Pops drain bucket by bucket; the bucket under the cursor is held in a
+/// small heap (`active`) so same-bucket pushes interleave correctly. When a
+/// rotation is exhausted the wheel advances — jumping straight to the
+/// overflow minimum's rotation when the intervening ones are empty — and
+/// overflow entries that now fall inside the new rotation are distributed
+/// into their buckets.
+pub struct CalendarQueue<T> {
+    /// Per-bucket unordered entry lists for the current rotation.
+    wheel: Vec<Vec<Entry<T>>>,
+    /// The bucket currently being drained, ordered.
+    active: BinaryHeap<Reverse<Entry<T>>>,
+    /// Exclusive time bound of the active bucket.
+    active_end: u64,
+    /// Next wheel index the cursor will open.
+    cursor: usize,
+    /// Start time of the current rotation (multiple of the bucket width).
+    rotation_start: u64,
+    /// Far-future entries (at ≥ rotation end when pushed).
+    overflow: BinaryHeap<Reverse<Entry<T>>>,
+    bucket_ns_log2: u32,
+    len: usize,
+    seq: u64,
+}
+
+impl<T> CalendarQueue<T> {
+    /// An empty queue with the default geometry (1 µs × 1024 buckets).
+    pub fn new() -> Self {
+        Self::with_geometry(DEFAULT_BUCKET_NS_LOG2, DEFAULT_BUCKETS_LOG2)
+    }
+
+    /// An empty queue with `2^bucket_ns_log2` ns buckets and
+    /// `2^buckets_log2` of them per rotation.
+    pub fn with_geometry(bucket_ns_log2: u32, buckets_log2: u32) -> Self {
+        assert!(
+            bucket_ns_log2 < 40 && buckets_log2 <= 20,
+            "geometry too big"
+        );
+        CalendarQueue {
+            wheel: (0..1usize << buckets_log2).map(|_| Vec::new()).collect(),
+            active: BinaryHeap::new(),
+            active_end: 1u64 << bucket_ns_log2,
+            cursor: 0,
+            rotation_start: 0,
+            overflow: BinaryHeap::new(),
+            bucket_ns_log2,
+            len: 0,
+            seq: 0,
+        }
+    }
+
+    #[inline]
+    fn rotation_span(&self) -> u64 {
+        (self.wheel.len() as u64) << self.bucket_ns_log2
+    }
+
+    #[inline]
+    fn rotation_end(&self) -> u64 {
+        self.rotation_start + self.rotation_span()
+    }
+
+    /// Open the next non-empty bucket (or rotate) until `active` is
+    /// populated or the queue is exhausted.
+    fn refill_active(&mut self) {
+        while self.active.is_empty() {
+            if self.cursor < self.wheel.len() {
+                // Skip empty buckets without touching the heap.
+                let bucket = &mut self.wheel[self.cursor];
+                self.cursor += 1;
+                self.active_end =
+                    self.rotation_start + ((self.cursor as u64) << self.bucket_ns_log2);
+                if !bucket.is_empty() {
+                    self.active = bucket.drain(..).map(Reverse).collect();
+                }
+                continue;
+            }
+            // Rotation exhausted: everything left lives in the overflow.
+            let Some(Reverse(min)) = self.overflow.peek() else {
+                return; // queue empty
+            };
+            // Jump directly to the rotation containing the overflow minimum
+            // (skipping empty rotations keeps sparse schedules O(log n)).
+            let span = self.rotation_span();
+            self.rotation_start = (min.at / span) * span;
+            self.cursor = 0;
+            let end = self.rotation_end();
+            while let Some(Reverse(e)) = self.overflow.peek() {
+                if e.at >= end {
+                    break;
+                }
+                let Reverse(e) = self.overflow.pop().expect("peeked");
+                let idx = ((e.at - self.rotation_start) >> self.bucket_ns_log2) as usize;
+                self.wheel[idx].push(e);
+            }
+        }
+    }
+}
+
+impl<T> Default for CalendarQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> EventSchedule<T> for CalendarQueue<T> {
+    fn push(&mut self, at: SimTime, item: T) {
+        let t = at.as_nanos();
+        let e = Entry {
+            at: t,
+            seq: self.seq,
+            item,
+        };
+        self.seq += 1;
+        self.len += 1;
+        if t < self.active_end {
+            // In (or before) the bucket being drained. Causality makes
+            // "before" impossible mid-run, but the heap handles it anyway —
+            // pushes that precede the first pop land here too.
+            self.active.push(Reverse(e));
+        } else if t < self.rotation_end() {
+            let idx = ((t - self.rotation_start) >> self.bucket_ns_log2) as usize;
+            self.wheel[idx].push(e);
+        } else {
+            self.overflow.push(Reverse(e));
+        }
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, T)> {
+        self.refill_active();
+        let Reverse(e) = self.active.pop()?;
+        self.len -= 1;
+        Some((SimTime::from_nanos(e.at), e.item))
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drain a schedule fully, returning `(time, payload)` pairs.
+    fn drain(s: &mut impl EventSchedule<u32>) -> Vec<(u64, u32)> {
+        let mut out = Vec::new();
+        while let Some((at, v)) = s.pop() {
+            out.push((at.as_nanos(), v));
+        }
+        out
+    }
+
+    type Drained = Vec<(u64, u32)>;
+
+    fn both(pushes: &[(u64, u32)]) -> (Drained, Drained) {
+        let mut heap = HeapSchedule::new();
+        let mut cal = CalendarQueue::new();
+        for &(t, v) in pushes {
+            heap.push(SimTime::from_nanos(t), v);
+            cal.push(SimTime::from_nanos(t), v);
+        }
+        (drain(&mut heap), drain(&mut cal))
+    }
+
+    #[test]
+    fn drains_in_time_then_push_order() {
+        let (h, c) = both(&[(50, 0), (10, 1), (50, 2), (10, 3), (0, 4)]);
+        assert_eq!(h, vec![(0, 4), (10, 1), (10, 3), (50, 0), (50, 2)]);
+        assert_eq!(h, c);
+    }
+
+    #[test]
+    fn far_future_events_take_the_overflow_path() {
+        // Default rotation is ~1 ms; push events many rotations out.
+        let pushes: Vec<(u64, u32)> = (0..100)
+            .map(|i| ((i * 7_777_777) % 1_000_000_000, i as u32))
+            .collect();
+        let (h, c) = both(&pushes);
+        assert_eq!(h, c);
+        assert_eq!(h.len(), 100);
+    }
+
+    #[test]
+    fn interleaved_push_pop_stays_ordered() {
+        let mut cal = CalendarQueue::new();
+        let mut heap = HeapSchedule::new();
+        // Seed both, then pop one / push two in lockstep (event-driven shape:
+        // new events never precede the one just popped).
+        for t in [5u64, 3, 9] {
+            cal.push(SimTime::from_nanos(t), 0);
+            heap.push(SimTime::from_nanos(t), 0);
+        }
+        let mut got = Vec::new();
+        let mut next = 1u32;
+        loop {
+            let (a, b) = (cal.pop(), heap.pop());
+            assert_eq!(a, b);
+            let Some((t, v)) = a else { break };
+            got.push((t.as_nanos(), v));
+            if next <= 40 {
+                // Two children per pop: one nearby, one far future.
+                for dt in [17u64, 2_500_000] {
+                    cal.push(SimTime::from_nanos(t.as_nanos() + dt), next);
+                    heap.push(SimTime::from_nanos(t.as_nanos() + dt), next);
+                    next += 1;
+                }
+            }
+        }
+        assert_eq!(got.len(), 43); // 3 seeds + 20 spawning pops × 2 children
+        for w in got.windows(2) {
+            assert!(w[0].0 <= w[1].0, "time went backwards: {w:?}");
+        }
+    }
+
+    #[test]
+    fn len_tracks_pushes_and_pops() {
+        let mut cal = CalendarQueue::new();
+        assert!(cal.is_empty());
+        cal.push(SimTime::from_nanos(1), 1u32);
+        cal.push(SimTime::from_nanos(2_000_000_000), 2);
+        assert_eq!(cal.len(), 2);
+        cal.pop();
+        assert_eq!(cal.len(), 1);
+        cal.pop();
+        assert!(cal.is_empty());
+        assert!(cal.pop().is_none());
+    }
+
+    #[test]
+    fn tiny_geometry_still_correct() {
+        // 2-ns buckets, 4 per rotation: everything exercises the overflow
+        // and rotation-jump paths.
+        let mut cal = CalendarQueue::with_geometry(1, 2);
+        let mut heap = HeapSchedule::new();
+        let pushes: Vec<u64> = (0..200).map(|i| (i * 37) % 500).collect();
+        for (i, &t) in pushes.iter().enumerate() {
+            cal.push(SimTime::from_nanos(t), i as u32);
+            heap.push(SimTime::from_nanos(t), i as u32);
+        }
+        assert_eq!(drain(&mut cal), drain(&mut heap));
+    }
+}

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Time the event-driven network engine under both schedulers — the original
+# BinaryHeap and the bucketed calendar queue — on the k=4 fat-tree incast
+# workload, and emit BENCH_network.json. The two runs are asserted
+# byte-identical by the benchmark binary itself (and pinned independently by
+# tests/scheduler_equivalence.rs + tests/network_tandem_differential.rs);
+# this script records only wall-clock.
+#
+# Usage: scripts/network_bench.sh [output.json]
+# Knobs: RLIR_NETBENCH_MS    (trace duration, default 40)
+#        RLIR_NETBENCH_REPS  (best-of, default 3)
+#        RLIR_NETBENCH_FANIN (synchronized sources, default 4)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_network.json}"
+
+cargo build --release -p rlir-bench --bin network_bench
+target/release/network_bench > "$OUT"
+echo "wrote $OUT:"
+cat "$OUT"

@@ -1,0 +1,118 @@
+//! Output pins captured **before** the measurement-plane rewiring (PR 3).
+//!
+//! The fat-tree, asymmetric and incast harnesses were rewired from bespoke
+//! per-segment event queues onto the shared `MeasurementPlane` + `HopSink`
+//! architecture; these digests assert the rewiring is output-preserving bit
+//! for bit (f64s compared via `to_bits` inside the digest). Captured at
+//! commit 4cd9b46 with `examples/pin_digest.rs`-style folding.
+
+use rlir::experiment::{
+    run_asymmetric, run_fattree, run_incast, AsymmetricConfig, FatTreeExpConfig, IncastConfig,
+};
+use rlir::CoreDemux;
+use rlir_exec::SweepRunner;
+use rlir_net::time::SimDuration;
+use rlir_rli::PolicyKind;
+
+fn fold(h: u64, bits: u64) -> u64 {
+    h.rotate_left(7) ^ bits.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+fn digest_f64s(h: u64, vals: &[f64]) -> u64 {
+    vals.iter().fold(h, |h, v| fold(h, v.to_bits()))
+}
+
+fn fattree_digest(demux: CoreDemux) -> u64 {
+    let mut cfg = FatTreeExpConfig::paper(11, SimDuration::from_millis(20));
+    cfg.policy = PolicyKind::Static { n: 30 };
+    cfg.demux = demux;
+    let out = run_fattree(&cfg);
+    let mut h = 0u64;
+    h = fold(h, out.demux_total);
+    h = fold(h, out.demux_correct);
+    h = fold(h, out.demux_unassociated);
+    h = fold(h, out.measured_delivered);
+    h = fold(h, out.refs_emitted.0);
+    h = fold(h, out.refs_emitted.1);
+    h = fold(h, out.seg1_errors.len() as u64);
+    h = digest_f64s(h, &out.seg1_errors);
+    h = fold(h, out.seg2_errors.len() as u64);
+    h = digest_f64s(h, &out.seg2_errors);
+    h = fold(h, out.seg1_flows.flow_count() as u64);
+    h = fold(h, out.seg1_flows.estimate_count());
+    h = fold(h, out.seg2_flows.flow_count() as u64);
+    h = fold(h, out.seg2_flows.estimate_count());
+    h = fold(h, out.segments.len() as u64);
+    for s in &out.segments {
+        h = s.name.bytes().fold(h, |h, b| fold(h, b as u64));
+        h = fold(h, s.est_mean_ns.to_bits());
+        h = fold(h, s.true_mean_ns.to_bits());
+        h = fold(h, s.packets);
+    }
+    h
+}
+
+#[test]
+fn fattree_outputs_match_pre_rewiring_pins() {
+    assert_eq!(
+        fattree_digest(CoreDemux::ReverseEcmp),
+        0xd787dd9172def65c,
+        "reverse-ECMP fat-tree output drifted from the pre-rewiring pin"
+    );
+    // Marking demuxes perfectly too, so it feeds the receivers identically.
+    assert_eq!(fattree_digest(CoreDemux::Marking), 0xd787dd9172def65c);
+    assert_eq!(
+        fattree_digest(CoreDemux::Naive),
+        0x913711e18efc6cb3,
+        "naive-demux fat-tree output drifted from the pre-rewiring pin"
+    );
+}
+
+#[test]
+fn asymmetric_outputs_match_pre_rewiring_pin() {
+    let mut cfg = AsymmetricConfig::paper(11, SimDuration::from_millis(30));
+    cfg.policy = PolicyKind::Static { n: 50 };
+    cfg.reverse_utilizations = vec![0.50, 0.93];
+    let pts = run_asymmetric(&cfg, &SweepRunner::single());
+    let mut h = 0u64;
+    for p in &pts {
+        h = digest_f64s(
+            h,
+            &[
+                p.target_reverse_utilization,
+                p.forward_utilization,
+                p.reverse_utilization,
+                p.forward_median_error,
+                p.reverse_median_error,
+                p.rtt_median_error,
+                p.attribution_accuracy,
+            ],
+        );
+        h = fold(h, p.paired_flows as u64);
+    }
+    assert_eq!(h, 0xa8f1446e86042460, "asymmetric output drifted");
+}
+
+#[test]
+fn incast_outputs_match_pre_rewiring_pin() {
+    let mut cfg = IncastConfig::paper(17, SimDuration::from_millis(20));
+    cfg.base.policy = PolicyKind::Static { n: 30 };
+    cfg.fan_in = vec![1, 4];
+    let pts = run_incast(&cfg, &SweepRunner::single());
+    let mut h = 0u64;
+    for p in &pts {
+        h = fold(h, p.fan_in as u64);
+        h = digest_f64s(
+            h,
+            &[
+                p.seg1_median_error,
+                p.seg2_median_error,
+                p.seg2_true_delay_us,
+                p.demux_accuracy,
+            ],
+        );
+        h = fold(h, p.measured_delivered);
+        h = fold(h, p.refs_emitted);
+    }
+    assert_eq!(h, 0x93cab3421c902f82, "incast output drifted");
+}

@@ -1,0 +1,99 @@
+//! Property tests: the bucketed [`CalendarQueue`] drains events in an
+//! identical `(time, sequence)` order to the original `BinaryHeap`
+//! scheduler ([`HeapSchedule`]) — under random event mixes, dense
+//! same-timestamp ties, event-driven interleaved push/pop, and degenerate
+//! wheel geometries that force the overflow/rotation paths.
+
+use proptest::prelude::*;
+use rlir_net::time::SimTime;
+use rlir_sim::{CalendarQueue, EventSchedule, HeapSchedule};
+
+fn drain<S: EventSchedule<u32>>(s: &mut S) -> Vec<(u64, u32)> {
+    let mut out = Vec::new();
+    while let Some((at, v)) = s.pop() {
+        out.push((at.as_nanos(), v));
+    }
+    out
+}
+
+fn fill<S: EventSchedule<u32>>(s: &mut S, times: &[u64]) {
+    for (i, &t) in times.iter().enumerate() {
+        s.push(SimTime::from_nanos(t), i as u32);
+    }
+}
+
+proptest! {
+    /// Random timestamps spanning far beyond one wheel rotation (~1 ms):
+    /// exercises buckets, overflow heap and rotation jumps.
+    #[test]
+    fn calendar_matches_heap_on_random_mixes(
+        times in proptest::collection::vec(0u64..50_000_000, 1..500),
+    ) {
+        let mut heap = HeapSchedule::new();
+        let mut cal = CalendarQueue::new();
+        fill(&mut heap, &times);
+        fill(&mut cal, &times);
+        prop_assert_eq!(drain(&mut heap), drain(&mut cal));
+    }
+
+    /// A tiny timestamp domain forces many exact ties: FIFO (push-order)
+    /// tie-breaking must agree.
+    #[test]
+    fn calendar_matches_heap_under_dense_ties(
+        times in proptest::collection::vec(0u64..40, 1..400),
+    ) {
+        let mut heap = HeapSchedule::new();
+        let mut cal = CalendarQueue::new();
+        fill(&mut heap, &times);
+        fill(&mut cal, &times);
+        prop_assert_eq!(drain(&mut heap), drain(&mut cal));
+    }
+
+    /// Event-driven shape: each pop may schedule children at the popped
+    /// time plus a delta (never into the past), like packets traversing
+    /// hops. Both schedules must agree pop for pop.
+    #[test]
+    fn calendar_matches_heap_interleaved(
+        seeds in proptest::collection::vec(0u64..2_000_000, 1..60),
+        deltas in proptest::collection::vec(0u64..3_000_000, 3..120),
+    ) {
+        let mut heap = HeapSchedule::new();
+        let mut cal = CalendarQueue::new();
+        fill(&mut heap, &seeds);
+        fill(&mut cal, &seeds);
+        let mut next = seeds.len() as u32;
+        let mut deltas = deltas.iter().cycle();
+        let mut budget = 300usize;
+        loop {
+            let (h, c) = (heap.pop(), cal.pop());
+            prop_assert_eq!(&h, &c, "pop divergence");
+            let Some((at, _)) = h else { break };
+            if budget > 0 {
+                budget -= 1;
+                // Two children per pop, same push order on both sides.
+                for _ in 0..2 {
+                    let dt = *deltas.next().expect("cycled");
+                    heap.push(SimTime::from_nanos(at.as_nanos() + dt), next);
+                    cal.push(SimTime::from_nanos(at.as_nanos() + dt), next);
+                    next += 1;
+                }
+            }
+        }
+        prop_assert!(heap.is_empty() && cal.is_empty());
+    }
+
+    /// Degenerate geometries (buckets as small as 2 ns, wheels as small as
+    /// 2 buckets) push everything through the rotation machinery.
+    #[test]
+    fn small_geometries_stay_exact(
+        times in proptest::collection::vec(0u64..10_000, 1..300),
+        bucket_log2 in 1u32..8,
+        wheel_log2 in 1u32..6,
+    ) {
+        let mut heap = HeapSchedule::new();
+        let mut cal = CalendarQueue::with_geometry(bucket_log2, wheel_log2);
+        fill(&mut heap, &times);
+        fill(&mut cal, &times);
+        prop_assert_eq!(drain(&mut heap), drain(&mut cal));
+    }
+}

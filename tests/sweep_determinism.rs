@@ -9,7 +9,8 @@
 //! `to_bits`, so even a ULP of scheduling-dependent drift fails.
 
 use rlir::experiment::{
-    run_asymmetric, run_loss_sweep_on, AsymmetricConfig, LossPoint, LossSweepConfig, TwoHopConfig,
+    run_asymmetric, run_localize, run_loss_sweep_on, AsymmetricConfig, LocalizeConfig, LossPoint,
+    LossSweepConfig, TwoHopConfig,
 };
 use rlir_exec::SweepRunner;
 use rlir_net::time::SimDuration;
@@ -95,5 +96,30 @@ fn asymmetric_sweep_is_thread_count_invariant() {
             y.attribution_accuracy.to_bits()
         );
         assert_eq!(x.paired_flows, y.paired_flows);
+    }
+}
+
+#[test]
+fn localize_sweep_is_thread_count_invariant() {
+    // The victim draw and the per-trial workload both come from the derived
+    // point seed, so any thread count must flag the same segments with
+    // bit-identical severities.
+    let mut cfg = LocalizeConfig::paper(29, SimDuration::from_millis(15));
+    cfg.base.policy = PolicyKind::Static { n: 30 };
+    cfg.utilizations = vec![0.05, 0.2];
+    cfg.trials = 2;
+    let one = run_localize(&cfg, &SweepRunner::single());
+    for threads in [2, 4] {
+        let many = run_localize(&cfg, &SweepRunner::new(threads));
+        assert_eq!(one.len(), many.len());
+        for (x, y) in one.iter().zip(&many) {
+            assert_eq!(x.utilization.to_bits(), y.utilization.to_bits());
+            assert_eq!(
+                (x.trials, x.correct, x.flagged),
+                (y.trials, y.correct, y.flagged)
+            );
+            assert_eq!(x.accuracy.to_bits(), y.accuracy.to_bits());
+            assert_eq!(x.mean_severity.to_bits(), y.mean_severity.to_bits());
+        }
     }
 }
