@@ -1,0 +1,108 @@
+//! Streaming-epoch plane vs buffered-sort oracle: wall-clock and peak
+//! buffered observations.
+//!
+//! Runs the full fat-tree RLIR harness (trace generation, both simulation
+//! phases, every measurement-plane tap) under the synchronized-burst
+//! incast-style workload with the plane's two drains — the default
+//! streaming reorder window and the pre-refactor buffered-sort oracle —
+//! and reports best-of-N wall-clock plus each path's buffered-observation
+//! high-water mark as JSON on stdout; `scripts/estimator_bench.sh`
+//! captures it into `BENCH_estimator.json`. A digest over the per-flow
+//! error vectors cross-checks that the two paths produced byte-identical
+//! estimates while being timed (pinned independently by
+//! `tests/epoch_streaming_differential.rs`).
+//!
+//! Knobs: `RLIR_ESTBENCH_MS` (trace duration, default 40),
+//! `RLIR_ESTBENCH_REPS` (best-of, default 3).
+
+use rlir::experiment::{run_fattree, FatTreeExpConfig};
+use rlir_net::time::SimDuration;
+use rlir_rli::PolicyKind;
+use rlir_trace::BurstShape;
+use std::time::Instant;
+
+fn env_u64(key: &str, default: u64) -> u64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn digest(errs: &[f64]) -> u64 {
+    errs.iter().fold(0u64, |h, e| {
+        h.rotate_left(7) ^ e.to_bits().wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    })
+}
+
+fn main() {
+    let duration = SimDuration::from_millis(env_u64("RLIR_ESTBENCH_MS", 40));
+    let reps = env_u64("RLIR_ESTBENCH_REPS", 3).max(1);
+
+    // The drop-/tie-heavy regime of the differential tests: synchronized
+    // bursts into one destination ToR, drops at the shared downlink.
+    let mut cfg = FatTreeExpConfig::paper(0xE57, duration);
+    cfg.policy = PolicyKind::Static { n: 30 };
+    cfg.n_src_tors = 4;
+    cfg.measured_load = 0.30;
+    cfg.burst = Some(BurstShape {
+        period: SimDuration::from_millis(5),
+        duty: 0.2,
+    });
+
+    // (label, oracle?) → (best_ns, peak_pending, late, estimates, digest)
+    let mut rows: Vec<(&str, u128, usize, u64, u64, u64)> = Vec::new();
+    for (label, oracle) in [("buffered_sort", true), ("streaming", false)] {
+        let mut run_cfg = cfg.clone();
+        run_cfg.buffered_oracle = oracle;
+        let mut best_ns = u128::MAX;
+        let mut peak = 0usize;
+        let mut late = 0u64;
+        let mut estimates = 0u64;
+        let mut dig = 0u64;
+        for _ in 0..reps {
+            let start = Instant::now();
+            let out = run_fattree(&run_cfg);
+            let elapsed = start.elapsed().as_nanos();
+            best_ns = best_ns.min(elapsed);
+            peak = out.peak_pending;
+            late = out.late;
+            estimates = out.seg1_flows.estimate_count() + out.seg2_flows.estimate_count();
+            dig = digest(&out.seg1_errors) ^ digest(&out.seg2_errors).rotate_left(31);
+        }
+        rows.push((label, best_ns, peak, late, estimates, dig));
+    }
+    let (oracle, streaming) = (&rows[0], &rows[1]);
+    assert_eq!(
+        oracle.5, streaming.5,
+        "drains diverged — the differential tests should have caught this"
+    );
+    assert_eq!(streaming.3, 0, "late observations under the default window");
+
+    println!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"measurement plane: buffered-sort oracle vs streaming reorder window ",
+            "(k=4 fat-tree, bursty fan-in 4, {}ms, best of {})\",\n",
+            "  \"estimates\": {},\n",
+            "  \"buffered_sort_ms\": {:.3},\n",
+            "  \"streaming_ms\": {:.3},\n",
+            "  \"wallclock_ratio\": {:.3},\n",
+            "  \"buffered_sort_peak_pending\": {},\n",
+            "  \"streaming_peak_pending\": {},\n",
+            "  \"peak_pending_ratio\": {:.2},\n",
+            "  \"streaming_late\": {},\n",
+            "  \"outputs_identical\": true\n",
+            "}}"
+        ),
+        duration.as_nanos() / 1_000_000,
+        reps,
+        streaming.4,
+        oracle.1 as f64 / 1e6,
+        streaming.1 as f64 / 1e6,
+        oracle.1 as f64 / streaming.1 as f64,
+        oracle.2,
+        streaming.2,
+        oracle.2 as f64 / (streaming.2.max(1)) as f64,
+        streaming.3,
+    );
+}

@@ -10,6 +10,36 @@
 
 use crate::figures::{DemuxRow, Fig5Point, InterpRow, QuantileRow, ShapeCheck, SyncRow};
 use crate::output::{write_csv, OutputDir};
+use rlir_rli::EpochSnapshot;
+
+/// CSV header of every per-epoch time-series export.
+pub const EPOCH_SERIES_HEADER: &str = "label,epoch,start_ns,regulars_seen,estimated,unestimated,\
+dropped_after_metering,est_mean_ns,true_mean_ns";
+
+/// Render labeled epoch series as the shared per-epoch CSV — the
+/// registry's time-series export format, one row per `(label, epoch)`.
+pub fn epoch_series_csv<'a>(
+    rows: impl IntoIterator<Item = (&'a str, &'a [EpochSnapshot])>,
+) -> String {
+    write_csv(
+        EPOCH_SERIES_HEADER,
+        rows.into_iter().flat_map(|(label, series)| {
+            series.iter().map(move |e| {
+                format!(
+                    "{label},{},{},{},{},{},{},{},{}",
+                    e.epoch,
+                    e.start.as_nanos(),
+                    e.regulars_seen,
+                    e.estimated,
+                    e.unestimated,
+                    e.dropped_after_metering,
+                    e.est_mean().unwrap_or(f64::NAN),
+                    e.true_mean().unwrap_or(f64::NAN),
+                )
+            })
+        }),
+    )
+}
 
 /// Print `[PASS]`/`[MISS]` shape-check lines.
 pub fn print_shape_checks(checks: &[ShapeCheck]) {
@@ -90,7 +120,34 @@ pub fn emit_demux(
             )
         }),
     );
-    out.write(csv_name, &csv).map(|_| ())
+    out.write(csv_name, &csv)?;
+    // The per-epoch segment-2 series of every mode, as a companion file.
+    let labeled: Vec<(String, &[EpochSnapshot])> = rows
+        .iter()
+        .map(|r| (r.mode.clone(), r.seg2_epochs.as_slice()))
+        .collect();
+    write_epoch_companion(out, csv_name, &labeled)
+}
+
+/// `foo.csv` → `foo_epochs.csv` (companion per-epoch series file).
+pub fn epoch_csv_name(csv_name: &str) -> String {
+    match csv_name.strip_suffix(".csv") {
+        Some(base) => format!("{base}_epochs.csv"),
+        None => format!("{csv_name}_epochs.csv"),
+    }
+}
+
+/// Write a scenario's per-epoch companion file next to its main CSV: the
+/// labeled series rendered as [`epoch_series_csv`] into
+/// [`epoch_csv_name`]`(csv_name)`. The single path every registry entry
+/// uses, so the companion convention cannot drift per scenario.
+pub fn write_epoch_companion(
+    out: &OutputDir,
+    csv_name: &str,
+    labeled: &[(String, &[EpochSnapshot])],
+) -> std::io::Result<()> {
+    let series = epoch_series_csv(labeled.iter().map(|(l, s)| (l.as_str(), *s)));
+    out.write(&epoch_csv_name(csv_name), &series).map(|_| ())
 }
 
 /// Interpolation-ablation table + CSV.

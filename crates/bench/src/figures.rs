@@ -42,6 +42,8 @@ pub struct AccuracyCurve {
     pub flows: usize,
     /// The raw error samples (CDF input).
     pub errors: Vec<f64>,
+    /// The run's per-epoch latency series (see `TwoHopOutcome::epochs`).
+    pub epochs: Vec<rlir_rli::EpochSnapshot>,
 }
 
 impl AccuracyCurve {
@@ -56,6 +58,7 @@ impl AccuracyCurve {
             frac_below_10pct: e.fraction_at_or_below(0.10),
             flows: e.len(),
             errors: e.samples().to_vec(),
+            epochs: out.epochs.clone(),
         }
     }
 
@@ -334,6 +337,8 @@ pub struct DemuxRow {
     pub seg2_median_error: f64,
     /// Per-packet estimates produced on segment 2.
     pub seg2_estimates: u64,
+    /// Segment-2 per-epoch series (merged across receivers).
+    pub seg2_epochs: Vec<rlir_rli::EpochSnapshot>,
 }
 
 /// The demultiplexing ablation on the fat-tree: naive vs marking vs
@@ -375,6 +380,7 @@ pub fn demux_ablation(scale: &Scale, runner: &SweepRunner) -> Vec<DemuxRow> {
                 seg1_median_error: med(&out.seg1_errors),
                 seg2_median_error: med(&out.seg2_errors),
                 seg2_estimates: out.seg2_flows.estimate_count(),
+                seg2_epochs: out.seg2_epochs,
             }
         })
         .collect()

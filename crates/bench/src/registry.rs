@@ -8,6 +8,7 @@
 
 use crate::emit::{
     emit_demux, emit_fig5, emit_interp, emit_quantiles, emit_sync, print_shape_checks,
+    write_epoch_companion,
 };
 use crate::figures::{
     demux_ablation, fig4a, fig4a_shape_checks, fig5, fig5_shape_checks, interference_base,
@@ -16,8 +17,8 @@ use crate::figures::{
 use crate::output::{write_csv, OutputDir};
 use crate::scale::Scale;
 use rlir::experiment::{
-    run_asymmetric, run_incast, run_localize, AsymmetricConfig, IncastConfig, LocalizeConfig,
-    LossSweepConfig,
+    run_asymmetric, run_drop_aware, run_incast, run_localize_full, AsymmetricConfig,
+    DropAwareConfig, IncastConfig, LocalizeConfig, LossSweepConfig,
 };
 use rlir_exec::ScenarioRegistry;
 use rlir_rli::PolicyKind;
@@ -59,6 +60,11 @@ pub fn build_registry() -> ScenarioRegistry<RunContext> {
                 }),
             );
             ctx.out.write("scenario_two_hop.csv", &csv)?;
+            let labeled: Vec<(String, &[rlir_rli::EpochSnapshot])> = curves
+                .iter()
+                .map(|c| (c.label.clone(), c.epochs.as_slice()))
+                .collect();
+            write_epoch_companion(&ctx.out, "scenario_two_hop.csv", &labeled)?;
             Ok(())
         },
     );
@@ -163,6 +169,17 @@ pub fn build_registry() -> ScenarioRegistry<RunContext> {
                 }),
             );
             ctx.out.write("scenario_asymmetric.csv", &csv)?;
+            let labeled: Vec<(String, &[rlir_rli::EpochSnapshot])> = points
+                .iter()
+                .flat_map(|p| {
+                    let tag = (p.target_reverse_utilization * 100.0).round() as u64;
+                    [
+                        (format!("fwd@{tag}"), p.forward_epochs.as_slice()),
+                        (format!("rev@{tag}"), p.reverse_epochs.as_slice()),
+                    ]
+                })
+                .collect();
+            write_epoch_companion(&ctx.out, "scenario_asymmetric.csv", &labeled)?;
             Ok(())
         },
     );
@@ -205,45 +222,148 @@ pub fn build_registry() -> ScenarioRegistry<RunContext> {
                 }),
             );
             ctx.out.write("scenario_incast.csv", &csv)?;
+            let labeled: Vec<(String, &[rlir_rli::EpochSnapshot])> = points
+                .iter()
+                .map(|p| (format!("fanin{}", p.fan_in), p.seg2_epochs.as_slice()))
+                .collect();
+            write_epoch_companion(&ctx.out, "scenario_incast.csv", &labeled)?;
             Ok(())
         },
     );
 
     reg.register(
         "localize",
-        "NEW: fabric-wide anomaly localization (random core/edge victim per point, accuracy vs background load)",
+        "NEW: fabric-wide anomaly localization (random core/edge victim per point, accuracy + onset vs background load)",
         |ctx, runner| {
             let cfg = LocalizeConfig::paper(ctx.scale.base_seed, ctx.scale.fattree_duration);
-            let points = run_localize(&cfg, runner);
+            let report = run_localize_full(&cfg, runner);
             println!(
                 "== localize: {} fault at one random core/edge switch per trial ==",
                 cfg.extra_processing
             );
             println!(
-                "  {:>11} {:>7} {:>8} {:>8} {:>9} {:>13}",
-                "background", "trials", "flagged", "correct", "accuracy", "mean severity"
+                "  {:>11} {:>7} {:>8} {:>8} {:>9} {:>13} {:>7} {:>13}",
+                "background",
+                "trials",
+                "flagged",
+                "correct",
+                "accuracy",
+                "mean severity",
+                "onsets",
+                "mean onset ms"
             );
-            for p in &points {
+            for p in &report.points {
                 println!(
-                    "  {:>10.0}% {:>7} {:>8} {:>8} {:>8.1}% {:>13.1}",
+                    "  {:>10.0}% {:>7} {:>8} {:>8} {:>8.1}% {:>13.1} {:>7} {:>13.2}",
                     p.utilization * 100.0,
                     p.trials,
                     p.flagged,
                     p.correct,
                     p.accuracy * 100.0,
-                    p.mean_severity
+                    p.mean_severity,
+                    p.onsets,
+                    p.mean_onset_ns / 1e6
                 );
             }
             let csv = write_csv(
-                "utilization,trials,flagged,correct,accuracy,mean_severity",
-                points.iter().map(|p| {
+                "utilization,trials,flagged,correct,accuracy,mean_severity,onsets,mean_onset_ns",
+                report.points.iter().map(|p| {
                     format!(
-                        "{},{},{},{},{},{}",
-                        p.utilization, p.trials, p.flagged, p.correct, p.accuracy, p.mean_severity
+                        "{},{},{},{},{},{},{},{}",
+                        p.utilization,
+                        p.trials,
+                        p.flagged,
+                        p.correct,
+                        p.accuracy,
+                        p.mean_severity,
+                        p.onsets,
+                        p.mean_onset_ns
                     )
                 }),
             );
             ctx.out.write("scenario_localize.csv", &csv)?;
+            // The per-epoch victim time-series of every trial — the
+            // "when did it start" view behind the onset column.
+            let labeled: Vec<(String, &[rlir_rli::EpochSnapshot])> = report
+                .trials
+                .iter()
+                .enumerate()
+                .map(|(i, t)| {
+                    let tag = (t.utilization * 100.0).round() as u64;
+                    (
+                        format!("u{tag}/t{i}/{}", t.victim),
+                        t.victim_epochs.as_slice(),
+                    )
+                })
+                .collect();
+            write_epoch_companion(&ctx.out, "scenario_localize.csv", &labeled)?;
+            Ok(())
+        },
+    );
+
+    reg.register(
+        "drop_aware",
+        "NEW: live taps on a loss-heavy path — estimator bias when metered packets die downstream",
+        |ctx, runner| {
+            let cfg = DropAwareConfig::paper(ctx.scale.base_seed, ctx.scale.accuracy_duration);
+            let points = run_drop_aware(&cfg, runner);
+            println!("== drop_aware: live vs delivered-gated taps at the bottleneck's feeder ==");
+            println!(
+                "  {:>7} {:>9} {:>9} {:>9} {:>8} {:>12} {:>12} {:>13} {:>9}",
+                "load",
+                "offered",
+                "ds loss",
+                "us loss",
+                "metered",
+                "died after",
+                "live err",
+                "survivor bias",
+                "pending"
+            );
+            for p in &points {
+                println!(
+                    "  {:>6.0}% {:>9} {:>8.2}% {:>8.2}% {:>8} {:>12} {:>11.2}% {:>12.2}% {:>9}",
+                    p.offered_load * 100.0,
+                    p.offered,
+                    p.downstream_loss * 100.0,
+                    p.upstream_loss * 100.0,
+                    p.live_metered,
+                    p.dropped_after_metering,
+                    p.live_rel_err * 100.0,
+                    p.survivor_bias * 100.0,
+                    p.peak_pending
+                );
+            }
+            let csv = write_csv(
+                "offered_load,offered,downstream_loss,upstream_loss,live_metered,dropped_after_metering,live_est_mean_ns,live_true_mean_ns,delivered_est_mean_ns,delivered_true_mean_ns,survivor_bias,live_rel_err,peak_pending",
+                points.iter().map(|p| {
+                    format!(
+                        "{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                        p.offered_load,
+                        p.offered,
+                        p.downstream_loss,
+                        p.upstream_loss,
+                        p.live_metered,
+                        p.dropped_after_metering,
+                        p.live_est_mean_ns,
+                        p.live_true_mean_ns,
+                        p.delivered_est_mean_ns,
+                        p.delivered_true_mean_ns,
+                        p.survivor_bias,
+                        p.live_rel_err,
+                        p.peak_pending
+                    )
+                }),
+            );
+            ctx.out.write("scenario_drop_aware.csv", &csv)?;
+            let labeled: Vec<(String, &[rlir_rli::EpochSnapshot])> = points
+                .iter()
+                .map(|p| {
+                    let tag = (p.offered_load * 100.0).round() as u64;
+                    (format!("load{tag}"), p.epochs.as_slice())
+                })
+                .collect();
+            write_epoch_companion(&ctx.out, "scenario_drop_aware.csv", &labeled)?;
             Ok(())
         },
     );
@@ -325,6 +445,7 @@ mod tests {
             "asymmetric",
             "incast",
             "localize",
+            "drop_aware",
         ] {
             assert!(names.contains(&required), "missing scenario {required}");
         }

@@ -67,7 +67,7 @@ impl AsymmetricConfig {
 }
 
 /// One point of the asymmetric sweep.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct AsymmetricPoint {
     /// Target utilization of the reverse path at this point.
     pub target_reverse_utilization: f64,
@@ -87,6 +87,11 @@ pub struct AsymmetricPoint {
     pub attribution_accuracy: f64,
     /// Flows measured in both directions.
     pub paired_flows: usize,
+    /// Forward-direction per-epoch series.
+    pub forward_epochs: Vec<rlir_rli::EpochSnapshot>,
+    /// Reverse-direction per-epoch series — the live view of *which half*
+    /// of the round trip degrades, and when.
+    pub reverse_epochs: Vec<rlir_rli::EpochSnapshot>,
 }
 
 /// The sweep as a [`Scenario`] over pre-generated base traces.
@@ -204,6 +209,8 @@ impl Scenario for AsymmetricSweep<'_> {
                 attributed as f64 / paired as f64
             },
             paired_flows: paired,
+            forward_epochs: fwd.epochs,
+            reverse_epochs: rev.epochs,
         }
     }
 
@@ -257,7 +264,7 @@ mod tests {
     fn sweep_pairs_flows_and_tracks_reverse_load() {
         let pts = run_asymmetric(&quick_cfg(), &SweepRunner::single());
         assert_eq!(pts.len(), 2);
-        let (lo, hi) = (pts[0], pts[1]);
+        let (lo, hi) = (&pts[0], &pts[1]);
         assert!(lo.paired_flows > 50, "{} paired flows", lo.paired_flows);
         assert!(
             hi.reverse_utilization > lo.reverse_utilization + 0.2,
@@ -272,7 +279,7 @@ mod tests {
     #[test]
     fn attribution_identifies_the_hot_direction() {
         let pts = run_asymmetric(&quick_cfg(), &SweepRunner::single());
-        let hi = pts[1];
+        let hi = &pts[1];
         // Reverse at 93% vs forward at 50%: nearly every flow's RTT is
         // dominated by the reverse direction, and the estimates must say so.
         assert!(

@@ -13,6 +13,7 @@
 use super::fattree::{run_fattree, FatTreeExpConfig, FatTreeOutcome};
 use rlir_exec::{PointContext, Scenario, SweepRunner};
 use rlir_net::time::SimDuration;
+use rlir_rli::EpochSnapshot;
 use rlir_stats::Ecdf;
 use rlir_trace::BurstShape;
 use serde::{Deserialize, Serialize};
@@ -50,7 +51,7 @@ impl IncastConfig {
 }
 
 /// One point of the incast sweep.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct IncastPoint {
     /// Number of synchronized sources at this point.
     pub fan_in: usize,
@@ -66,10 +67,13 @@ pub struct IncastPoint {
     pub measured_delivered: u64,
     /// Reference packets emitted (ToR + core senders).
     pub refs_emitted: u64,
+    /// Segment-2 per-epoch series (merged across receivers): the
+    /// burst-resolved latency time-series at the shared downlink.
+    pub seg2_epochs: Vec<EpochSnapshot>,
 }
 
 impl IncastPoint {
-    fn from_outcome(fan_in: usize, out: &FatTreeOutcome) -> Self {
+    fn from_outcome(fan_in: usize, out: FatTreeOutcome) -> Self {
         let med = |v: &[f64]| {
             let finite: Vec<f64> = v.iter().copied().filter(|x| x.is_finite()).collect();
             Ecdf::new(finite).median().unwrap_or(f64::NAN)
@@ -82,6 +86,7 @@ impl IncastPoint {
             demux_accuracy: out.demux_accuracy(),
             measured_delivered: out.measured_delivered,
             refs_emitted: out.refs_emitted.0 + out.refs_emitted.1,
+            seg2_epochs: out.seg2_epochs,
         }
     }
 }
@@ -120,7 +125,7 @@ impl Scenario for IncastSweep<'_> {
         let mut cfg = self.cfg.base.clone();
         cfg.n_src_tors = fan_in;
         cfg.burst = Some(self.cfg.burst);
-        IncastPoint::from_outcome(fan_in, &run_fattree(&cfg))
+        IncastPoint::from_outcome(fan_in, run_fattree(&cfg))
     }
 
     fn aggregate(&self, outcomes: impl Iterator<Item = IncastPoint>) -> Vec<IncastPoint> {
@@ -149,7 +154,7 @@ mod tests {
     fn fan_in_raises_burst_pressure() {
         let pts = run_incast(&quick_cfg(), &SweepRunner::single());
         assert_eq!(pts.len(), 2);
-        let (lo, hi) = (pts[0], pts[1]);
+        let (lo, hi) = (&pts[0], &pts[1]);
         assert_eq!((lo.fan_in, hi.fan_in), (1, 4));
         assert!(lo.measured_delivered > 100, "{}", lo.measured_delivered);
         assert!(hi.measured_delivered > lo.measured_delivered);
@@ -173,6 +178,8 @@ mod tests {
                 "seg2 median error {}",
                 p.seg2_median_error
             );
+            // The burst-resolved downlink series rides along.
+            assert!(p.seg2_epochs.iter().any(|e| e.estimated > 0));
         }
     }
 

@@ -20,8 +20,10 @@
 
 use super::fattree::{run_fattree, FatTreeExpConfig, SwitchAnomaly};
 use crate::localization::{localize, LocalizerConfig};
+use crate::plane::localize_epoch_series;
 use rlir_exec::{PointContext, Scenario, SweepRunner};
 use rlir_net::time::SimDuration;
+use rlir_rli::{merge_epoch_series, EpochSnapshot};
 use rlir_topo::{FatTree, Role, TopoId};
 use serde::{Deserialize, Serialize};
 
@@ -70,6 +72,14 @@ pub struct LocalizeTrial {
     pub correct: bool,
     /// Scored segments available to the detector.
     pub segments: usize,
+    /// Anomaly **onset**: start time of the first epoch in which the
+    /// per-epoch ranking flagged a segment traversing the victim (`None`:
+    /// never flagged per epoch, or epochs disabled). The whole-run
+    /// detector answers "where"; this answers "since when".
+    pub onset_ns: Option<u64>,
+    /// The victim's merged per-epoch series (union over the segments that
+    /// traverse it) — the registry's time-series export.
+    pub victim_epochs: Vec<EpochSnapshot>,
 }
 
 /// Per-utilization aggregate of the sweep.
@@ -87,6 +97,10 @@ pub struct LocalizePoint {
     pub accuracy: f64,
     /// Mean top-finding severity over flagged trials (`NaN` if none).
     pub mean_severity: f64,
+    /// Trials whose per-epoch ranking flagged the victim in some epoch.
+    pub onsets: usize,
+    /// Mean onset time over those trials, ns (`NaN` if none).
+    pub mean_onset_ns: f64,
 }
 
 /// Switches the sweep may afflict: every core, plus every edge
@@ -163,10 +177,21 @@ impl<'a> LocalizeSweep<'a> {
     }
 }
 
+/// Full output of the localization sweep: the per-utilization aggregates
+/// plus every trial (the registry's per-epoch series export reads the
+/// trials).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LocalizeReport {
+    /// Per-utilization aggregates, in sweep order.
+    pub points: Vec<LocalizePoint>,
+    /// Every victim trial, in point order.
+    pub trials: Vec<LocalizeTrial>,
+}
+
 impl Scenario for LocalizeSweep<'_> {
     type Point = (f64, usize);
     type Outcome = LocalizeTrial;
-    type Aggregate = Vec<LocalizePoint>;
+    type Aggregate = LocalizeReport;
 
     fn seed(&self) -> u64 {
         self.cfg.base.seed
@@ -203,6 +228,30 @@ impl Scenario for LocalizeSweep<'_> {
         let findings = localize(&out.segments, &self.cfg.localizer);
         let expected = expected_segments(&cfg, &tree, victim);
         let top = findings.first();
+        // The epoch dimension: rank segments per epoch and record when the
+        // victim first stood out, plus its merged time-series.
+        let (onset_ns, victim_epochs) = match out.epoch_ns {
+            Some(epoch_ns) => {
+                let series: Vec<(&str, &[EpochSnapshot])> = out
+                    .segment_epochs
+                    .iter()
+                    .map(|(n, s)| (n.as_str(), s.as_slice()))
+                    .collect();
+                let per_epoch = localize_epoch_series(&series, epoch_ns, &self.cfg.localizer);
+                let onset = per_epoch
+                    .iter()
+                    .find(|ef| ef.findings.iter().any(|f| expected.contains(&f.name)))
+                    .map(|ef| ef.start.as_nanos());
+                let victim_series: Vec<&[EpochSnapshot]> = out
+                    .segment_epochs
+                    .iter()
+                    .filter(|(n, _)| expected.contains(n))
+                    .map(|(_, s)| s.as_slice())
+                    .collect();
+                (onset, merge_epoch_series(&victim_series, epoch_ns))
+            }
+            None => (None, Vec::new()),
+        };
         LocalizeTrial {
             utilization,
             victim: tree.node(victim).name.clone(),
@@ -210,12 +259,16 @@ impl Scenario for LocalizeSweep<'_> {
             severity: top.map(|f| f.severity).unwrap_or(f64::NAN),
             correct: top.is_some_and(|f| expected.contains(&f.name)),
             segments: out.segments.len(),
+            onset_ns,
+            victim_epochs,
         }
     }
 
-    fn aggregate(&self, outcomes: impl Iterator<Item = LocalizeTrial>) -> Vec<LocalizePoint> {
+    fn aggregate(&self, outcomes: impl Iterator<Item = LocalizeTrial>) -> LocalizeReport {
         let mut points: Vec<LocalizePoint> = Vec::with_capacity(self.cfg.utilizations.len());
+        let mut trials: Vec<LocalizeTrial> = Vec::new();
         let mut severity_sum = 0.0f64;
+        let mut onset_sum = 0.0f64;
         for trial in outcomes {
             // Outcomes arrive in point order: trials of one utilization are
             // contiguous.
@@ -224,6 +277,7 @@ impl Scenario for LocalizeSweep<'_> {
                 .is_some_and(|p| p.utilization == trial.utilization);
             if !same {
                 severity_sum = 0.0;
+                onset_sum = 0.0;
                 points.push(LocalizePoint {
                     utilization: trial.utilization,
                     trials: 0,
@@ -231,6 +285,8 @@ impl Scenario for LocalizeSweep<'_> {
                     flagged: 0,
                     accuracy: 0.0,
                     mean_severity: f64::NAN,
+                    onsets: 0,
+                    mean_onset_ns: f64::NAN,
                 });
             }
             let p = points.last_mut().expect("just ensured");
@@ -243,14 +299,27 @@ impl Scenario for LocalizeSweep<'_> {
                 severity_sum += trial.severity;
                 p.mean_severity = severity_sum / p.flagged as f64;
             }
+            if let Some(onset) = trial.onset_ns {
+                p.onsets += 1;
+                onset_sum += onset as f64;
+                p.mean_onset_ns = onset_sum / p.onsets as f64;
+            }
             p.accuracy = p.correct as f64 / p.trials as f64;
+            trials.push(trial);
         }
-        points
+        LocalizeReport { points, trials }
     }
 }
 
-/// Run the localization sweep through the shared executor.
+/// Run the localization sweep through the shared executor, returning the
+/// per-utilization aggregates.
 pub fn run_localize(cfg: &LocalizeConfig, runner: &SweepRunner) -> Vec<LocalizePoint> {
+    run_localize_full(cfg, runner).points
+}
+
+/// Run the localization sweep and return aggregates *and* trials (the
+/// trials carry the per-epoch victim series and onset times).
+pub fn run_localize_full(cfg: &LocalizeConfig, runner: &SweepRunner) -> LocalizeReport {
     runner.run(&LocalizeSweep::new(cfg))
 }
 
@@ -269,9 +338,10 @@ mod tests {
 
     #[test]
     fn localizes_random_victims_at_low_load() {
-        let pts = run_localize(&quick_cfg(), &SweepRunner::single());
+        let rep = run_localize_full(&quick_cfg(), &SweepRunner::single());
+        let pts = &rep.points;
         assert_eq!(pts.len(), 2);
-        for p in &pts {
+        for p in pts {
             assert_eq!(p.trials, 2);
         }
         // At calm load the 400 µs fault towers over µs-scale baselines:
@@ -282,6 +352,22 @@ mod tests {
             "severity {}",
             pts[0].mean_severity
         );
+        // The epoch dimension: the fault is on from t = 0, so the per-epoch
+        // ranking must name the victim with an early onset, and every trial
+        // must carry the victim's time-series.
+        assert_eq!(rep.trials.len(), 4);
+        let low: Vec<_> = rep
+            .trials
+            .iter()
+            .filter(|t| t.utilization == 0.05)
+            .collect();
+        for t in &low {
+            assert!(!t.victim_epochs.is_empty(), "victim series missing");
+            let onset = t.onset_ns.expect("persistent fault must have an onset");
+            assert!(onset <= 10_000_000, "onset {onset} ns not early");
+        }
+        assert!(pts[0].onsets >= 1);
+        assert!(pts[0].mean_onset_ns.is_finite());
     }
 
     #[test]

@@ -18,9 +18,13 @@
 //! * [`incast`] — synchronized burst fan-in on the fat-tree: per-flow
 //!   estimate accuracy as partition–aggregate bursts steepen.
 //! * [`localize`] — fabric-wide anomaly localization: a random core/edge
-//!   victim per point, detection accuracy swept over background load.
+//!   victim per point, detection accuracy swept over background load —
+//!   per epoch, so findings carry onset times.
+//! * [`drop_aware`] — live (non-delivered-gated) taps on a loss-heavy
+//!   path: estimator behaviour when the packets it metered die downstream.
 
 pub mod asymmetric;
+pub mod drop_aware;
 pub mod fattree;
 pub mod incast;
 pub mod localize;
@@ -30,13 +34,15 @@ pub mod two_hop;
 pub use asymmetric::{
     asymmetric_traces, run_asymmetric, AsymmetricConfig, AsymmetricPoint, AsymmetricSweep,
 };
+pub use drop_aware::{run_drop_aware, DropAwareConfig, DropAwarePoint, DropAwareSweep};
 pub use fattree::{
     background_injections, measured_traces, run_fattree, run_fattree_sweep, CoreAnomaly,
     FatTreeExpConfig, FatTreeOutcome, FatTreeSweep, SwitchAnomaly,
 };
 pub use incast::{run_incast, IncastConfig, IncastPoint, IncastSweep};
 pub use localize::{
-    run_localize, victim_pool, LocalizeConfig, LocalizePoint, LocalizeSweep, LocalizeTrial,
+    run_localize, run_localize_full, victim_pool, LocalizeConfig, LocalizePoint, LocalizeReport,
+    LocalizeSweep, LocalizeTrial,
 };
 pub use loss_sweep::{run_loss_sweep, run_loss_sweep_on, LossPoint, LossSweep, LossSweepConfig};
 pub use two_hop::{

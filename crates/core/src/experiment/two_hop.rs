@@ -8,12 +8,15 @@
 //! loss rates and average true latency. Figures 4(a)–(c) and 5 are sweeps
 //! over these runs.
 
-use crate::plane::{MeasurementPlane, TapPoint, TapSpec, TruthRef, TANDEM_SW2};
+use crate::plane::{
+    DrainMode, MeasurementPlane, PlaneConfig, TapPoint, TapSpec, TruthRef, TANDEM_SW2,
+};
 use rlir_exec::{PointContext, Scenario, SweepRunner};
 use rlir_net::clock::ClockPair;
 use rlir_net::packet::Packet;
 use rlir_net::time::SimDuration;
 use rlir_net::{FlowKey, SenderId};
+use rlir_rli::EpochSnapshot;
 use rlir_rli::{FlowTable, Interpolator, PolicyKind, ReceiverCounters, RliSender};
 use rlir_sim::{calibrate_keep_prob, run_tandem_with, CrossInjector, CrossModel, TandemConfig};
 use rlir_trace::{generate, Trace, TraceConfig};
@@ -87,6 +90,15 @@ pub struct TwoHopConfig {
     /// Additionally track this per-flow delay quantile with P² estimators
     /// (e.g. `Some(0.9)` for per-flow p90 tail latency).
     pub track_quantile: Option<f64>,
+    /// Epoch width of the measurement plane: the receiver streams one
+    /// bounded [`EpochSnapshot`] per epoch ([`TwoHopOutcome::epochs`]).
+    /// `None` keeps whole-run aggregates only. Never perturbs the per-flow
+    /// statistics.
+    pub epoch: Option<SimDuration>,
+    /// Run the measurement plane's pre-streaming buffered-sort drain (the
+    /// differential oracle) instead of the default streaming path. For
+    /// testing/benchmarking only: O(run) memory, unordered tap.
+    pub buffered_oracle: bool,
     /// Queue/link parameters of the tandem.
     pub tandem: TandemConfig,
 }
@@ -107,6 +119,8 @@ impl TwoHopConfig {
             inject_references: true,
             min_flow_packets: 1,
             track_quantile: None,
+            epoch: Some(SimDuration::from_millis(5)),
+            buffered_oracle: false,
             tandem: TandemConfig::paper(duration),
         }
     }
@@ -149,6 +163,13 @@ pub struct TwoHopOutcome {
     /// Per-flow relative errors of tail-quantile estimates (present when
     /// `track_quantile` was set).
     pub quantile_errors: Vec<f64>,
+    /// Per-epoch latency time-series (present when [`TwoHopConfig::epoch`]
+    /// was set): estimate/truth moments and counter deltas per epoch.
+    pub epochs: Vec<EpochSnapshot>,
+    /// High-water mark of observations buffered by the plane for this run
+    /// (0 for the default ordered streaming tap; O(run) under the
+    /// buffered-sort oracle).
+    pub peak_pending: usize,
 }
 
 /// The synthetic reference-stream flow key for the tandem (single path, so
@@ -249,11 +270,20 @@ pub fn run_two_hop_on(cfg: &TwoHopConfig, regular: &Trace, cross: &Trace) -> Two
 
     // The measurement plane with one tap at switch 2's host-facing egress,
     // fed directly from the streaming tandem merge in delivery order (so
-    // the tap streams — no buffering on this hot path).
-    let mut plane = MeasurementPlane::new();
+    // the tap streams — no buffering on this hot path). The buffered-sort
+    // oracle instead routes the same feed through the plane's unordered
+    // drain, for the differential tests.
+    let mut plane = MeasurementPlane::with_config(PlaneConfig {
+        drain: if cfg.buffered_oracle {
+            DrainMode::BufferedSort
+        } else {
+            DrainMode::default()
+        },
+        epoch: cfg.epoch,
+    });
     let mut tap = TapSpec::new("sw2-egress", TapPoint::Delivery(TANDEM_SW2), SenderId(1));
     tap.truth = TruthRef::SinceInjection;
-    tap.ordered = true;
+    tap.ordered = !cfg.buffered_oracle;
     tap.clock = cfg.clocks.receiver;
     tap.interpolator = cfg.interpolator;
     tap.track_quantile = cfg.track_quantile;
@@ -262,7 +292,9 @@ pub fn run_two_hop_on(cfg: &TwoHopConfig, regular: &Trace, cross: &Trace) -> Two
         plane.observe_tandem(d);
     });
     let refs_emitted = sender.map(|s| s.refs_emitted()).unwrap_or(0);
-    let report = plane.finish().taps.pop().expect("one tap").report;
+    let tap_report = plane.finish().taps.pop().expect("one tap");
+    let peak_pending = tap_report.peak_pending;
+    let report = tap_report.report;
 
     let mean_errors = report.flows.mean_relative_errors(cfg.min_flow_packets);
     let std_errors = report.flows.std_relative_errors(cfg.min_flow_packets);
@@ -278,6 +310,8 @@ pub fn run_two_hop_on(cfg: &TwoHopConfig, regular: &Trace, cross: &Trace) -> Two
         mean_errors,
         std_errors,
         quantile_errors,
+        epochs: report.epochs,
+        peak_pending,
         flows: report.flows,
     }
 }
@@ -458,6 +492,25 @@ mod tests {
         // Same grid, one thread: identical outcomes.
         let seq = run_two_hop_sweep(&sweep, &rlir_exec::SweepRunner::single());
         assert_eq!(seq[1].2.mean_errors, rows[1].2.mean_errors);
+    }
+
+    #[test]
+    fn epoch_series_tallies_with_counters() {
+        let out = run_two_hop(&quick_cfg(0.8));
+        assert!(out.epochs.len() > 5, "{} epochs", out.epochs.len());
+        let est: u64 = out.epochs.iter().map(|e| e.estimated).sum();
+        assert_eq!(est, out.receiver.estimated, "epochs must tally");
+        let seen: u64 = out.epochs.iter().map(|e| e.regulars_seen).sum();
+        assert_eq!(seen, out.receiver.regulars_seen);
+        assert_eq!(out.peak_pending, 0, "ordered tap buffers nothing");
+        // Delay rises under load mid-run: the series is a real time-series,
+        // not a constant replicated per epoch.
+        let means: Vec<f64> = out.epochs.iter().filter_map(|e| e.est_mean()).collect();
+        assert!(means.len() > 2);
+        let (lo, hi) = means
+            .iter()
+            .fold((f64::MAX, f64::MIN), |(l, h), &m| (l.min(m), h.max(m)));
+        assert!(hi > lo, "per-epoch means must vary: {means:?}");
     }
 
     #[test]

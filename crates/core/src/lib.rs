@@ -51,6 +51,7 @@ pub use deployment::{engineer_ref_key, CoreSenderSpec, Deployment, TorSenderSpec
 pub use fabric::{build_network, FatTreeFabric};
 pub use localization::{localize, AnomalyFinding, LocalizerConfig, SegmentObservation};
 pub use plane::{
-    MeasurementPlane, PlaneReport, TapPoint, TapReport, TapSpec, TruthRef, TANDEM_SW1, TANDEM_SW2,
+    localize_epoch_series, DrainMode, EpochFindings, MeasurementPlane, PlaneConfig, PlaneReport,
+    TapPoint, TapReport, TapSpec, TruthRef, DEFAULT_REORDER_WINDOW, TANDEM_SW1, TANDEM_SW2,
 };
 pub use windowed::{localize_windows, SegmentWindows, WindowFinding, WindowedConfig};

@@ -9,7 +9,8 @@
 //! `rlir-rli` runs inside them) attach to arbitrary taps of the engine's
 //! [`HopEvent`] stream — a switch ingress, a `(node, port)` egress, or a
 //! host-facing delivery point — each with dense per-flow state
-//! ([`FlowTable`]) and optional simulation ground truth for evaluation.
+//! ([`FlowTable`](rlir_rli::FlowTable)) and optional simulation ground
+//! truth for evaluation.
 //!
 //! A tap is an [`RliReceiver`] plus the wiring that a real deployment would
 //! configure out of band: which observation point it sits on
@@ -17,35 +18,71 @@
 //! regular packets it meters ([`TapSpec::meter`]), and — simulation only —
 //! which ground-truth span to score against ([`TruthRef`]).
 //!
-//! ## Ordering
+//! ## Streaming, bounded-memory ordering
 //!
-//! Receivers require time-ordered input. Taps on [`TapPoint::NodeArrival`]
-//! fed live, and taps fed from an already-sorted delivery stream (the
-//! tandem pipeline), can set [`TapSpec::ordered`] and stream straight into
-//! the receiver with no buffering. All other taps buffer observations and
-//! sort them by `(observation time, delivery time, packet id)` at
-//! [`MeasurementPlane::finish`] — the same total order the evaluation
-//! harnesses used before this plane existed, so the rewiring is
-//! output-preserving (see `tests/rewiring_pins.rs`).
+//! Receivers require time-ordered input, but taps reconstructing upstream
+//! crossings from [`HopKind::Deliver`] events see observations *out of*
+//! observation-time order (a packet delivered late may have crossed the tap
+//! early). The plane's default drain is **streaming**
+//! ([`DrainMode::Streaming`]): out-of-order observations wait in a bounded
+//! reorder window keyed by `(observation time, tie, packet id)` and are fed
+//! to the receiver as soon as the engine's event-time **watermark**
+//! ([`HopSink::on_watermark`]) passes `observation time + window`. Because
+//! an observation's lag behind the watermark is bounded by the packet's
+//! residence time downstream of the tap (see the watermark contract in
+//! `rlir-sim`), a window wider than the worst-case downstream residence
+//! yields exactly the total order the old post-hoc sort produced — with
+//! peak memory O(window), not O(run), and estimates available *while the
+//! simulation runs*. Observations that still arrive late (window too small
+//! for the workload) are counted in [`TapReport::late`], never fed out of
+//! order.
 //!
-//! ## Delivered-only taps
+//! The pre-streaming behaviour — buffer everything, sort once at
+//! [`MeasurementPlane::finish`] — is retained as the differential oracle
+//! behind [`DrainMode::BufferedSort`]; `tests/epoch_streaming_differential.rs`
+//! pins the two paths byte-identical.
 //!
-//! With [`TapSpec::delivered_only`] (the default) a tap scores a packet's
-//! crossing only if the packet ultimately exits the network; the
-//! observation is reconstructed from the [`HopKind::Deliver`] event's hop
-//! record. That matches the paper's evaluation methodology (accuracy is
-//! judged on packets whose end-to-end truth exists). A live tap
-//! (`delivered_only = false`) sees every crossing, including packets
-//! dropped downstream — what a real device-resident instance observes.
+//! Taps whose feed is already time-ordered (live [`TapPoint::NodeArrival`]
+//! taps, delivery-sorted tandem feeds) can set [`TapSpec::ordered`] and
+//! stream straight into the receiver with no buffering at all.
+//!
+//! ## Live taps and drop awareness
+//!
+//! [`TapSpec::new`] defaults to a **live** tap (`delivered_only = false`):
+//! the instance sees every crossing at its point, including packets that
+//! later die downstream — what a real device-resident instance observes.
+//! The plane watches the engine's drop events and counts, per tap (and per
+//! epoch when epochs are on), the metered packets that died downstream
+//! after being observed ([`TapReport::dropped_metered`],
+//! [`EpochSnapshot::dropped_after_metering`]) — the estimates a
+//! delivered-gated evaluation would silently exclude.
+//!
+//! Evaluation harnesses that score only packets with end-to-end ground
+//! truth (the paper's methodology) opt back in with
+//! [`TapSpec::delivered_only`]` = true`; the observation is then
+//! reconstructed from the [`HopKind::Deliver`] event's hop record.
+//!
+//! ## Epochs
+//!
+//! With [`PlaneConfig::epoch`] set, every tap's receiver aggregates into
+//! per-epoch [`EpochSnapshot`]s keyed by observation time — the bounded
+//! per-epoch export a deployed router streams to a collector — and
+//! [`PlaneReport::localize_epochs`] ranks segments *per epoch*, giving
+//! anomaly onset times instead of whole-run presence.
 
 use crate::localization::{localize, AnomalyFinding, LocalizerConfig, SegmentObservation};
 use rlir_net::clock::ClockModel;
+use rlir_net::fxhash::FxHashMap;
 use rlir_net::packet::{ReferenceInfo, SenderId};
 use rlir_net::time::{SimDuration, SimTime};
 use rlir_net::FlowKey;
-use rlir_rli::{Interpolator, ReceiverConfig, ReceiverReport, RliReceiver};
+use rlir_rli::{
+    merge_epoch_series, EpochSnapshot, Interpolator, ReceiverConfig, ReceiverReport, RliReceiver,
+};
 use rlir_sim::pipeline::Delivery;
 use rlir_sim::{Hop, HopEvent, HopKind, HopSink, NodeId, PortId};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// Where on the hop-event stream a tap sits.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -87,6 +124,16 @@ pub enum TruthRef {
 
 /// Decides whether a tap meters a given regular packet (receives the full
 /// hop event, marks applied). `None` meters everything at the point.
+///
+/// **Live-tap contract**: on a live (non-`delivered_only`) tap the meter
+/// is consulted twice per dying packet — once with the crossing event
+/// (arrive/dequeue) when metering, and once with the downstream
+/// `QueueDrop`/`RouteDrop` event when attributing the death. The two
+/// events describe the same packet but differ in `kind`/`node`/`at`, so a
+/// live-tap meter must decide from *packet-stable* fields (flow, marks,
+/// size) for the drop accounting to agree with the metering decision.
+/// Delivered-gated taps (where the meter sees the `Deliver` event only)
+/// are unaffected.
 pub type MeterFn<'a> = Box<dyn Fn(&HopEvent<'_>) -> bool + 'a>;
 
 /// Filters/rewrites reference packets before the receiver sees them —
@@ -94,6 +141,63 @@ pub type MeterFn<'a> = Box<dyn Fn(&HopEvent<'_>) -> bool + 'a>;
 /// observation point listens to (§3.1). `None` passes references through
 /// unchanged (the receiver still ignores senders it is not bound to).
 pub type RefMapFn<'a> = Box<dyn Fn(&ReferenceInfo) -> Option<ReferenceInfo> + 'a>;
+
+/// How buffered (non-[`TapSpec::ordered`]) taps hand observations to their
+/// receivers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DrainMode {
+    /// Bounded reorder window driven by the engine watermark (the
+    /// default): observations are fed online, in observation-time order,
+    /// as soon as the watermark clears them; peak memory is O(window).
+    Streaming {
+        /// Width of the reorder window. Must exceed the worst-case
+        /// residence time between any tap and the event that reports its
+        /// observation (for delivered-gated taps: the downstream path
+        /// delay — queue drain caps + processing + links). Too-small
+        /// windows surface as [`TapReport::late`], never as reordered
+        /// input.
+        reorder_window: SimDuration,
+    },
+    /// The pre-streaming differential oracle: buffer every observation and
+    /// sort once at [`MeasurementPlane::finish`]. O(run) memory,
+    /// delivery-gated output timing — kept behind this flag for the
+    /// byte-identity tests and benchmarks.
+    BufferedSort,
+}
+
+/// Default reorder window: the evaluation topologies bound any tap's
+/// observation lag by a few queue residences (512 KiB @ OC-192 drains in
+/// ≈ 420 µs, plus per-hop processing and µs links), so 4 ms covers the
+/// worst case — including the 400 µs localization faults — with headroom.
+pub const DEFAULT_REORDER_WINDOW: SimDuration = SimDuration::from_micros(4_000);
+
+impl Default for DrainMode {
+    fn default() -> Self {
+        DrainMode::Streaming {
+            reorder_window: DEFAULT_REORDER_WINDOW,
+        }
+    }
+}
+
+/// Plane-wide configuration shared by every attached tap.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlaneConfig {
+    /// Drain strategy for buffered taps.
+    pub drain: DrainMode,
+    /// Epoch width: when set, every tap's receiver additionally aggregates
+    /// per-epoch [`EpochSnapshot`]s and the report carries per-tap latency
+    /// time-series. `None` keeps whole-run aggregates only.
+    pub epoch: Option<SimDuration>,
+}
+
+impl PlaneConfig {
+    /// The epoch width in nanoseconds (clamped to ≥ 1 ns), if epochs are
+    /// on — the single source of truth for epoch indexing across the
+    /// receivers, the drop-accounting join, and the report.
+    pub fn epoch_ns(&self) -> Option<u64> {
+        self.epoch.map(|e| e.as_nanos().max(1))
+    }
+}
 
 /// Full configuration of one attached tap.
 pub struct TapSpec<'a> {
@@ -106,7 +210,8 @@ pub struct TapSpec<'a> {
     /// Ground-truth span for evaluation.
     pub truth: TruthRef,
     /// Score only packets that ultimately exit the network (see module
-    /// docs). Default `true`.
+    /// docs). Default `false`: a device-resident instance sees every
+    /// crossing. Evaluation harnesses that need end-to-end truth set it.
     pub delivered_only: bool,
     /// The feed is already time-ordered: stream into the receiver without
     /// buffering. Only sound for live [`TapPoint::NodeArrival`] taps and
@@ -116,7 +221,12 @@ pub struct TapSpec<'a> {
     pub clock: ClockModel,
     /// Delay estimator.
     pub interpolator: Interpolator,
-    /// Receiver interpolation-buffer cap.
+    /// Buffer cap, applied **per reorder window**: bounds both the plane's
+    /// pending-observation buffer for this tap and the receiver's
+    /// interpolation buffer. Regular observations shed by the cap are
+    /// counted as seen-but-unestimated (per epoch, when epochs are on) in
+    /// [`TapReport::shed`]; references are always admitted (they are the
+    /// estimation substrate and a vanishing fraction of traffic).
     pub max_buffer: usize,
     /// Track a per-flow delay quantile (P² estimator), e.g. `Some(0.9)`.
     pub track_quantile: Option<f64>,
@@ -127,16 +237,17 @@ pub struct TapSpec<'a> {
 }
 
 impl<'a> TapSpec<'a> {
-    /// A tap with the evaluation defaults: delivered-only, buffered,
-    /// perfect clock, linear interpolation, 4M-packet buffer cap, truth
-    /// since injection.
+    /// A tap with the deployment defaults: **live** (sees every crossing,
+    /// drop-aware), buffered through the plane's drain, perfect clock,
+    /// linear interpolation, 4M-observation buffer cap, truth since
+    /// injection.
     pub fn new(name: impl Into<String>, point: TapPoint, sender: SenderId) -> Self {
         TapSpec {
             name: name.into(),
             point,
             sender,
             truth: TruthRef::SinceInjection,
-            delivered_only: true,
+            delivered_only: false,
             ordered: false,
             clock: ClockModel::perfect(),
             interpolator: Interpolator::Linear,
@@ -157,11 +268,58 @@ enum Payload {
     },
 }
 
+/// A pending observation in the reorder window, min-ordered by
+/// `(observation time, tie, packet id)` — the exact total order the
+/// buffered-sort oracle produces.
+struct PendingObs {
+    key: (SimTime, u64, u64),
+    payload: Payload,
+}
+
+impl PartialEq for PendingObs {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl Eq for PendingObs {}
+impl PartialOrd for PendingObs {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for PendingObs {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key.cmp(&other.key)
+    }
+}
+
 struct TapState<'a> {
     spec: TapSpec<'a>,
     rx: RliReceiver,
-    /// `((at, delivery-or-seq tiebreak, packet id), payload)`.
-    pending: Vec<((SimTime, u64, u64), Payload)>,
+    /// Streaming mode: the bounded reorder window.
+    window: BinaryHeap<Reverse<PendingObs>>,
+    /// Oracle mode: the unbounded buffered-sort backlog.
+    backlog: Vec<((SimTime, u64, u64), Payload)>,
+    /// Observations with `at` below this are late (window too small).
+    flushed_to: SimTime,
+    /// High-water mark of buffered observations (window or backlog).
+    peak_pending: usize,
+    /// Observations that arrived after their window was flushed.
+    late: u64,
+    /// Regular observations shed by the per-window buffer cap.
+    shed: u64,
+    /// Metered packets that died downstream after being observed.
+    dropped_metered: u64,
+    /// Per-epoch downstream deaths (epoch index → count).
+    drops_by_epoch: FxHashMap<u64, u64>,
+}
+
+impl TapState<'_> {
+    fn note_pending(&mut self, len: usize) {
+        if len > self.peak_pending {
+            self.peak_pending = len;
+        }
+    }
 }
 
 /// Final output of one tap.
@@ -172,9 +330,24 @@ pub struct TapReport {
     pub point: TapPoint,
     /// The reference stream it was bound to.
     pub sender: SenderId,
-    /// Receiver output: dense per-flow table, counters, optional
-    /// per-packet log.
+    /// Receiver output: dense per-flow table, counters, per-epoch series,
+    /// optional per-packet log.
     pub report: ReceiverReport,
+    /// High-water mark of observations buffered for this tap — O(reorder
+    /// window) under [`DrainMode::Streaming`], O(run) under the oracle.
+    pub peak_pending: usize,
+    /// Observations that arrived after their reorder window was already
+    /// flushed (counted, never fed out of order). Nonzero means the
+    /// configured window is narrower than the workload's real reordering.
+    pub late: u64,
+    /// Regular observations shed by the per-window buffer cap
+    /// ([`TapSpec::max_buffer`]); also counted as unestimated in the
+    /// receiver's (per-epoch) counters.
+    pub shed: u64,
+    /// Metered packets that died downstream of the observation point after
+    /// being observed — the live tap's drop-awareness (always zero on
+    /// delivered-gated taps).
+    pub dropped_metered: u64,
 }
 
 impl TapReport {
@@ -194,12 +367,31 @@ impl TapReport {
             _ => None,
         }
     }
+
+    /// The tap's per-epoch latency time-series (empty unless
+    /// [`PlaneConfig::epoch`] was set).
+    pub fn epochs(&self) -> &[EpochSnapshot] {
+        &self.report.epochs
+    }
+}
+
+/// Segment rankings of one epoch (see [`PlaneReport::localize_epochs`]).
+#[derive(Debug, Clone)]
+pub struct EpochFindings {
+    /// Epoch index.
+    pub epoch: u64,
+    /// Epoch start time.
+    pub start: SimTime,
+    /// Anomaly findings within the epoch, descending severity.
+    pub findings: Vec<AnomalyFinding>,
 }
 
 /// Everything the plane measured, in tap-attachment order.
 pub struct PlaneReport {
     /// Per-tap reports.
     pub taps: Vec<TapReport>,
+    /// The epoch width the plane ran with, ns.
+    pub epoch_ns: Option<u64>,
 }
 
 impl PlaneReport {
@@ -214,6 +406,77 @@ impl PlaneReport {
     pub fn localize(&self, cfg: &LocalizerConfig) -> Vec<AnomalyFinding> {
         localize(&self.segments(), cfg)
     }
+
+    /// Per-epoch localization: rank segments within every epoch that has
+    /// estimates, yielding anomaly **onset** (first flagged epoch), not
+    /// just whole-run presence. Empty unless the plane ran with epochs.
+    pub fn localize_epochs(&self, cfg: &LocalizerConfig) -> Vec<EpochFindings> {
+        let Some(epoch_ns) = self.epoch_ns else {
+            return Vec::new();
+        };
+        let series: Vec<(&str, &[EpochSnapshot])> = self
+            .taps
+            .iter()
+            .map(|t| (t.name.as_str(), t.epochs()))
+            .collect();
+        localize_epoch_series(&series, epoch_ns, cfg)
+    }
+
+    /// Highest per-tap buffered-observation high-water mark — the quantity
+    /// the streaming refactor bounds to O(reorder window).
+    pub fn max_peak_pending(&self) -> usize {
+        self.taps.iter().map(|t| t.peak_pending).max().unwrap_or(0)
+    }
+}
+
+/// Rank segments per epoch from named epoch series — the epoch-level
+/// counterpart of [`localize`], shared by [`PlaneReport::localize_epochs`]
+/// and the experiment harnesses that carry per-segment series in their
+/// outcomes. Epochs with fewer than two estimating segments produce no
+/// findings (no baseline to compare against).
+pub fn localize_epoch_series(
+    series: &[(&str, &[EpochSnapshot])],
+    epoch_ns: u64,
+    cfg: &LocalizerConfig,
+) -> Vec<EpochFindings> {
+    let lo = series
+        .iter()
+        .filter_map(|(_, s)| s.first().map(|e| e.epoch))
+        .min();
+    let hi = series
+        .iter()
+        .filter_map(|(_, s)| s.last().map(|e| e.epoch))
+        .max();
+    let (Some(lo), Some(hi)) = (lo, hi) else {
+        return Vec::new();
+    };
+    (lo..=hi)
+        .filter_map(|epoch| {
+            let segs: Vec<SegmentObservation> = series
+                .iter()
+                .filter_map(|(name, s)| {
+                    let snap = s
+                        .iter()
+                        .find(|e| e.epoch == epoch)
+                        .filter(|e| e.estimated > 0)?;
+                    Some(SegmentObservation {
+                        name: (*name).to_string(),
+                        est_mean_ns: snap.est_mean()?,
+                        true_mean_ns: snap.true_mean().unwrap_or(f64::NAN),
+                        packets: snap.estimated,
+                    })
+                })
+                .collect();
+            if segs.is_empty() {
+                return None;
+            }
+            Some(EpochFindings {
+                epoch,
+                start: SimTime::from_nanos(epoch * epoch_ns),
+                findings: localize(&segs, cfg),
+            })
+        })
+        .collect()
 }
 
 /// Synthetic node ids for the two-switch tandem feed
@@ -227,18 +490,39 @@ pub const TANDEM_SW2: NodeId = 1;
 /// [`rlir_sim::run_network_with`].
 #[derive(Default)]
 pub struct MeasurementPlane<'a> {
+    cfg: PlaneConfig,
     taps: Vec<TapState<'a>>,
     live_seq: u64,
     /// Whether any tap is live (`!delivered_only`). Arrive/dequeue events
     /// dominate the engine's stream; when every tap is delivered-gated
     /// (the evaluation default) they short-circuit without scanning taps.
     has_live_taps: bool,
+    /// Last watermark seen from the engine.
+    watermark: SimTime,
+    /// Next watermark at which the streaming drain scans the taps
+    /// (half-window granularity: keeps the per-event cost at one branch
+    /// while bounding pending growth to 1.5 windows).
+    next_flush: SimTime,
 }
 
 impl<'a> MeasurementPlane<'a> {
-    /// An empty plane.
+    /// An empty plane with the default configuration (streaming drain,
+    /// default reorder window, no epochs).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty plane with an explicit configuration.
+    pub fn with_config(cfg: PlaneConfig) -> Self {
+        MeasurementPlane {
+            cfg,
+            ..Self::default()
+        }
+    }
+
+    /// The plane's configuration.
+    pub fn config(&self) -> PlaneConfig {
+        self.cfg
     }
 
     /// Attach a tap; returns its index (reports come back in attachment
@@ -251,6 +535,7 @@ impl<'a> MeasurementPlane<'a> {
                 interpolator: spec.interpolator,
                 max_buffer: spec.max_buffer,
                 record_estimates: false,
+                epoch_ns: self.cfg.epoch_ns(),
             };
             match spec.track_quantile {
                 Some(p) => RliReceiver::with_quantile(cfg, p),
@@ -261,7 +546,14 @@ impl<'a> MeasurementPlane<'a> {
         self.taps.push(TapState {
             spec,
             rx,
-            pending: Vec::new(),
+            window: BinaryHeap::new(),
+            backlog: Vec::new(),
+            flushed_to: SimTime::ZERO,
+            peak_pending: 0,
+            late: 0,
+            shed: 0,
+            dropped_metered: 0,
+            drops_by_epoch: FxHashMap::default(),
         });
         self.taps.len() - 1
     }
@@ -271,12 +563,23 @@ impl<'a> MeasurementPlane<'a> {
         self.taps.len()
     }
 
+    /// The per-epoch snapshots tap `idx` has produced *so far* — a
+    /// streaming consumer can read the series mid-run, before
+    /// [`MeasurementPlane::finish`].
+    pub fn epoch_series(&self, idx: usize) -> impl Iterator<Item = &EpochSnapshot> {
+        self.taps[idx].rx.epoch_snapshots()
+    }
+
     /// Feed one tandem-pipeline delivery (the two-switch topology of
     /// Fig. 3) as a hop event: switch 1 is [`TANDEM_SW1`], deliveries
     /// happen at [`TANDEM_SW2`]. Deliveries arrive in delivery-time order,
-    /// so a single [`TapPoint::Delivery`]`(TANDEM_SW2)` tap may set
-    /// [`TapSpec::ordered`] and stream.
+    /// so this feed self-advances the watermark, and a single
+    /// [`TapPoint::Delivery`]`(TANDEM_SW2)` tap may set
+    /// [`TapSpec::ordered`] and stream with no buffering at all.
     pub fn observe_tandem(&mut self, d: &Delivery) {
+        if d.delivered_at > self.watermark {
+            self.on_watermark(d.delivered_at);
+        }
         let hop_buf;
         let hops: &[Hop] = match d.sw1_egress {
             Some(egress) => {
@@ -308,7 +611,14 @@ impl<'a> MeasurementPlane<'a> {
 
     /// Route one observation into tap `idx` at observation time `at` with
     /// tie-break key `(tie, id)`.
-    fn observe(taps: &mut [TapState<'a>], idx: usize, at: SimTime, tie: u64, ev: &HopEvent<'_>) {
+    fn observe(
+        taps: &mut [TapState<'a>],
+        drain: DrainMode,
+        idx: usize,
+        at: SimTime,
+        tie: u64,
+        ev: &HopEvent<'_>,
+    ) {
         let tap = &mut taps[idx];
         let payload = match ev.packet.reference_info() {
             Some(info) => {
@@ -346,31 +656,116 @@ impl<'a> MeasurementPlane<'a> {
         };
         if tap.spec.ordered {
             feed(&mut tap.rx, at, &payload);
-        } else {
-            tap.pending.push(((at, tie, ev.packet.id.0), payload));
+            return;
+        }
+        match drain {
+            DrainMode::Streaming { .. } => {
+                if at < tap.flushed_to {
+                    // The window for this observation time already closed:
+                    // feeding it would hand the receiver time-travelling
+                    // input. Count it and move on.
+                    tap.late += 1;
+                    return;
+                }
+                if tap.window.len() >= tap.spec.max_buffer {
+                    if let Payload::Regular { .. } = payload {
+                        // Per-window cap: shed the observation but keep the
+                        // books honest — it was seen at the point and will
+                        // never be estimated.
+                        tap.shed += 1;
+                        tap.rx.on_shed(at);
+                        return;
+                    }
+                    // References are always admitted (see TapSpec docs).
+                }
+                tap.window.push(Reverse(PendingObs {
+                    key: (at, tie, ev.packet.id.0),
+                    payload,
+                }));
+                let len = tap.window.len();
+                tap.note_pending(len);
+            }
+            DrainMode::BufferedSort => {
+                tap.backlog.push(((at, tie, ev.packet.id.0), payload));
+                let len = tap.backlog.len();
+                tap.note_pending(len);
+            }
         }
     }
 
-    /// Drain buffered taps (deterministic order) and finish every
-    /// receiver.
+    /// Pop-and-feed every pending observation strictly below `bound`, in
+    /// `(at, tie, id)` order.
+    fn flush_tap(tap: &mut TapState<'a>, bound: SimTime) {
+        while let Some(Reverse(top)) = tap.window.peek() {
+            if top.key.0 >= bound {
+                break;
+            }
+            let Reverse(obs) = tap.window.pop().expect("peeked");
+            feed(&mut tap.rx, obs.key.0, &obs.payload);
+        }
+        if bound > tap.flushed_to {
+            tap.flushed_to = bound;
+        }
+    }
+
+    /// Count a metered packet of live tap `idx` that died downstream after
+    /// crossing the tap at `at`.
+    fn note_drop(tap: &mut TapState<'a>, epoch_ns: Option<u64>, at: SimTime) {
+        tap.dropped_metered += 1;
+        if let Some(e) = epoch_ns {
+            *tap.drops_by_epoch.entry(at.as_nanos() / e).or_insert(0) += 1;
+        }
+    }
+
+    /// Drain every tap (deterministic order) and finish every receiver.
     pub fn finish(self) -> PlaneReport {
+        let epoch_ns = self.cfg.epoch_ns();
         let taps = self
             .taps
             .into_iter()
             .map(|mut t| {
-                t.pending.sort_by_key(|(key, _)| *key);
-                for ((at, _, _), payload) in &t.pending {
-                    feed(&mut t.rx, *at, payload);
+                match self.cfg.drain {
+                    DrainMode::Streaming { .. } => {
+                        while let Some(Reverse(obs)) = t.window.pop() {
+                            feed(&mut t.rx, obs.key.0, &obs.payload);
+                        }
+                    }
+                    DrainMode::BufferedSort => {
+                        t.backlog.sort_by_key(|(key, _)| *key);
+                        for ((at, _, _), payload) in &t.backlog {
+                            feed(&mut t.rx, *at, payload);
+                        }
+                    }
+                }
+                let mut report = t.rx.finish();
+                if let (Some(e), false) = (epoch_ns, t.drops_by_epoch.is_empty()) {
+                    // Join the plane's downstream-death counts into the
+                    // receiver's epoch series (dense union of the ranges).
+                    let mut drop_epochs: Vec<EpochSnapshot> = t
+                        .drops_by_epoch
+                        .iter()
+                        .map(|(&epoch, &count)| {
+                            let mut s = EpochSnapshot::empty(epoch, e);
+                            s.dropped_after_metering = count;
+                            s
+                        })
+                        .collect();
+                    drop_epochs.sort_by_key(|s| s.epoch);
+                    report.epochs = merge_epoch_series(&[&report.epochs, &drop_epochs], e);
                 }
                 TapReport {
                     name: t.spec.name,
                     point: t.spec.point,
                     sender: t.spec.sender,
-                    report: t.rx.finish(),
+                    report,
+                    peak_pending: t.peak_pending,
+                    late: t.late,
+                    shed: t.shed,
+                    dropped_metered: t.dropped_metered,
                 }
             })
             .collect();
-        PlaneReport { taps }
+        PlaneReport { taps, epoch_ns }
     }
 }
 
@@ -382,6 +777,27 @@ fn feed(rx: &mut RliReceiver, at: SimTime, payload: &Payload) {
 }
 
 impl HopSink for MeasurementPlane<'_> {
+    fn on_watermark(&mut self, watermark: SimTime) {
+        self.watermark = watermark;
+        let DrainMode::Streaming { reorder_window } = self.cfg.drain else {
+            return;
+        };
+        if watermark < self.next_flush {
+            return;
+        }
+        let bound = SimTime::from_nanos(
+            watermark
+                .as_nanos()
+                .saturating_sub(reorder_window.as_nanos()),
+        );
+        for tap in &mut self.taps {
+            if !tap.spec.ordered {
+                Self::flush_tap(tap, bound);
+            }
+        }
+        self.next_flush = watermark + SimDuration::from_nanos(reorder_window.as_nanos() / 2 + 1);
+    }
+
     fn on_hop(&mut self, ev: &HopEvent<'_>) {
         match ev.kind {
             HopKind::Arrive => {
@@ -393,7 +809,7 @@ impl HopSink for MeasurementPlane<'_> {
                 for i in 0..self.taps.len() {
                     let spec = &self.taps[i].spec;
                     if !spec.delivered_only && spec.point == TapPoint::NodeArrival(ev.node) {
-                        Self::observe(&mut self.taps, i, ev.at, tie, ev);
+                        Self::observe(&mut self.taps, self.cfg.drain, i, ev.at, tie, ev);
                     }
                 }
             }
@@ -407,7 +823,7 @@ impl HopSink for MeasurementPlane<'_> {
                     let spec = &self.taps[i].spec;
                     if !spec.delivered_only && spec.point == TapPoint::PortDeparture(ev.node, port)
                     {
-                        Self::observe(&mut self.taps, i, ev.at, tie, ev);
+                        Self::observe(&mut self.taps, self.cfg.drain, i, ev.at, tie, ev);
                     }
                 }
             }
@@ -428,13 +844,52 @@ impl HopSink for MeasurementPlane<'_> {
                         _ => None,
                     };
                     if let Some(at) = at {
-                        Self::observe(&mut self.taps, i, at, delivered, ev);
+                        Self::observe(&mut self.taps, self.cfg.drain, i, at, delivered, ev);
                     }
                 }
             }
-            // Enqueue/drop events carry no measurement semantics (yet):
-            // RLI meters what crosses a point, not what dies at it.
-            HopKind::Enqueue { .. } | HopKind::QueueDrop { .. } | HopKind::RouteDrop => {}
+            // Drop events carry the live taps' drop-awareness: a packet
+            // that dies here was already *observed* by every live tap it
+            // crossed upstream — those estimates must be accounted, not
+            // silently folded into delivered-only statistics.
+            HopKind::QueueDrop { .. } | HopKind::RouteDrop => {
+                if !self.has_live_taps || !ev.packet.is_regular() {
+                    return;
+                }
+                let epoch_ns = self.cfg.epoch_ns();
+                for i in 0..self.taps.len() {
+                    let spec = &self.taps[i].spec;
+                    if spec.delivered_only {
+                        continue;
+                    }
+                    // Where (and when) did this tap observe the dying
+                    // packet? The drop node itself counts: arrival there
+                    // precedes the fatal queue.
+                    let at = match spec.point {
+                        TapPoint::NodeArrival(n) if n == ev.node => Some(ev.at),
+                        TapPoint::NodeArrival(n) => {
+                            ev.hops.iter().find(|h| h.node == n).map(|h| h.arrived)
+                        }
+                        TapPoint::PortDeparture(n, p) => ev
+                            .hops
+                            .iter()
+                            .find(|h| h.node == n && h.port == p)
+                            .map(|h| h.departed),
+                        // Dropped packets are never delivered.
+                        TapPoint::Delivery(_) => None,
+                    };
+                    let Some(at) = at else { continue };
+                    if let Some(meter) = &self.taps[i].spec.meter {
+                        if !meter(ev) {
+                            continue;
+                        }
+                    }
+                    Self::note_drop(&mut self.taps[i], epoch_ns, at);
+                }
+            }
+            // Enqueue events carry no measurement semantics: RLI meters
+            // what crosses a point, not what waits at it.
+            HopKind::Enqueue { .. } => {}
         }
     }
 }
@@ -498,6 +953,7 @@ mod tests {
         let mut plane = MeasurementPlane::new();
         let mut spec = TapSpec::new("mid", TapPoint::NodeArrival(1), SenderId(1));
         spec.truth = TruthRef::SinceInjection;
+        spec.delivered_only = true;
         plane.attach(spec);
         // Packet injected at t=0, arrives node 1 at t=500, delivered 900.
         let hops = [
@@ -538,6 +994,7 @@ mod tests {
         let est = acc.est.mean().unwrap();
         assert!((est - 166.666).abs() < 0.01, "est {est}");
         assert_eq!(acc.truth.mean(), Some(500.0));
+        assert_eq!(rep.taps[0].dropped_metered, 0, "delivered-gated taps");
     }
 
     #[test]
@@ -572,38 +1029,42 @@ mod tests {
     #[test]
     fn buffered_taps_sort_by_time_then_delivery_order() {
         // Observations arrive out of delivery order (as Deliver events do);
-        // the drain must reorder by (at, delivered, id).
-        let mut plane = MeasurementPlane::new();
-        let mut spec = TapSpec::new("mid", TapPoint::NodeArrival(1), SenderId(1));
-        spec.truth = TruthRef::NoTruth;
-        plane.attach(spec);
-        let hop_at = |ns: u64| {
-            [Hop {
-                node: 1,
-                port: 0,
-                arrived: SimTime::from_nanos(ns),
-                departed: SimTime::from_nanos(ns + 10),
-            }]
-        };
-        // Regular seen at node1 @150 but delivered late (at 900).
-        let p = Packet::regular(5, fk(1), 700, SimTime::ZERO);
-        let h = hop_at(150);
-        let late = deliver_ev(&p, &h, 2, 900);
-        // References bracket it, delivered earlier.
-        let r0 = Packet::reference(1, fk(9), SenderId(1), 0, SimTime::ZERO);
-        let h0 = hop_at(100);
-        let r1 = Packet::reference(2, fk(9), SenderId(1), 1, SimTime::from_nanos(60));
-        let h1 = hop_at(200);
-        // Feed in "wrong" order: closing ref first.
-        plane.on_hop(&deliver_ev(&r1, &h1, 2, 300));
-        plane.on_hop(&late);
-        plane.on_hop(&deliver_ev(&r0, &h0, 2, 250));
-        let rep = plane.finish();
-        let report = &rep.taps[0].report;
-        assert_eq!(report.counters.estimated, 1, "packet bracketed after sort");
-        // left delay 100@100, right delay 140@200 → at 150: 120.
-        let acc = report.flows.get(&fk(1)).expect("metered");
-        assert_eq!(acc.est.mean(), Some(120.0));
+        // the drain must reorder by (at, delivered, id) — in both modes.
+        for drain in [DrainMode::default(), DrainMode::BufferedSort] {
+            let mut plane = MeasurementPlane::with_config(PlaneConfig { drain, epoch: None });
+            let mut spec = TapSpec::new("mid", TapPoint::NodeArrival(1), SenderId(1));
+            spec.truth = TruthRef::NoTruth;
+            spec.delivered_only = true;
+            plane.attach(spec);
+            let hop_at = |ns: u64| {
+                [Hop {
+                    node: 1,
+                    port: 0,
+                    arrived: SimTime::from_nanos(ns),
+                    departed: SimTime::from_nanos(ns + 10),
+                }]
+            };
+            // Regular seen at node1 @150 but delivered late (at 900).
+            let p = Packet::regular(5, fk(1), 700, SimTime::ZERO);
+            let h = hop_at(150);
+            let late = deliver_ev(&p, &h, 2, 900);
+            // References bracket it, delivered earlier.
+            let r0 = Packet::reference(1, fk(9), SenderId(1), 0, SimTime::ZERO);
+            let h0 = hop_at(100);
+            let r1 = Packet::reference(2, fk(9), SenderId(1), 1, SimTime::from_nanos(60));
+            let h1 = hop_at(200);
+            // Feed in "wrong" order: closing ref first.
+            plane.on_hop(&deliver_ev(&r1, &h1, 2, 300));
+            plane.on_hop(&late);
+            plane.on_hop(&deliver_ev(&r0, &h0, 2, 250));
+            let rep = plane.finish();
+            let report = &rep.taps[0].report;
+            assert_eq!(report.counters.estimated, 1, "packet bracketed after sort");
+            // left delay 100@100, right delay 140@200 → at 150: 120.
+            let acc = report.flows.get(&fk(1)).expect("metered");
+            assert_eq!(acc.est.mean(), Some(120.0));
+            assert_eq!(rep.taps[0].late, 0);
+        }
     }
 
     #[test]
@@ -612,7 +1073,6 @@ mod tests {
         for node in [0usize, 1] {
             let mut spec =
                 TapSpec::new(format!("n{node}"), TapPoint::NodeArrival(node), SenderId(1));
-            spec.delivered_only = false;
             spec.ordered = true;
             spec.truth = TruthRef::SinceInjection;
             plane.attach(spec);
@@ -642,5 +1102,207 @@ mod tests {
         let m0 = rep.taps[0].report.flows.get(&fk(1)).unwrap().est.mean();
         let m1 = rep.taps[1].report.flows.get(&fk(1)).unwrap().est.mean();
         assert!(m1.unwrap() > m0.unwrap() + 400.0, "{m0:?} vs {m1:?}");
+    }
+
+    /// Build an Arrive event at `node`.
+    fn arrive_ev<'e>(packet: &'e Packet, node: NodeId, at_ns: u64) -> HopEvent<'e> {
+        HopEvent {
+            kind: HopKind::Arrive,
+            node,
+            at: SimTime::from_nanos(at_ns),
+            packet,
+            injected_node: 0,
+            injected_at: packet.created_at,
+            hops: &[],
+        }
+    }
+
+    #[test]
+    fn watermark_streams_estimates_before_finish() {
+        // The tentpole behaviour: with the watermark advancing, a live tap
+        // produces per-epoch results *during* the run, bounded memory.
+        let mut plane = MeasurementPlane::with_config(PlaneConfig {
+            drain: DrainMode::Streaming {
+                reorder_window: SimDuration::from_nanos(500),
+            },
+            epoch: Some(SimDuration::from_nanos(1_000)),
+        });
+        let idx = plane.attach(TapSpec::new("live", TapPoint::NodeArrival(0), SenderId(1)));
+        let r0 = Packet::reference(1, fk(9), SenderId(1), 0, SimTime::ZERO);
+        let p = Packet::regular(2, fk(1), 700, SimTime::ZERO);
+        let r1 = Packet::reference(3, fk(9), SenderId(1), 1, SimTime::from_nanos(100));
+        plane.on_watermark(SimTime::from_nanos(100));
+        plane.on_hop(&arrive_ev(&r0, 0, 100));
+        plane.on_hop(&arrive_ev(&p, 0, 150));
+        plane.on_hop(&arrive_ev(&r1, 0, 240));
+        // Watermark far past the window: everything flushes, the estimate
+        // exists mid-run.
+        plane.on_watermark(SimTime::from_nanos(5_000));
+        let estimated: u64 = plane.epoch_series(idx).map(|e| e.estimated).sum();
+        assert_eq!(estimated, 1, "estimate must be produced before finish");
+        let rep = plane.finish();
+        assert_eq!(rep.taps[0].report.counters.estimated, 1);
+        assert_eq!(rep.taps[0].late, 0);
+        assert!(rep.taps[0].peak_pending <= 3);
+    }
+
+    #[test]
+    fn late_observations_are_counted_not_fed() {
+        let mut plane = MeasurementPlane::with_config(PlaneConfig {
+            drain: DrainMode::Streaming {
+                reorder_window: SimDuration::from_nanos(10),
+            },
+            epoch: None,
+        });
+        let mut spec = TapSpec::new("mid", TapPoint::NodeArrival(1), SenderId(1));
+        spec.delivered_only = true;
+        plane.attach(spec);
+        let hop = [Hop {
+            node: 1,
+            port: 0,
+            arrived: SimTime::from_nanos(100),
+            departed: SimTime::from_nanos(110),
+        }];
+        // Watermark sprints ahead: window for t=100 closes at 110.
+        plane.on_watermark(SimTime::from_nanos(10_000));
+        let p = Packet::regular(5, fk(1), 700, SimTime::ZERO);
+        plane.on_hop(&deliver_ev(&p, &hop, 2, 10_000)); // seen @100: late
+        let rep = plane.finish();
+        assert_eq!(rep.taps[0].late, 1);
+        assert_eq!(rep.taps[0].report.counters.regulars_seen, 0);
+    }
+
+    #[test]
+    fn window_cap_sheds_regulars_but_admits_references() {
+        let mut plane = MeasurementPlane::with_config(PlaneConfig {
+            drain: DrainMode::default(),
+            epoch: Some(SimDuration::from_nanos(100)),
+        });
+        let mut spec = TapSpec::new("capped", TapPoint::NodeArrival(0), SenderId(1));
+        spec.max_buffer = 2;
+        plane.attach(spec);
+        let r0 = Packet::reference(1, fk(9), SenderId(1), 0, SimTime::ZERO);
+        plane.on_hop(&arrive_ev(&r0, 0, 100));
+        let regs: Vec<Packet> = (0..4)
+            .map(|i| Packet::regular(10 + i, fk(1), 700, SimTime::ZERO))
+            .collect();
+        for (i, p) in regs.iter().enumerate() {
+            plane.on_hop(&arrive_ev(p, 0, 110 + i as u64));
+        }
+        // The closing reference exceeds the cap but must be admitted.
+        let r1 = Packet::reference(9, fk(9), SenderId(1), 1, SimTime::from_nanos(100));
+        plane.on_hop(&arrive_ev(&r1, 0, 200));
+        let rep = plane.finish();
+        let tap = &rep.taps[0];
+        assert_eq!(tap.shed, 3, "cap 2: ref + 1 regular fit, 3 shed");
+        assert_eq!(tap.report.counters.refs_accepted, 2);
+        assert_eq!(tap.report.counters.estimated, 1);
+        // Shed observations are honest per-epoch unestimated counts.
+        assert_eq!(tap.report.counters.regulars_seen, 4);
+        assert_eq!(tap.report.counters.unestimated, 3);
+        let epoch1 = &tap.report.epochs[0];
+        assert_eq!(epoch1.epoch, 1);
+        assert_eq!(epoch1.unestimated, 3);
+    }
+
+    #[test]
+    fn live_tap_counts_downstream_deaths_per_epoch() {
+        let mut plane = MeasurementPlane::with_config(PlaneConfig {
+            drain: DrainMode::default(),
+            epoch: Some(SimDuration::from_nanos(1_000)),
+        });
+        plane.attach(TapSpec::new("live", TapPoint::NodeArrival(0), SenderId(1)));
+        let r0 = Packet::reference(1, fk(9), SenderId(1), 0, SimTime::ZERO);
+        let p1 = Packet::regular(2, fk(1), 700, SimTime::ZERO);
+        let p2 = Packet::regular(3, fk(1), 700, SimTime::ZERO);
+        let r1 = Packet::reference(4, fk(9), SenderId(1), 1, SimTime::from_nanos(200));
+        plane.on_hop(&arrive_ev(&r0, 0, 100));
+        plane.on_hop(&arrive_ev(&p1, 0, 150));
+        plane.on_hop(&arrive_ev(&p2, 0, 160));
+        plane.on_hop(&arrive_ev(&r1, 0, 300));
+        // p2 dies downstream at node 1, having crossed node 0 at t=160.
+        let crossed = [Hop {
+            node: 0,
+            port: 0,
+            arrived: SimTime::from_nanos(160),
+            departed: SimTime::from_nanos(170),
+        }];
+        plane.on_hop(&HopEvent {
+            kind: HopKind::QueueDrop { port: 0 },
+            node: 1,
+            at: SimTime::from_nanos(260),
+            packet: &p2,
+            injected_node: 0,
+            injected_at: SimTime::ZERO,
+            hops: &crossed,
+        });
+        let rep = plane.finish();
+        let tap = &rep.taps[0];
+        // Both regulars were estimated — the tap is live.
+        assert_eq!(tap.report.counters.estimated, 2);
+        assert_eq!(tap.dropped_metered, 1);
+        let epoch0 = tap
+            .report
+            .epochs
+            .iter()
+            .find(|e| e.epoch == 0)
+            .expect("epoch 0 exists");
+        assert_eq!(epoch0.dropped_after_metering, 1);
+        assert_eq!(epoch0.estimated, 2);
+    }
+
+    #[test]
+    fn epoch_localization_ranks_segments_per_epoch() {
+        // Three delivery taps; tap "bad" spikes only in epoch 1 (so the
+        // per-epoch median stays anchored by the two healthy segments).
+        let mut plane = MeasurementPlane::with_config(PlaneConfig {
+            drain: DrainMode::default(),
+            epoch: Some(SimDuration::from_nanos(10_000)),
+        });
+        for (name, node) in [("good-a", 2usize), ("good-b", 3), ("bad", 4)] {
+            let mut spec = TapSpec::new(name, TapPoint::Delivery(node), SenderId(1));
+            spec.truth = TruthRef::NoTruth;
+            plane.attach(spec);
+        }
+        // One epoch of one tap: a reference bracket with the given path
+        // delay, all deliveries inside [epoch_base, epoch_base + 10 µs).
+        let mut id = 100u64;
+        let mut feed_epoch = |node: NodeId, epoch_base: u64, delay: u64| {
+            let tx0 = epoch_base + 100 - delay.min(epoch_base + 100);
+            let r0 = Packet::reference(id, fk(9), SenderId(1), 0, SimTime::from_nanos(tx0));
+            id += 1;
+            plane.on_hop(&deliver_ev(&r0, &[], node, epoch_base + 100));
+            for k in 0..12u64 {
+                let p = Packet::regular(id, fk(1), 700, SimTime::from_nanos(epoch_base));
+                id += 1;
+                plane.on_hop(&deliver_ev(&p, &[], node, epoch_base + 200 + k * 20));
+            }
+            let tx1 = epoch_base + 500 - delay;
+            let r1 = Packet::reference(id, fk(9), SenderId(1), 1, SimTime::from_nanos(tx1));
+            id += 1;
+            plane.on_hop(&deliver_ev(&r1, &[], node, epoch_base + 500));
+        };
+        for node in [2usize, 3, 4] {
+            feed_epoch(node, 0, 100); // epoch 0: everyone healthy
+        }
+        feed_epoch(2, 10_000, 100);
+        feed_epoch(3, 10_000, 100);
+        feed_epoch(4, 10_000, 4_000); // the epoch-1 anomaly
+        let rep = plane.finish();
+        let cfg = LocalizerConfig {
+            factor: 3.0,
+            min_packets: 5,
+        };
+        let epochs = rep.localize_epochs(&cfg);
+        let flagged: Vec<(u64, &str)> = epochs
+            .iter()
+            .flat_map(|e| e.findings.iter().map(move |f| (e.epoch, f.name.as_str())))
+            .collect();
+        assert_eq!(
+            flagged,
+            vec![(1, "bad")],
+            "exactly the epoch-1 anomaly must be flagged"
+        );
+        assert_eq!(epochs[1].start.as_nanos(), 10_000);
     }
 }

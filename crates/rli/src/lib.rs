@@ -15,16 +15,21 @@
 //!   interpolation buffer, per-packet estimation.
 //! * [`flowstats`] — per-flow aggregation of estimated vs true delay (mean
 //!   and standard deviation, the paper's two evaluated statistics).
+//! * [`epoch`] — epoch-windowed snapshots: the bounded-size per-epoch
+//!   export a deployed receiver streams off the router, mergeable across
+//!   instances into segment-level latency time-series.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod epoch;
 pub mod flowstats;
 pub mod interpolate;
 pub mod policy;
 pub mod receiver;
 pub mod sender;
 
+pub use epoch::{merge_epoch_series, EpochSnapshot};
 pub use flowstats::{FlowAccumulator, FlowReport, FlowTable, SipFlowTable};
 pub use interpolate::{DelaySample, Interpolator, Segment};
 pub use policy::{

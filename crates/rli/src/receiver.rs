@@ -12,6 +12,7 @@
 //! (RLIR's full demultiplexer in the `rlir` crate decides which *regular*
 //! packets to hand to which receiver instance).
 
+use crate::epoch::{EpochSnapshot, EpochTracker};
 use crate::flowstats::FlowTable;
 use crate::interpolate::{DelaySample, Interpolator};
 use rlir_net::clock::ClockModel;
@@ -38,6 +39,13 @@ pub struct ReceiverConfig {
     /// addition to the per-flow aggregation. Costs memory proportional to
     /// traffic; enables per-packet error CDFs and time-windowed analyses.
     pub record_estimates: bool,
+    /// Width of the epoch window in nanoseconds: the receiver additionally
+    /// aggregates into per-epoch [`EpochSnapshot`]s keyed by observation
+    /// time, the bounded-size export a deployed instance would stream off
+    /// the router each epoch. `None` (the default) disables the epoch
+    /// dimension. Enabling it never perturbs the cumulative per-flow table
+    /// or counters — snapshots are an *additional* view.
+    pub epoch_ns: Option<u64>,
 }
 
 impl ReceiverConfig {
@@ -50,6 +58,7 @@ impl ReceiverConfig {
             interpolator: Interpolator::Linear,
             max_buffer: 1 << 20,
             record_estimates: false,
+            epoch_ns: None,
         }
     }
 }
@@ -103,6 +112,7 @@ pub struct RliReceiver<S: BuildHasher = FxBuildHasher> {
     flows: FlowTable<S>,
     counters: ReceiverCounters,
     estimates: Vec<EstimateRecord>,
+    epochs: Option<EpochTracker>,
 }
 
 impl<S: BuildHasher + Default> RliReceiver<S> {
@@ -115,6 +125,7 @@ impl<S: BuildHasher + Default> RliReceiver<S> {
             flows: FlowTable::new(),
             counters: ReceiverCounters::default(),
             estimates: Vec::new(),
+            epochs: cfg.epoch_ns.map(EpochTracker::new),
         }
     }
 
@@ -155,14 +166,17 @@ impl<S: BuildHasher + Default> RliReceiver<S> {
     /// A regular packet arrived: buffer it for interpolation.
     pub fn on_regular(&mut self, at: SimTime, flow: rlir_net::FlowKey, truth: Option<SimDuration>) {
         self.counters.regulars_seen += 1;
+        if let Some(t) = self.epochs.as_mut() {
+            t.snap(at).regulars_seen += 1;
+        }
         if self.left.is_none() {
             // Before the first reference there is no bracket; RLI cannot
             // estimate these packets.
-            self.counters.unestimated += 1;
+            self.count_unestimated(at);
             return;
         }
         if self.buffer.len() >= self.cfg.max_buffer {
-            self.counters.unestimated += 1;
+            self.count_unestimated(at);
             return;
         }
         self.buffer.push(Pending {
@@ -180,6 +194,9 @@ impl<S: BuildHasher + Default> RliReceiver<S> {
             return;
         }
         self.counters.refs_accepted += 1;
+        if let Some(t) = self.epochs.as_mut() {
+            t.snap(at).refs_accepted += 1;
+        }
         let rx_local = self.cfg.clock.observe(at);
         let delay_ns = rx_local.signed_delta_nanos(info.tx_timestamp) as f64;
         let right = DelaySample::new(at, delay_ns);
@@ -189,6 +206,16 @@ impl<S: BuildHasher + Default> RliReceiver<S> {
             for p in self.buffer.drain(..) {
                 let est = segment.estimate_at(p.at);
                 self.flows.record(p.flow, est, p.truth_ns);
+                if let Some(t) = self.epochs.as_mut() {
+                    // The estimate belongs to the epoch the packet crossed
+                    // the observation point in, not the closing ref's.
+                    let snap = t.snap(p.at);
+                    snap.est.push(est);
+                    if let Some(truth) = p.truth_ns {
+                        snap.truth.push(truth);
+                    }
+                    snap.estimated += 1;
+                }
                 if self.cfg.record_estimates {
                     self.estimates.push(EstimateRecord {
                         at: p.at,
@@ -205,21 +232,50 @@ impl<S: BuildHasher + Default> RliReceiver<S> {
         self.left = Some(right);
     }
 
+    /// Record a regular packet the *caller* observed at the point but shed
+    /// before the receiver could buffer it (e.g. a bounded reorder window
+    /// overflowing upstream of the receiver). Counted as
+    /// seen-but-unestimated, in `at`'s epoch — the books stay honest even
+    /// when memory pressure drops observations.
+    pub fn on_shed(&mut self, at: SimTime) {
+        self.counters.regulars_seen += 1;
+        if let Some(t) = self.epochs.as_mut() {
+            t.snap(at).regulars_seen += 1;
+        }
+        self.count_unestimated(at);
+    }
+
+    fn count_unestimated(&mut self, at: SimTime) {
+        self.counters.unestimated += 1;
+        if let Some(t) = self.epochs.as_mut() {
+            t.snap(at).unestimated += 1;
+        }
+    }
+
     /// Finish the run: packets still buffered after the last reference are
     /// unestimable. Returns the per-flow table and final counters.
     pub fn finish(mut self) -> ReceiverReport<S> {
-        self.counters.unestimated += self.buffer.len() as u64;
-        self.buffer.clear();
+        for p in std::mem::take(&mut self.buffer) {
+            self.count_unestimated(p.at);
+        }
         ReceiverReport {
             flows: self.flows,
             counters: self.counters,
             estimates: self.estimates,
+            epochs: self.epochs.map(EpochTracker::into_vec).unwrap_or_default(),
         }
     }
 
     /// Borrow the per-flow table accumulated so far.
     pub fn flows(&self) -> &FlowTable<S> {
         &self.flows
+    }
+
+    /// The per-epoch snapshots accumulated so far (empty unless
+    /// [`ReceiverConfig::epoch_ns`] is set) — a streaming consumer can read
+    /// the series mid-run, before [`RliReceiver::finish`].
+    pub fn epoch_snapshots(&self) -> impl Iterator<Item = &EpochSnapshot> {
+        self.epochs.iter().flat_map(|t| t.iter())
     }
 }
 
@@ -233,6 +289,9 @@ pub struct ReceiverReport<S: BuildHasher = FxBuildHasher> {
     /// Per-packet estimate log (empty unless
     /// [`ReceiverConfig::record_estimates`] was set).
     pub estimates: Vec<EstimateRecord>,
+    /// Per-epoch snapshot series in epoch order (empty unless
+    /// [`ReceiverConfig::epoch_ns`] was set).
+    pub epochs: Vec<EpochSnapshot>,
 }
 
 #[cfg(test)]
@@ -385,6 +444,72 @@ mod tests {
         let acc = rep.flows.get(&fk(1)).unwrap();
         // True delays 100 and 100; measured 50 and 50 (clock lags by 50).
         assert_eq!(acc.est.mean(), Some(50.0));
+    }
+
+    #[test]
+    fn epochs_bin_by_observation_time_not_estimation_time() {
+        let mut cfg = ReceiverConfig::for_sender(SenderId(1));
+        cfg.epoch_ns = Some(100);
+        let mut r: RliReceiver = RliReceiver::new(cfg);
+        r.on_reference(SimTime::from_nanos(100), &ref_info(0, 0)); // delay 100
+        r.on_regular(SimTime::from_nanos(150), fk(1), None); // epoch 1
+        r.on_regular(SimTime::from_nanos(250), fk(1), None); // epoch 2
+                                                             // Closing ref arrives in epoch 5 — estimates still land in 1 and 2.
+        r.on_reference(SimTime::from_nanos(500), &ref_info(1, 400)); // delay 100
+                                                                     // Mid-run visibility: snapshots exist before finish.
+        assert_eq!(r.epoch_snapshots().map(|e| e.estimated).sum::<u64>(), 2);
+        let rep = r.finish();
+        assert_eq!(rep.epochs.len(), 5); // dense epochs 1..=5
+        assert_eq!(rep.epochs[0].epoch, 1);
+        assert_eq!(rep.epochs[0].estimated, 1);
+        assert_eq!(rep.epochs[0].est_mean(), Some(100.0));
+        assert_eq!(rep.epochs[1].estimated, 1);
+        assert!(rep.epochs[2].is_empty() && rep.epochs[3].is_empty());
+        assert_eq!(rep.epochs[4].refs_accepted, 1);
+        // The cumulative view is untouched by the epoch dimension.
+        assert_eq!(rep.counters.estimated, 2);
+        assert_eq!(rep.flows.get(&fk(1)).unwrap().est.mean(), Some(100.0));
+    }
+
+    #[test]
+    fn epoch_overflow_counts_unestimated_in_the_shedding_epoch() {
+        // The buffer-cap satellite: overflow is charged to the epoch of the
+        // packet that was shed, visible in that epoch's `unestimated`.
+        let mut cfg = ReceiverConfig::for_sender(SenderId(1));
+        cfg.max_buffer = 2;
+        cfg.epoch_ns = Some(100);
+        let mut r: RliReceiver = RliReceiver::new(cfg);
+        r.on_regular(SimTime::from_nanos(50), fk(1), None); // epoch 0: before first ref
+        r.on_reference(SimTime::from_nanos(90), &ref_info(0, 0));
+        for at in [110u64, 120, 130, 240] {
+            r.on_regular(SimTime::from_nanos(at), fk(1), None);
+        }
+        r.on_reference(SimTime::from_nanos(300), &ref_info(1, 250));
+        r.on_regular(SimTime::from_nanos(350), fk(1), None); // after last ref
+        let rep = r.finish();
+        assert_eq!(rep.counters.estimated, 2);
+        assert_eq!(rep.counters.unestimated, 4);
+        // Epoch 0: the pre-first-ref packet.
+        assert_eq!(rep.epochs[0].unestimated, 1);
+        // Epoch 1: 130 shed by the cap (buffer held 110 and 120).
+        assert_eq!(rep.epochs[1].unestimated, 1);
+        assert_eq!(rep.epochs[1].estimated, 2);
+        // Epoch 2: 240 shed by the cap too (buffer not yet drained).
+        assert_eq!(rep.epochs[2].unestimated, 1);
+        // Epoch 3: 350 stranded after the last reference.
+        assert_eq!(rep.epochs[3].unestimated, 1);
+        let per_epoch: u64 = rep.epochs.iter().map(|e| e.unestimated).sum();
+        assert_eq!(per_epoch, rep.counters.unestimated, "epochs must tally");
+    }
+
+    #[test]
+    fn no_epochs_without_config() {
+        let mut r = rx();
+        r.on_reference(SimTime::from_nanos(100), &ref_info(0, 0));
+        r.on_regular(SimTime::from_nanos(150), fk(1), None);
+        r.on_reference(SimTime::from_nanos(200), &ref_info(1, 100));
+        assert_eq!(r.epoch_snapshots().count(), 0);
+        assert!(r.finish().epochs.is_empty());
     }
 
     #[test]

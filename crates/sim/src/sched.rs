@@ -140,6 +140,32 @@ impl<T> CalendarQueue<T> {
         Self::with_geometry(DEFAULT_BUCKET_NS_LOG2, DEFAULT_BUCKETS_LOG2)
     }
 
+    /// An empty queue sized for a workload of `events` initial events
+    /// spread over `span_ns` of simulated time.
+    ///
+    /// The bucket width targets ~4 mean inter-event gaps, so a bucket holds
+    /// a handful of entries under load (initial events undercount total
+    /// scheduler traffic by the mean path length; the 4× headroom absorbs
+    /// that). Clamped to [2⁶, 2¹⁴] ns — below 64 ns rotations get too short
+    /// and everything overflows, above 16 µs the in-bucket heaps dominate —
+    /// and falls back to the default geometry when the workload gives no
+    /// spacing evidence (fewer than 2 events, or zero span).
+    pub fn for_spacing(span_ns: u64, events: usize) -> Self {
+        if events < 2 || span_ns == 0 {
+            return Self::new();
+        }
+        let spacing = (span_ns / events as u64).max(1);
+        let target = spacing.saturating_mul(4);
+        // ceil(log2(target)): width of target minus 1 for exact powers.
+        let log2 = u64::BITS - target.leading_zeros() - u32::from(target.is_power_of_two());
+        Self::with_geometry(log2.clamp(6, 14), DEFAULT_BUCKETS_LOG2)
+    }
+
+    /// `log2` of the bucket width in nanoseconds.
+    pub fn bucket_ns_log2(&self) -> u32 {
+        self.bucket_ns_log2
+    }
+
     /// An empty queue with `2^bucket_ns_log2` ns buckets and
     /// `2^buckets_log2` of them per rotation.
     pub fn with_geometry(bucket_ns_log2: u32, buckets_log2: u32) -> Self {
@@ -335,6 +361,56 @@ mod tests {
         cal.pop();
         assert!(cal.is_empty());
         assert!(cal.pop().is_none());
+    }
+
+    #[test]
+    fn adaptive_geometry_tracks_spacing() {
+        // Dense workload → fine buckets; sparse → coarse; both clamped.
+        assert_eq!(
+            CalendarQueue::<u32>::for_spacing(1_000, 1_000).bucket_ns_log2(),
+            6
+        );
+        // 1 ms over 1000 events → 1 µs spacing → 4 µs target → 2^12.
+        assert_eq!(
+            CalendarQueue::<u32>::for_spacing(1_000_000, 1_000).bucket_ns_log2(),
+            12
+        );
+        assert_eq!(
+            CalendarQueue::<u32>::for_spacing(u64::MAX / 2, 2).bucket_ns_log2(),
+            14
+        );
+        // Exact power-of-two target stays exact: 256 ns spacing → 1024 ns.
+        assert_eq!(
+            CalendarQueue::<u32>::for_spacing(256_000, 1_000).bucket_ns_log2(),
+            10
+        );
+        // No spacing evidence → default geometry.
+        assert_eq!(
+            CalendarQueue::<u32>::for_spacing(0, 50).bucket_ns_log2(),
+            DEFAULT_BUCKET_NS_LOG2
+        );
+        assert_eq!(
+            CalendarQueue::<u32>::for_spacing(1_000, 1).bucket_ns_log2(),
+            DEFAULT_BUCKET_NS_LOG2
+        );
+    }
+
+    #[test]
+    fn adaptive_geometries_drain_like_the_heap() {
+        // The same push sequence through every adaptively-picked geometry
+        // must drain byte-identically to the heap oracle.
+        let pushes: Vec<(u64, u32)> = (0..300)
+            .map(|i| ((i * 104_729) % 2_000_000, i as u32))
+            .collect();
+        for (span, events) in [(2_000_000u64, 300usize), (1_000, 300), (u64::MAX / 2, 2)] {
+            let mut cal = CalendarQueue::for_spacing(span, events);
+            let mut heap = HeapSchedule::new();
+            for &(t, v) in &pushes {
+                cal.push(SimTime::from_nanos(t), v);
+                heap.push(SimTime::from_nanos(t), v);
+            }
+            assert_eq!(drain(&mut cal), drain(&mut heap), "span {span}");
+        }
     }
 
     #[test]

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Time the measurement plane's two drains — the pre-refactor buffered-sort
+# oracle and the default streaming reorder window — on the full fat-tree
+# RLIR harness (engine + plane), and emit BENCH_estimator.json: wall-clock
+# plus each path's peak buffered observations. The two paths are asserted
+# output-identical by the benchmark binary itself (and pinned independently
+# by tests/epoch_streaming_differential.rs).
+#
+# Usage: scripts/estimator_bench.sh [output.json]
+# Knobs: RLIR_ESTBENCH_MS    (trace duration, default 40)
+#        RLIR_ESTBENCH_REPS  (best-of, default 3)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_estimator.json}"
+
+cargo build --release -p rlir-bench --bin estimator_bench
+target/release/estimator_bench > "$OUT"
+echo "wrote $OUT:"
+cat "$OUT"

@@ -1,0 +1,188 @@
+//! Streaming-epoch plane vs buffered-sort oracle.
+//!
+//! The measurement plane's default drain is now **streaming**: a bounded
+//! reorder window driven by the engine's event-time watermark feeds each
+//! receiver online, in observation-time order, with O(window) peak memory.
+//! The pre-streaming drain — buffer everything, sort once at `finish()` —
+//! is retained behind `buffered_oracle` as the differential oracle.
+//!
+//! These tests pin the two paths **byte-identical** (every float compared
+//! via `to_bits` inside the digests) on the two harnesses the ISSUE names,
+//! including tie-heavy (synchronized bursts, equal-timestamp injections)
+//! and drop-heavy (saturated bottleneck) regimes, and assert the memory
+//! claim that justifies the refactor: peak buffered observations scale
+//! with the reorder window, not with the run length.
+
+use rlir::experiment::{
+    run_fattree, run_two_hop, FatTreeExpConfig, FatTreeOutcome, TwoHopConfig, TwoHopOutcome,
+};
+use rlir_net::time::SimDuration;
+use rlir_rli::{EpochSnapshot, FlowTable, PolicyKind};
+use rlir_trace::BurstShape;
+
+fn fold(h: u64, bits: u64) -> u64 {
+    h.rotate_left(7) ^ bits.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Digest a per-flow table: every row's flow, counts and moments, bit for
+/// bit.
+fn digest_flows(mut h: u64, flows: &FlowTable) -> u64 {
+    h = fold(h, flows.flow_count() as u64);
+    h = fold(h, flows.estimate_count());
+    for row in flows.report(1) {
+        h = fold(h, row.packets);
+        h = fold(h, row.est_mean.to_bits());
+        h = fold(h, row.true_mean.unwrap_or(f64::NAN).to_bits());
+        h = fold(h, row.est_std.unwrap_or(f64::NAN).to_bits());
+        h = fold(h, row.true_std.unwrap_or(f64::NAN).to_bits());
+    }
+    h
+}
+
+/// Digest an epoch series: counters and moments per epoch.
+fn digest_epochs(mut h: u64, epochs: &[EpochSnapshot]) -> u64 {
+    h = fold(h, epochs.len() as u64);
+    for e in epochs {
+        h = fold(h, e.epoch);
+        h = fold(h, e.regulars_seen);
+        h = fold(h, e.estimated);
+        h = fold(h, e.unestimated);
+        h = fold(h, e.refs_accepted);
+        h = fold(h, e.dropped_after_metering);
+        h = fold(h, e.est_mean().unwrap_or(f64::NAN).to_bits());
+        h = fold(h, e.true_mean().unwrap_or(f64::NAN).to_bits());
+    }
+    h
+}
+
+fn digest_fattree(out: &FatTreeOutcome) -> u64 {
+    let mut h = 0u64;
+    h = digest_flows(h, &out.seg1_flows);
+    h = digest_flows(h, &out.seg2_flows);
+    for errs in [&out.seg1_errors, &out.seg2_errors] {
+        h = fold(h, errs.len() as u64);
+        h = errs.iter().fold(h, |h, e| fold(h, e.to_bits()));
+    }
+    for s in &out.segments {
+        h = s.name.bytes().fold(h, |h, b| fold(h, b as u64));
+        h = fold(h, s.est_mean_ns.to_bits());
+        h = fold(h, s.true_mean_ns.to_bits());
+        h = fold(h, s.packets);
+    }
+    for (name, series) in &out.segment_epochs {
+        h = name.bytes().fold(h, |h, b| fold(h, b as u64));
+        h = digest_epochs(h, series);
+    }
+    h = digest_epochs(h, &out.seg1_epochs);
+    h = digest_epochs(h, &out.seg2_epochs);
+    h
+}
+
+fn digest_two_hop(out: &TwoHopOutcome) -> u64 {
+    let mut h = 0u64;
+    h = digest_flows(h, &out.flows);
+    h = fold(h, out.receiver.estimated);
+    h = fold(h, out.receiver.unestimated);
+    h = fold(h, out.receiver.regulars_seen);
+    h = fold(h, out.receiver.refs_accepted);
+    h = fold(h, out.mean_errors.len() as u64);
+    h = out.mean_errors.iter().fold(h, |h, e| fold(h, e.to_bits()));
+    h = out.std_errors.iter().fold(h, |h, e| fold(h, e.to_bits()));
+    digest_epochs(h, &out.epochs)
+}
+
+/// A drop- and tie-heavy fat-tree regime: synchronized bursts overload the
+/// destination downlink (equal-timestamp packet clusters, queue drops).
+fn stressed_fattree(seed: u64) -> FatTreeExpConfig {
+    let mut cfg = FatTreeExpConfig::paper(seed, SimDuration::from_millis(20));
+    cfg.policy = PolicyKind::Static { n: 30 };
+    cfg.n_src_tors = 4;
+    cfg.measured_load = 0.30;
+    cfg.burst = Some(BurstShape {
+        period: SimDuration::from_millis(5),
+        duty: 0.2,
+    });
+    cfg
+}
+
+#[test]
+fn fattree_streaming_matches_buffered_oracle() {
+    let mut calm = FatTreeExpConfig::paper(11, SimDuration::from_millis(20));
+    calm.policy = PolicyKind::Static { n: 30 };
+    for (label, base) in [("calm", calm), ("burst+drops", stressed_fattree(17))] {
+        let streaming = run_fattree(&base);
+        let mut oracle_cfg = base.clone();
+        oracle_cfg.buffered_oracle = true;
+        let oracle = run_fattree(&oracle_cfg);
+        assert_eq!(streaming.late, 0, "{label}: window must cover the lag");
+        assert_eq!(
+            digest_fattree(&streaming),
+            digest_fattree(&oracle),
+            "{label}: streaming drain drifted from the buffered-sort oracle"
+        );
+        assert!(
+            streaming.peak_pending < oracle.peak_pending,
+            "{label}: streaming peak {} not below oracle {}",
+            streaming.peak_pending,
+            oracle.peak_pending
+        );
+    }
+}
+
+#[test]
+fn two_hop_streaming_matches_buffered_oracle() {
+    // High utilization (tie-prone dense traffic) and an overloaded regime
+    // (reference and regular drops at the bottleneck).
+    for (label, target) in [("93%", 0.93), ("overload", 1.02)] {
+        let mut cfg = TwoHopConfig::paper(7, SimDuration::from_millis(60));
+        cfg.policy = PolicyKind::Static { n: 50 };
+        cfg.cross = rlir::experiment::CrossSpec::Uniform {
+            target_utilization: target,
+        };
+        let streaming = run_two_hop(&cfg);
+        let mut oracle_cfg = cfg.clone();
+        oracle_cfg.buffered_oracle = true;
+        let oracle = run_two_hop(&oracle_cfg);
+        assert_eq!(
+            digest_two_hop(&streaming),
+            digest_two_hop(&oracle),
+            "{label}: streaming tap drifted from the buffered-sort oracle"
+        );
+        // The ordered streaming tap buffers nothing; the oracle buffers
+        // the whole run.
+        assert_eq!(streaming.peak_pending, 0, "{label}");
+        assert!(
+            oracle.peak_pending as u64 > streaming.regulars_offered / 2,
+            "{label}: oracle must be O(run): {}",
+            oracle.peak_pending
+        );
+    }
+}
+
+#[test]
+fn streaming_peak_memory_tracks_the_window_not_the_run() {
+    // Double the run length: the buffered-sort oracle's peak doubles
+    // (O(run)); the streaming window's peak stays put (O(window)).
+    let peak = |ms: u64, oracle: bool| {
+        let mut cfg = stressed_fattree(23);
+        cfg.duration = SimDuration::from_millis(ms);
+        cfg.buffered_oracle = oracle;
+        let out = run_fattree(&cfg);
+        assert_eq!(out.late, 0);
+        out.peak_pending
+    };
+    let (stream_short, stream_long) = (peak(15, false), peak(45, false));
+    let (oracle_short, oracle_long) = (peak(15, true), peak(45, true));
+    assert!(
+        oracle_long as f64 > oracle_short as f64 * 2.0,
+        "oracle peak must scale with run length: {oracle_short} → {oracle_long}"
+    );
+    assert!(
+        (stream_long as f64) < stream_short as f64 * 1.5,
+        "streaming peak must not scale with run length: {stream_short} → {stream_long}"
+    );
+    assert!(
+        stream_long * 3 < oracle_long,
+        "streaming peak {stream_long} must sit far below the oracle's {oracle_long}"
+    );
+}

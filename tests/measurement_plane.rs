@@ -133,6 +133,7 @@ fn clock_skew_shifts_estimates_by_offset() {
         interpolator: Interpolator::Linear,
         max_buffer: 1 << 16,
         record_estimates: false,
+        epoch_ns: None,
     });
     let true_delay = SimDuration::from_micros(30);
     for i in 0..400u64 {

@@ -96,4 +96,27 @@ proptest! {
         fill(&mut cal, &times);
         prop_assert_eq!(drain(&mut heap), drain(&mut cal));
     }
+
+    /// The adaptive constructor: whatever geometry `for_spacing` picks from
+    /// a workload's (span, count) — dense microsecond traffic through
+    /// sparse second-scale schedules, including mismatched hints — drains
+    /// byte-identically to the heap oracle.
+    #[test]
+    fn adaptive_geometries_stay_exact(
+        times in proptest::collection::vec(0u64..100_000_000, 2..400),
+        // Deliberately allow hints that do NOT match the actual workload:
+        // geometry may be suboptimal, never incorrect.
+        span_hint in 0u64..10_000_000_000,
+        count_hint in 0usize..100_000,
+    ) {
+        // Once from the true workload shape, once from the wild hint.
+        let span = times.iter().max().unwrap() - times.iter().min().unwrap();
+        for (s, c) in [(span, times.len()), (span_hint, count_hint)] {
+            let mut heap = HeapSchedule::new();
+            let mut cal = CalendarQueue::for_spacing(s, c);
+            fill(&mut heap, &times);
+            fill(&mut cal, &times);
+            prop_assert_eq!(drain(&mut heap), drain(&mut cal));
+        }
+    }
 }

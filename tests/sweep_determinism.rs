@@ -9,8 +9,8 @@
 //! `to_bits`, so even a ULP of scheduling-dependent drift fails.
 
 use rlir::experiment::{
-    run_asymmetric, run_localize, run_loss_sweep_on, AsymmetricConfig, LocalizeConfig, LossPoint,
-    LossSweepConfig, TwoHopConfig,
+    run_asymmetric, run_drop_aware, run_localize, run_loss_sweep_on, AsymmetricConfig,
+    DropAwareConfig, LocalizeConfig, LossPoint, LossSweepConfig, TwoHopConfig,
 };
 use rlir_exec::SweepRunner;
 use rlir_net::time::SimDuration;
@@ -96,6 +96,42 @@ fn asymmetric_sweep_is_thread_count_invariant() {
             y.attribution_accuracy.to_bits()
         );
         assert_eq!(x.paired_flows, y.paired_flows);
+    }
+}
+
+#[test]
+fn drop_aware_sweep_is_thread_count_invariant() {
+    // The loss-heavy live-tap scenario: realised losses, drop-aware
+    // counters and both views' aggregates must be bit-identical for any
+    // thread count.
+    let mut cfg = DropAwareConfig::paper(37, SimDuration::from_millis(30));
+    cfg.policy = PolicyKind::Static { n: 40 };
+    cfg.offered_loads = vec![0.6, 0.95, 1.1];
+    let one = run_drop_aware(&cfg, &SweepRunner::single());
+    for threads in [2, 4] {
+        let many = run_drop_aware(&cfg, &SweepRunner::new(threads));
+        assert_eq!(one.len(), many.len());
+        for (x, y) in one.iter().zip(&many) {
+            assert_eq!(x.offered, y.offered);
+            assert_eq!(x.downstream_loss.to_bits(), y.downstream_loss.to_bits());
+            assert_eq!(x.live_metered, y.live_metered);
+            assert_eq!(x.dropped_after_metering, y.dropped_after_metering);
+            assert_eq!(x.live_est_mean_ns.to_bits(), y.live_est_mean_ns.to_bits());
+            assert_eq!(
+                x.delivered_est_mean_ns.to_bits(),
+                y.delivered_est_mean_ns.to_bits()
+            );
+            assert_eq!(x.survivor_bias.to_bits(), y.survivor_bias.to_bits());
+            assert_eq!(x.epochs.len(), y.epochs.len());
+            for (a, b) in x.epochs.iter().zip(&y.epochs) {
+                assert_eq!(a.estimated, b.estimated);
+                assert_eq!(a.dropped_after_metering, b.dropped_after_metering);
+                assert_eq!(
+                    a.est_mean().unwrap_or(f64::NAN).to_bits(),
+                    b.est_mean().unwrap_or(f64::NAN).to_bits()
+                );
+            }
+        }
     }
 }
 

@@ -41,6 +41,7 @@ fn transient_congestion_is_pinned_to_its_window() {
         interpolator: Interpolator::Linear,
         max_buffer: 1 << 20,
         record_estimates: true,
+        epoch_ns: None,
     });
 
     let delay_at = |t: SimTime| {
