@@ -1,13 +1,19 @@
-//! Heap vs calendar-queue scheduler wall-clock on the event engine.
+//! Moving-oracle vs arena-slab engine wall-clock on the event engine.
 //!
 //! Runs the k = 4 fat-tree under the incast workload (synchronized-burst
-//! measured traffic into one destination ToR plus all-ToR background) with
-//! both [`SchedulerKind`]s and reports best-of-N wall-clock as JSON on
-//! stdout — `scripts/network_bench.sh` captures it into
-//! `BENCH_network.json`. A delivery digest cross-checks that the two
-//! schedulers produced byte-identical runs while being timed.
+//! measured traffic into one destination ToR plus all-ToR background)
+//! through three engine configurations — the retained PR 4 engine
+//! ([`EngineKind::MovingOracle`]: full packet + hop vector moved through
+//! every calendar-queue push/pop), the arena-backed slab engine
+//! ([`EngineKind::Slab`]: state pinned, 8-byte `Copy` handles moving), and
+//! the slab engine's streamed-delivery mode (no `Vec<NetDelivery>` at all)
+//! — and reports best-of-N wall-clock plus the slab's memory accounting
+//! (events/sec, peak in-flight slots, hop-storage allocations) as JSON on
+//! stdout; `scripts/network_bench.sh` captures it into
+//! `BENCH_network.json`. An order-insensitive delivery digest asserts that
+//! all three runs were byte-identical while being timed.
 //!
-//! Knobs: `RLIR_NETBENCH_MS` (trace duration, default 40),
+//! Knobs: `RLIR_NETBENCH_MS` (trace duration, default 120),
 //! `RLIR_NETBENCH_REPS` (best-of, default 3), `RLIR_NETBENCH_FANIN`
 //! (synchronized sources, default 4).
 
@@ -15,7 +21,10 @@ use rlir::experiment::{background_injections, measured_traces, FatTreeExpConfig,
 use rlir::fabric::{build_network, FatTreeFabric};
 use rlir_net::packet::Packet;
 use rlir_net::time::SimDuration;
-use rlir_sim::{run_network_sched, NullSink, SchedulerKind};
+use rlir_sim::{
+    run_network_engine, run_network_streamed_sched, EngineKind, NetDelivery, NullSink,
+    SchedulerKind, StreamedDelivery,
+};
 use rlir_topo::{FatTree, TopoId};
 use std::time::Instant;
 
@@ -39,8 +48,52 @@ fn build_workload(cfg: &FatTreeExpConfig, tree: &FatTree) -> Vec<(TopoId, Packet
     injections
 }
 
+fn mix(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Order-insensitive per-delivery hash: the streamed mode yields
+/// deliveries in processing order without buffering them, so the digest
+/// must commute (wrapping sum of a mixed per-delivery word).
+fn delivery_word(id: u64, delivered_at: u64, delivered_node: usize, hops: usize) -> u64 {
+    mix(id
+        ^ delivered_at.rotate_left(17)
+        ^ (delivered_node as u64).rotate_left(43)
+        ^ (hops as u64).rotate_left(53))
+}
+
+#[derive(PartialEq, Eq, Debug, Clone)]
+struct RunDigest {
+    deliveries: usize,
+    delivery_hash: u64,
+    queue_drops: u64,
+    route_drops: u64,
+}
+
+fn digest_buffered(
+    deliveries: &[NetDelivery],
+    queue_drops: &[u64],
+    route_drops: &[u64],
+) -> RunDigest {
+    RunDigest {
+        deliveries: deliveries.len(),
+        delivery_hash: deliveries.iter().fold(0u64, |h, d| {
+            h.wrapping_add(delivery_word(
+                d.packet.id.0,
+                d.delivered_at.as_nanos(),
+                d.delivered_node,
+                d.hops.len(),
+            ))
+        }),
+        queue_drops: queue_drops.iter().sum(),
+        route_drops: route_drops.iter().sum(),
+    }
+}
+
 fn main() {
-    let duration = SimDuration::from_millis(env_u64("RLIR_NETBENCH_MS", 40));
+    let duration = SimDuration::from_millis(env_u64("RLIR_NETBENCH_MS", 120));
     let reps = env_u64("RLIR_NETBENCH_REPS", 3).max(1);
     let fan_in = env_u64("RLIR_NETBENCH_FANIN", 4) as usize;
 
@@ -57,42 +110,100 @@ fn main() {
     let fabric = FatTreeFabric::new(&tree, false);
     let injections = build_workload(&cfg, &tree);
 
-    let mut results: Vec<(SchedulerKind, u128, u64, usize)> = Vec::new();
-    for kind in [SchedulerKind::Heap, SchedulerKind::Calendar] {
+    // Buffered runs: the PR 4 moving engine vs the slab engine, both on
+    // the default calendar scheduler.
+    let mut buffered: Vec<(EngineKind, u128, RunDigest)> = Vec::new();
+    for engine in [EngineKind::MovingOracle, EngineKind::Slab] {
         let mut best_ns = u128::MAX;
-        let mut digest = 0u64;
-        let mut deliveries = 0usize;
+        let mut digest = None;
         for _ in 0..reps {
             let net = build_network(&tree, queue, link_delay, &[]);
             let inj = injections.clone();
             let start = Instant::now();
-            let run = run_network_sched(net, &fabric, inj, &mut NullSink, kind);
-            let elapsed = start.elapsed().as_nanos();
-            best_ns = best_ns.min(elapsed);
-            deliveries = run.deliveries.len();
-            digest = run.deliveries.iter().fold(0u64, |h, d| {
-                h.rotate_left(7) ^ (d.delivered_at.as_nanos() ^ d.packet.id.0)
-            });
+            let run = run_network_engine(
+                net,
+                &fabric,
+                inj,
+                &mut NullSink,
+                SchedulerKind::Calendar,
+                engine,
+            );
+            best_ns = best_ns.min(start.elapsed().as_nanos());
+            digest = Some(digest_buffered(
+                &run.deliveries,
+                &run.queue_drops,
+                &run.route_drops,
+            ));
         }
-        results.push((kind, best_ns, digest, deliveries));
+        buffered.push((engine, best_ns, digest.expect("reps >= 1")));
     }
-    let (heap_ns, cal_ns) = (results[0].1, results[1].1);
+
+    // Streamed run: no delivery buffering at all; digest folded on the fly.
+    let mut streamed_best_ns = u128::MAX;
+    let mut streamed_digest = None;
+    let mut stats = None;
+    for _ in 0..reps {
+        let net = build_network(&tree, queue, link_delay, &[]);
+        let inj = injections.clone();
+        let mut hash = 0u64;
+        let mut count = 0usize;
+        let start = Instant::now();
+        let s = run_network_streamed_sched(
+            net,
+            &fabric,
+            inj,
+            &mut NullSink,
+            SchedulerKind::Calendar,
+            |d: &StreamedDelivery<'_>| {
+                count += 1;
+                hash = hash.wrapping_add(delivery_word(
+                    d.packet.id.0,
+                    d.delivered_at.as_nanos(),
+                    d.delivered_node,
+                    d.hops.len(),
+                ));
+            },
+        );
+        streamed_best_ns = streamed_best_ns.min(start.elapsed().as_nanos());
+        streamed_digest = Some(RunDigest {
+            deliveries: count,
+            delivery_hash: hash,
+            queue_drops: s.queue_drops.iter().sum(),
+            route_drops: s.route_drops.iter().sum(),
+        });
+        stats = Some(s);
+    }
+    let stats = stats.expect("reps >= 1");
+    let streamed_digest = streamed_digest.expect("reps >= 1");
+
+    let (oracle_ns, oracle_digest) = (buffered[0].1, &buffered[0].2);
+    let (slab_ns, slab_digest) = (buffered[1].1, &buffered[1].2);
     assert_eq!(
-        (results[0].2, results[0].3),
-        (results[1].2, results[1].3),
-        "schedulers diverged — the differential tests should have caught this"
+        oracle_digest, slab_digest,
+        "engines diverged — the differential tests should have caught this"
+    );
+    assert_eq!(
+        oracle_digest, &streamed_digest,
+        "streamed mode diverged — the differential tests should have caught this"
     );
 
     let packets = injections.len();
+    let events_per_sec = stats.events as f64 / (streamed_best_ns as f64 / 1e9);
     println!(
         concat!(
             "{{\n",
-            "  \"bench\": \"event engine: heap vs calendar queue (k=4 fat-tree incast, {}ms, fan-in {}, best of {})\",\n",
+            "  \"bench\": \"event engine: moving oracle vs arena slab (k=4 fat-tree incast, {}ms, fan-in {}, best of {})\",\n",
             "  \"injected_packets\": {},\n",
             "  \"deliveries\": {},\n",
-            "  \"heap_ms\": {:.3},\n",
-            "  \"calendar_ms\": {:.3},\n",
-            "  \"speedup\": {:.3},\n",
+            "  \"events\": {},\n",
+            "  \"oracle_ms\": {:.3},\n",
+            "  \"slab_ms\": {:.3},\n",
+            "  \"streamed_ms\": {:.3},\n",
+            "  \"slab_speedup\": {:.3},\n",
+            "  \"streamed_speedup\": {:.3},\n",
+            "  \"events_per_sec\": {:.0},\n",
+            "  \"peak_inflight_slots\": {},\n",
+            "  \"hop_allocations\": {},\n",
             "  \"runs_identical\": true\n",
             "}}"
         ),
@@ -100,9 +211,15 @@ fn main() {
         fan_in,
         reps,
         packets,
-        results[1].3,
-        heap_ns as f64 / 1e6,
-        cal_ns as f64 / 1e6,
-        heap_ns as f64 / cal_ns as f64,
+        streamed_digest.deliveries,
+        stats.events,
+        oracle_ns as f64 / 1e6,
+        slab_ns as f64 / 1e6,
+        streamed_best_ns as f64 / 1e6,
+        oracle_ns as f64 / slab_ns as f64,
+        oracle_ns as f64 / streamed_best_ns as f64,
+        events_per_sec,
+        stats.peak_live_slots,
+        stats.hop_allocations,
     );
 }

@@ -35,7 +35,9 @@ use rlir_net::packet::{Packet, SenderId};
 use rlir_net::time::SimDuration;
 use rlir_net::FlowKey;
 use rlir_rli::{EpochSnapshot, PolicyKind, RliSender};
-use rlir_sim::{run_network_with, Forwarder, Network, NodeId, Port, QueueConfig, RouteDecision};
+use rlir_sim::{
+    run_network_streamed, Forwarder, Network, NodeId, Port, QueueConfig, RouteDecision,
+};
 use rlir_trace::{generate, TraceConfig};
 use serde::{Deserialize, Serialize};
 
@@ -221,14 +223,17 @@ impl Scenario for DropAwareSweep<'_> {
         delivered.truth = TruthRef::SinceInjection;
         plane.attach(delivered);
 
-        let run = run_network_with(net, &Line, injections, &mut plane);
+        // Plane-only scenario: the plane *is* the consumer, so run in
+        // streamed-delivery mode — no `Vec<NetDelivery>` is materialised
+        // and engine memory stays O(in-flight) even at overload.
+        let stats = run_network_streamed(net, &Line, injections, &mut plane, |_| {});
         let offered = trace.packets.len() as u64;
         // Loss rates are *regular-packet* rates (matching the documented
         // fields and `dropped_after_metering`'s scope): read the per-class
         // queue counters, not the all-kinds per-node drop totals, so dying
         // references don't inflate them.
-        let s0_drops = run.network.nodes[S0].ports[0].queue.regular().drops;
-        let s1_drops = run.network.nodes[S1].ports[0].queue.regular().drops;
+        let s0_drops = stats.network.nodes[S0].ports[0].queue.regular().drops;
+        let s1_drops = stats.network.nodes[S1].ports[0].queue.regular().drops;
 
         let mut report = plane.finish();
         let delivered_rep = report.taps.pop().expect("delivered tap");

@@ -28,7 +28,7 @@ use rlir_net::packet::{Packet, ReferenceInfo, SenderId};
 use rlir_net::time::{SimDuration, SimTime};
 use rlir_net::{FlowKey, HashAlgo};
 use rlir_rli::{merge_epoch_series, EpochSnapshot, FlowTable, PolicyKind, RliSender};
-use rlir_sim::{run_network, run_network_with, QueueConfig};
+use rlir_sim::{run_network_streamed, NullSink, QueueConfig};
 use rlir_topo::{FatTree, Role, TopoId};
 use serde::{Deserialize, Serialize};
 
@@ -332,25 +332,31 @@ pub fn run_fattree(cfg: &FatTreeExpConfig) -> FatTreeOutcome {
 
     // Phase 1: derive core-crossing schedules (regular + background only,
     // ToR references included so the load matches phase 2 closely).
-    let phase1 = run_network(
+    // Streamed deliveries: the crossing tables are built straight from the
+    // delivery callback — no `Vec<NetDelivery>` is ever materialised, so
+    // this phase runs in O(in-flight) engine memory. Per-core sequences
+    // are sorted before use below, so the callback's processing order
+    // (vs the buffered run's delivery-time order) is immaterial.
+    let mut crossings: FxHashMap<TopoId, Vec<(SimTime, u32)>> = FxHashMap::default();
+    run_network_streamed(
         build_network(&tree, cfg.queue, cfg.link_delay, &overrides),
         &fabric,
         injections.clone(),
-    );
-    let mut crossings: FxHashMap<TopoId, Vec<(SimTime, u32)>> = FxHashMap::default();
-    for d in &phase1.deliveries {
-        if !d.packet.is_regular() {
-            continue;
-        }
-        for h in &d.hops {
-            if matches!(tree.node(h.node).role, Role::Core { .. }) {
-                crossings
-                    .entry(h.node)
-                    .or_default()
-                    .push((h.arrived, d.packet.size));
+        &mut NullSink,
+        |d| {
+            if !d.packet.is_regular() {
+                return;
             }
-        }
-    }
+            for h in d.hops {
+                if matches!(tree.node(h.node).role, Role::Core { .. }) {
+                    crossings
+                        .entry(h.node)
+                        .or_default()
+                        .push((h.arrived, d.packet.size));
+                }
+            }
+        },
+    );
 
     // Core senders: replay each core's crossing sequence through the policy.
     let mut refs_core = 0u64;
@@ -376,45 +382,45 @@ pub fn run_fattree(cfg: &FatTreeExpConfig) -> FatTreeOutcome {
 
     // Phase 2: the full run, observed live by the measurement plane — the
     // paper's router-level deployment expressed as hop-event taps instead
-    // of post-hoc event-queue plumbing.
+    // of post-hoc event-queue plumbing. The workload accounting (not a
+    // measurement-plane concern — how well the downstream demux associated
+    // measured packets, from ground truth) rides on the same streamed
+    // delivery callback, so phase 2 never buffers deliveries either.
     let (mut plane, seg1_taps) = attach_rlir_taps(cfg, &tree, &deployment, &demux);
-    let phase2 = run_network_with(
-        build_network(&tree, cfg.queue, cfg.link_delay, &overrides),
-        &fabric,
-        injections,
-        &mut plane,
-    );
-
-    // Workload accounting (not a measurement-plane concern): how well the
-    // downstream demux associated measured packets, from ground truth.
     let dst_tor = deployment.dst_tor;
     let mut demux_total = 0u64;
     let mut demux_correct = 0u64;
     let mut demux_unassociated = 0u64;
     let mut measured_delivered = 0u64;
-    for d in &phase2.deliveries {
-        if d.packet.reference_info().is_some()
-            || !d.packet.is_regular()
-            || d.delivered_node != dst_tor
-            || measured_src(&demux, &deployment, &d.packet.flow).is_none()
-        {
-            continue;
-        }
-        let Some(core_hop) = d
-            .hops
-            .iter()
-            .find(|h| matches!(tree.node(h.node).role, Role::Core { .. }))
-        else {
-            continue; // intra-pod: not covered by this deployment
-        };
-        measured_delivered += 1;
-        demux_total += 1;
-        match demux.traversed_core(&d.packet) {
-            Some(c) if c == core_hop.node => demux_correct += 1,
-            Some(_) => {}
-            None => demux_unassociated += 1,
-        }
-    }
+    run_network_streamed(
+        build_network(&tree, cfg.queue, cfg.link_delay, &overrides),
+        &fabric,
+        injections,
+        &mut plane,
+        |d| {
+            if d.packet.reference_info().is_some()
+                || !d.packet.is_regular()
+                || d.delivered_node != dst_tor
+                || measured_src(&demux, &deployment, &d.packet.flow).is_none()
+            {
+                return;
+            }
+            let Some(core_hop) = d
+                .hops
+                .iter()
+                .find(|h| matches!(tree.node(h.node).role, Role::Core { .. }))
+            else {
+                return; // intra-pod: not covered by this deployment
+            };
+            measured_delivered += 1;
+            demux_total += 1;
+            match demux.traversed_core(d.packet) {
+                Some(c) if c == core_hop.node => demux_correct += 1,
+                Some(_) => {}
+                None => demux_unassociated += 1,
+            }
+        },
+    );
 
     // Fold tap reports into the per-segment outcome.
     let report = plane.finish();

@@ -19,7 +19,7 @@
 //! utilization measured at the queue).
 
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 use rlir_net::packet::Packet;
 use rlir_net::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
@@ -83,10 +83,26 @@ impl CrossModel {
     }
 }
 
+/// Mantissa bits of the unit-interval `f64` draw: the RNG's `f64` sampling
+/// uses the top 53 bits of one 64-bit word, so `u < p` over `[0, 1)` is
+/// exactly `(word >> 11) < ⌈p·2⁵³⌉` over integers (multiplying a ≤ 53-bit
+/// integer by 2⁻⁵³ is lossless, and `p·2⁵³` is just an exponent shift of
+/// `p`'s own mantissa — both sides of the threshold conversion are exact).
+const UNIT_BITS: u32 = 53;
+
+/// Integer keep-threshold equivalent to `rng.random::<f64>() < keep_prob`.
+fn keep_threshold(keep_prob: f64) -> u64 {
+    (keep_prob * (1u64 << UNIT_BITS) as f64).ceil() as u64
+}
+
 /// Stateful injector filtering a cross-traffic packet stream.
 #[derive(Debug, Clone)]
 pub struct CrossInjector {
     model: CrossModel,
+    /// `⌈keep_prob·2⁵³⌉`, precomputed: the per-packet decision is one
+    /// integer compare against the raw RNG word instead of an int→f64
+    /// convert + float compare (the headroom item listed since PR 1).
+    threshold: u64,
     rng: StdRng,
     offered: u64,
     kept: u64,
@@ -101,6 +117,7 @@ impl CrossInjector {
         );
         CrossInjector {
             model,
+            threshold: keep_threshold(model.keep_prob()),
             rng: StdRng::seed_from_u64(seed),
             offered: 0,
             kept: 0,
@@ -108,15 +125,23 @@ impl CrossInjector {
     }
 
     /// Decide whether to inject this packet (keyed on its trace timestamp).
+    ///
+    /// Draws from the RNG exactly when the float path did — gate open and
+    /// `0 < keep_prob < 1` — so injection sequences are bit-identical to
+    /// the pre-threshold implementation (pinned by the differential test
+    /// below).
     #[inline]
     pub fn select(&mut self, p: &Packet) -> bool {
         self.offered += 1;
         // Degenerate probabilities need no random draw — the common
         // calibration outcome at the top of the utilization sweep is
-        // keep_prob = 1.0, which this turns into a pure gate check.
-        let keep_prob = self.model.keep_prob();
+        // keep_prob = 1.0 (threshold 2⁵³), which this turns into a pure
+        // gate check.
         let keep = self.model.gate_open(p.created_at)
-            && (keep_prob >= 1.0 || (keep_prob > 0.0 && self.rng.random::<f64>() < keep_prob));
+            && (self.threshold >= 1 << UNIT_BITS
+                || (self.threshold > 0
+                    && (rand::RngCore::next_u64(&mut self.rng) >> (64 - UNIT_BITS))
+                        < self.threshold));
         if keep {
             self.kept += 1;
         }
@@ -257,6 +282,80 @@ mod tests {
         for w in out.windows(2) {
             assert!(w[0].created_at <= w[1].created_at);
         }
+    }
+
+    #[test]
+    fn integer_threshold_matches_float_comparison_bit_for_bit() {
+        // The pre-threshold implementation, verbatim: an f64 unit draw
+        // compared against keep_prob, drawn only when the gate is open and
+        // the probability is non-degenerate. The integer fast path must
+        // reproduce every decision *and* every RNG consumption.
+        use rand::{Rng, RngCore};
+        struct FloatOracle {
+            model: CrossModel,
+            rng: StdRng,
+        }
+        impl FloatOracle {
+            fn select(&mut self, p: &Packet) -> bool {
+                let keep_prob = self.model.keep_prob();
+                self.model.gate_open(p.created_at)
+                    && (keep_prob >= 1.0
+                        || (keep_prob > 0.0 && self.rng.random::<f64>() < keep_prob))
+            }
+        }
+        let probs = [
+            0.0,
+            1.0,
+            0.5,
+            0.3,
+            1.0 / 3.0,
+            0.125,
+            1e-12,
+            f64::EPSILON,
+            1.0 - f64::EPSILON,
+            0.999_999_999,
+            0.637,
+        ];
+        for &keep_prob in &probs {
+            for model in [
+                CrossModel::Uniform { keep_prob },
+                CrossModel::Bursty {
+                    keep_prob,
+                    on: SimDuration::from_micros(10),
+                    off: SimDuration::from_micros(30),
+                },
+            ] {
+                for seed in [1u64, 7, 0xDEAD] {
+                    let mut fast = CrossInjector::new(model, seed);
+                    let mut oracle = FloatOracle {
+                        model,
+                        rng: StdRng::seed_from_u64(seed),
+                    };
+                    for i in 0..5_000u64 {
+                        let p = pkt(i, i * 1_237);
+                        assert_eq!(
+                            fast.select(&p),
+                            oracle.select(&p),
+                            "p={keep_prob} seed={seed} packet {i}: decision diverged"
+                        );
+                    }
+                    // Both consumed the same number of words: the streams
+                    // stay aligned for any continuation.
+                    assert_eq!(fast.rng.next_u64(), oracle.rng.next_u64());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn threshold_conversion_is_exact_at_the_edges() {
+        assert_eq!(keep_threshold(0.0), 0);
+        assert_eq!(keep_threshold(1.0), 1 << UNIT_BITS);
+        assert_eq!(keep_threshold(0.5), 1 << (UNIT_BITS - 1));
+        // Smallest draw is 0: any positive probability keeps it.
+        assert!(keep_threshold(f64::MIN_POSITIVE) >= 1);
+        // Largest draw is 2⁵³−1: only p = 1.0 keeps everything.
+        assert!(keep_threshold(1.0 - f64::EPSILON) < 1 << UNIT_BITS);
     }
 
     #[test]

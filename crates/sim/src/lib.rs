@@ -19,6 +19,10 @@
 //! * [`sched`] — the engine's event schedulers: the default bucketed
 //!   calendar queue and the original binary heap kept as differential
 //!   oracle.
+//! * [`slab`] — the free-list arena holding in-flight packet state, so the
+//!   schedulers move 8-byte `Copy` handles instead of full packets and
+//!   engine memory is O(max in-flight) (the pre-slab engine is retained as
+//!   [`EngineKind::MovingOracle`]).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -28,12 +32,14 @@ pub mod network;
 pub mod pipeline;
 pub mod queue;
 pub mod sched;
+pub mod slab;
 
 pub use crosstraffic::{calibrate_keep_prob, CrossInjector, CrossModel};
 pub use network::{
-    run_network, run_network_sched, run_network_with, Forwarder, Hop, HopEvent, HopKind, HopSink,
-    NetDelivery, Network, NetworkRun, NodeId, NullSink, Port, PortId, RouteDecision, SchedulerKind,
-    SwitchNode,
+    run_network, run_network_engine, run_network_sched, run_network_streamed,
+    run_network_streamed_sched, run_network_with, EngineKind, Forwarder, Hop, HopEvent, HopKind,
+    HopSink, NetDelivery, Network, NetworkRun, NetworkRunStats, NodeId, NullSink, Port, PortId,
+    RouteDecision, SchedulerKind, StreamedDelivery, SwitchNode,
 };
 pub use pipeline::{
     run_tandem, run_tandem_two_pass, run_tandem_with, Delivery, TandemConfig, TandemResult,
@@ -41,3 +47,4 @@ pub use pipeline::{
 };
 pub use queue::{ClassCounters, FifoQueue, QueueConfig, Verdict};
 pub use sched::{CalendarQueue, EventSchedule, HeapSchedule};
+pub use slab::{FlightState, PacketSlab, SlotId};

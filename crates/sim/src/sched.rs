@@ -50,6 +50,11 @@ pub trait EventSchedule<T> {
     fn push(&mut self, at: SimTime, item: T);
     /// Remove and return the earliest entry (smallest `(at, seq)`).
     fn pop(&mut self) -> Option<(SimTime, T)>;
+    /// Timestamp of the earliest entry without removing it (`&mut` because
+    /// the calendar queue may need to advance its cursor to find it). The
+    /// slab engine merges the time-sorted injection stream against this,
+    /// so pending injections never occupy scheduler or slab space.
+    fn peek_at(&mut self) -> Option<SimTime>;
     /// Number of scheduled entries.
     fn len(&self) -> usize;
     /// Whether the schedule is empty.
@@ -90,6 +95,10 @@ impl<T> EventSchedule<T> for HeapSchedule<T> {
         self.heap
             .pop()
             .map(|Reverse(e)| (SimTime::from_nanos(e.at), e.item))
+    }
+
+    fn peek_at(&mut self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(e)| SimTime::from_nanos(e.at))
     }
 
     fn len(&self) -> usize {
@@ -269,6 +278,13 @@ impl<T> EventSchedule<T> for CalendarQueue<T> {
         Some((SimTime::from_nanos(e.at), e.item))
     }
 
+    fn peek_at(&mut self) -> Option<SimTime> {
+        self.refill_active();
+        self.active
+            .peek()
+            .map(|Reverse(e)| SimTime::from_nanos(e.at))
+    }
+
     fn len(&self) -> usize {
         self.len
     }
@@ -346,6 +362,27 @@ mod tests {
         assert_eq!(got.len(), 43); // 3 seeds + 20 spawning pops × 2 children
         for w in got.windows(2) {
             assert!(w[0].0 <= w[1].0, "time went backwards: {w:?}");
+        }
+    }
+
+    #[test]
+    fn peek_matches_next_pop() {
+        let mut cal = CalendarQueue::new();
+        let mut heap = HeapSchedule::new();
+        assert_eq!(cal.peek_at(), None);
+        assert_eq!(heap.peek_at(), None);
+        // Spread over near buckets and the overflow path.
+        for &(t, v) in &[(900u64, 1u32), (3, 2), (5_000_000, 3), (3, 4)] {
+            cal.push(SimTime::from_nanos(t), v);
+            heap.push(SimTime::from_nanos(t), v);
+        }
+        loop {
+            let (pc, ph) = (cal.peek_at(), heap.peek_at());
+            assert_eq!(pc, ph);
+            let (c, h) = (cal.pop(), heap.pop());
+            assert_eq!(c, h);
+            let Some((at, _)) = c else { break };
+            assert_eq!(pc, Some(at), "peek must name the popped time");
         }
     }
 

@@ -1,13 +1,17 @@
 #!/usr/bin/env bash
-# Time the event-driven network engine under both schedulers — the original
-# BinaryHeap and the bucketed calendar queue — on the k=4 fat-tree incast
-# workload, and emit BENCH_network.json. The two runs are asserted
-# byte-identical by the benchmark binary itself (and pinned independently by
-# tests/scheduler_equivalence.rs + tests/network_tandem_differential.rs);
-# this script records only wall-clock.
+# Time the event-driven network engine in three configurations on the k=4
+# fat-tree incast workload — the retained PR 4 moving engine (full packet +
+# hop vector through every calendar-queue push/pop), the arena-backed slab
+# engine (state pinned in a free-list slab, 8-byte Copy handles moving),
+# and the slab engine's streamed-delivery mode (no Vec<NetDelivery> at
+# all) — and emit BENCH_network.json with wall-clock, events/sec, peak
+# in-flight slots and hop-storage allocations. The three runs are asserted
+# byte-identical by the benchmark binary itself (and pinned independently
+# by tests/slab_engine_differential.rs + tests/scheduler_equivalence.rs);
+# this script records only the numbers.
 #
 # Usage: scripts/network_bench.sh [output.json]
-# Knobs: RLIR_NETBENCH_MS    (trace duration, default 40)
+# Knobs: RLIR_NETBENCH_MS    (trace duration, default 120)
 #        RLIR_NETBENCH_REPS  (best-of, default 3)
 #        RLIR_NETBENCH_FANIN (synchronized sources, default 4)
 

@@ -1,18 +1,27 @@
-//! Output pins captured **before** the measurement-plane rewiring (PR 3).
+//! Output pins captured **before** each engine/plane rewiring.
 //!
-//! The fat-tree, asymmetric and incast harnesses were rewired from bespoke
-//! per-segment event queues onto the shared `MeasurementPlane` + `HopSink`
-//! architecture; these digests assert the rewiring is output-preserving bit
-//! for bit (f64s compared via `to_bits` inside the digest). Captured at
-//! commit 4cd9b46 with `examples/pin_digest.rs`-style folding.
+//! PR 3: the fat-tree, asymmetric and incast harnesses were rewired from
+//! bespoke per-segment event queues onto the shared `MeasurementPlane` +
+//! `HopSink` architecture; these digests assert the rewiring is
+//! output-preserving bit for bit (f64s compared via `to_bits` inside the
+//! digest). Captured at commit 4cd9b46 with `examples/pin_digest.rs`-style
+//! folding.
+//!
+//! PR 5: the scenarios were rewired onto the arena-backed slab engine —
+//! `fattree` (and transitively `incast`/`localize`) plus `drop_aware` onto
+//! streamed deliveries, `asymmetric` unchanged on the tandem — and the
+//! PR 3 digests above double as the slab-engine pins. The `localize` and
+//! `drop_aware` digests below were captured at commit 7b636b0 (the PR 4
+//! buffered engine) immediately before the swap.
 
 use rlir::experiment::{
-    run_asymmetric, run_fattree, run_incast, AsymmetricConfig, FatTreeExpConfig, IncastConfig,
+    run_asymmetric, run_drop_aware, run_fattree, run_incast, run_localize_full, AsymmetricConfig,
+    DropAwareConfig, FatTreeExpConfig, IncastConfig, LocalizeConfig,
 };
 use rlir::CoreDemux;
 use rlir_exec::SweepRunner;
 use rlir_net::time::SimDuration;
-use rlir_rli::PolicyKind;
+use rlir_rli::{EpochSnapshot, PolicyKind};
 
 fn fold(h: u64, bits: u64) -> u64 {
     h.rotate_left(7) ^ bits.wrapping_mul(0x9E37_79B9_7F4A_7C15)
@@ -91,6 +100,87 @@ fn asymmetric_outputs_match_pre_rewiring_pin() {
         h = fold(h, p.paired_flows as u64);
     }
     assert_eq!(h, 0xa8f1446e86042460, "asymmetric output drifted");
+}
+
+fn digest_epochs(h: u64, epochs: &[EpochSnapshot]) -> u64 {
+    epochs.iter().fold(h, |h, e| {
+        let h = fold(h, e.epoch);
+        let h = fold(h, e.estimated);
+        let h = fold(h, e.unestimated);
+        let h = fold(h, e.dropped_after_metering);
+        digest_f64s(h, &[e.est_mean().unwrap_or(f64::NAN)])
+    })
+}
+
+#[test]
+fn drop_aware_outputs_match_pre_slab_engine_pin() {
+    let mut cfg = DropAwareConfig::paper(31, SimDuration::from_millis(40));
+    cfg.policy = PolicyKind::Static { n: 50 };
+    cfg.offered_loads = vec![0.5, 1.1];
+    let pts = run_drop_aware(&cfg, &SweepRunner::single());
+    let mut h = 0u64;
+    for p in &pts {
+        h = fold(h, p.offered);
+        h = fold(h, p.live_metered);
+        h = fold(h, p.dropped_after_metering);
+        h = fold(h, p.peak_pending as u64);
+        h = digest_f64s(
+            h,
+            &[
+                p.downstream_loss,
+                p.upstream_loss,
+                p.live_est_mean_ns,
+                p.live_true_mean_ns,
+                p.delivered_est_mean_ns,
+                p.delivered_true_mean_ns,
+                p.survivor_bias,
+                p.live_rel_err,
+            ],
+        );
+        h = digest_epochs(h, &p.epochs);
+    }
+    assert_eq!(
+        h, 0x33c74fa91f53967e,
+        "drop_aware output drifted across the slab-engine/streamed-delivery rewiring"
+    );
+}
+
+#[test]
+fn localize_outputs_match_pre_slab_engine_pin() {
+    let mut cfg = LocalizeConfig::paper(23, SimDuration::from_millis(20));
+    cfg.base.policy = PolicyKind::Static { n: 30 };
+    cfg.utilizations = vec![0.05, 0.30];
+    cfg.trials = 2;
+    let rep = run_localize_full(&cfg, &SweepRunner::single());
+    let mut h = 0u64;
+    for p in &rep.points {
+        h = fold(h, p.trials as u64);
+        h = fold(h, p.correct as u64);
+        h = fold(h, p.flagged as u64);
+        h = fold(h, p.onsets as u64);
+        h = digest_f64s(
+            h,
+            &[p.utilization, p.accuracy, p.mean_severity, p.mean_onset_ns],
+        );
+    }
+    for t in &rep.trials {
+        h = t.victim.bytes().fold(h, |h, b| fold(h, b as u64));
+        h = t
+            .flagged
+            .as_deref()
+            .unwrap_or("-")
+            .bytes()
+            .fold(h, |h, b| fold(h, b as u64));
+        h = fold(h, t.correct as u64);
+        h = fold(h, t.segments as u64);
+        h = fold(h, t.onset_ns.map(|o| o + 1).unwrap_or(0));
+        h = digest_f64s(h, &[t.severity]);
+        h = digest_epochs(h, &t.victim_epochs);
+    }
+    assert_eq!(
+        h, 0x590db8fa9b2c21a4,
+        "localize output drifted across the slab-engine rewiring"
+    );
 }
 
 #[test]

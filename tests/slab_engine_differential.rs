@@ -1,0 +1,501 @@
+//! The arena-backed engine vs the retained moving oracle (PR 5).
+//!
+//! The slab engine pins in-flight packet state in a free-list arena and
+//! moves 8-byte `Copy` handles through the scheduler; the pre-slab engine
+//! — full packet + hop vector carried by value through every push/pop — is
+//! retained behind [`EngineKind::MovingOracle`]. These tests hold the two
+//! byte-identical where it matters:
+//!
+//! * deliveries (packet fields incl. marks, times, full hop records),
+//!   drop counters and per-port queue counters, in calm, tie-heavy and
+//!   drop-heavy regimes, under both schedulers;
+//! * the complete `HopEvent` stream **including watermark callbacks** —
+//!   the measurement plane's entire input surface;
+//! * the streamed-delivery mode against the buffered mode (same deliveries
+//!   as a time-sorted set, same drops, same queue counters);
+//!
+//! plus the properties the slab itself must uphold:
+//!
+//! * slot recycling under interleaved insert/push-hop/release never
+//!   aliases two live packets (proptest against a mirror model);
+//! * streamed-mode peak slot occupancy is O(max in-flight), not O(run) —
+//!   the engine-side mirror of PR 4's peak-pending assertion.
+
+use proptest::prelude::*;
+use rlir_net::packet::Packet;
+use rlir_net::time::{SimDuration, SimTime};
+use rlir_net::FlowKey;
+use rlir_sim::{
+    run_network_engine, run_network_streamed_sched, EngineKind, Forwarder, Hop, HopEvent, HopKind,
+    HopSink, Network, NetworkRun, NodeId, NullSink, PacketSlab, Port, PortId, QueueConfig,
+    RouteDecision, SchedulerKind,
+};
+use std::net::Ipv4Addr;
+
+fn qcfg(capacity_bytes: u64) -> QueueConfig {
+    QueueConfig {
+        rate_bps: 8_000_000_000, // 1 B/ns
+        capacity_bytes,
+        processing_delay: SimDuration::from_nanos(50),
+    }
+}
+
+fn pkt(id: u64, at_ns: u64, dport: u16) -> Packet {
+    Packet::regular(
+        id,
+        FlowKey::tcp(
+            Ipv4Addr::new(10, 0, 0, (id % 250) as u8 + 1),
+            1000 + (id % 7) as u16,
+            Ipv4Addr::new(10, 1, 0, 1),
+            dport,
+        ),
+        400 + (id % 5) as u32 * 300,
+        SimTime::from_nanos(at_ns),
+    )
+}
+
+/// A 4-switch diamond: 0 fans out to 1 or 2 by dport parity, both feed 3,
+/// which delivers via a host port. Port 666 is unroutable at node 0, and a
+/// marking hook stamps the first forwarding switch.
+fn diamond(capacity_bytes: u64) -> Network {
+    let mut net = Network::default();
+    let s0 = net.add_node("s0");
+    let s1 = net.add_node("s1");
+    let s2 = net.add_node("s2");
+    let s3 = net.add_node("s3");
+    net.add_port(
+        s0,
+        Port::to_switch(qcfg(capacity_bytes), s1, SimDuration::from_nanos(100)),
+    );
+    net.add_port(
+        s0,
+        Port::to_switch(qcfg(capacity_bytes), s2, SimDuration::from_nanos(150)),
+    );
+    net.add_port(
+        s1,
+        Port::to_switch(qcfg(capacity_bytes), s3, SimDuration::from_nanos(100)),
+    );
+    net.add_port(
+        s2,
+        Port::to_switch(qcfg(capacity_bytes), s3, SimDuration::from_nanos(100)),
+    );
+    net.add_port(
+        s3,
+        Port::to_host(qcfg(capacity_bytes), SimDuration::from_nanos(50)),
+    );
+    net
+}
+
+struct DiamondForwarder;
+
+impl Forwarder for DiamondForwarder {
+    fn route(&self, node: NodeId, p: &Packet) -> RouteDecision {
+        match node {
+            0 if p.flow.dport == 666 => RouteDecision::Drop,
+            0 => RouteDecision::Forward((p.flow.dport % 2) as usize),
+            1 | 2 => RouteDecision::Forward(0),
+            _ => RouteDecision::Forward(0), // node 3: host port
+        }
+    }
+
+    fn on_forward(&self, node: NodeId, _port: PortId, p: &mut Packet) {
+        if p.mark == 0 {
+            p.mark = node as u8 + 1;
+        }
+    }
+}
+
+/// Everything a run produced, flattened for byte-for-byte comparison.
+fn fingerprint(run: &NetworkRun) -> Vec<u64> {
+    let mut v = Vec::new();
+    for d in &run.deliveries {
+        v.extend([
+            d.packet.id.0,
+            d.packet.size as u64,
+            d.packet.mark as u64,
+            d.packet.created_at.as_nanos(),
+            d.injected_node as u64,
+            d.injected_at.as_nanos(),
+            d.delivered_node as u64,
+            d.delivered_at.as_nanos(),
+            d.hops.len() as u64,
+        ]);
+        for h in &d.hops {
+            v.extend([
+                h.node as u64,
+                h.port as u64,
+                h.arrived.as_nanos(),
+                h.departed.as_nanos(),
+            ]);
+        }
+    }
+    v.extend(run.queue_drops.iter().copied());
+    v.extend(run.route_drops.iter().copied());
+    for node in &run.network.nodes {
+        for port in &node.ports {
+            for c in [
+                port.queue.regular(),
+                port.queue.cross(),
+                port.queue.reference(),
+            ] {
+                v.extend([c.arrivals, c.drops, c.bytes]);
+            }
+        }
+    }
+    v
+}
+
+/// Record the full sink surface: every hop event (flattened) and every
+/// watermark callback, in call order.
+#[derive(Default)]
+struct RecordingSink {
+    log: Vec<u64>,
+}
+
+impl HopSink for RecordingSink {
+    fn on_hop(&mut self, ev: &HopEvent<'_>) {
+        let (kind, a, b) = match ev.kind {
+            HopKind::Arrive => (1u64, 0, 0),
+            HopKind::Enqueue { port } => (2, port as u64, 0),
+            HopKind::Dequeue { port, arrived } => (3, port as u64, arrived.as_nanos()),
+            HopKind::QueueDrop { port } => (4, port as u64, 0),
+            HopKind::RouteDrop => (5, 0, 0),
+            HopKind::Deliver => (6, 0, 0),
+        };
+        self.log.extend([
+            kind,
+            a,
+            b,
+            ev.node as u64,
+            ev.at.as_nanos(),
+            ev.packet.id.0,
+            ev.packet.mark as u64,
+            ev.injected_node as u64,
+            ev.injected_at.as_nanos(),
+            ev.hops.len() as u64,
+        ]);
+        if let Some(h) = ev.hops.last() {
+            self.log
+                .extend([h.node as u64, h.arrived.as_nanos(), h.departed.as_nanos()]);
+        }
+    }
+
+    fn on_watermark(&mut self, watermark: SimTime) {
+        self.log.extend([u64::MAX, watermark.as_nanos()]);
+    }
+}
+
+/// One test regime: name, queue capacity, injections.
+type Regime = (&'static str, u64, Vec<(NodeId, Packet)>);
+
+/// The three regimes of the tentpole's pin: calm (spread injections),
+/// tie-heavy (bursts sharing one timestamp), drop-heavy (overload against
+/// a shallow buffer + unroutable flows).
+fn regimes() -> Vec<Regime> {
+    let calm: Vec<(NodeId, Packet)> = (0..400)
+        .map(|i| (0usize, pkt(i, i * 2_000, 80 + (i % 3) as u16)))
+        .collect();
+    let ties: Vec<(NodeId, Packet)> = (0..400)
+        .map(|i| (0usize, pkt(i, (i / 40) * 1_000, 80 + (i % 3) as u16)))
+        .collect();
+    let droppy: Vec<(NodeId, Packet)> = (0..600)
+        .map(|i| {
+            let dport = if i % 13 == 0 {
+                666
+            } else {
+                80 + (i % 3) as u16
+            };
+            (0usize, pkt(i, (i / 20) * 900, dport))
+        })
+        .collect();
+    vec![
+        ("calm", 1 << 20, calm),
+        ("ties", 1 << 20, ties),
+        ("drops", 3_000, droppy),
+    ]
+}
+
+#[test]
+fn slab_and_oracle_runs_are_byte_identical() {
+    for (name, cap, inj) in regimes() {
+        for sched in [SchedulerKind::Calendar, SchedulerKind::Heap] {
+            let slab = run_network_engine(
+                diamond(cap),
+                &DiamondForwarder,
+                inj.clone(),
+                &mut NullSink,
+                sched,
+                EngineKind::Slab,
+            );
+            let oracle = run_network_engine(
+                diamond(cap),
+                &DiamondForwarder,
+                inj.clone(),
+                &mut NullSink,
+                sched,
+                EngineKind::MovingOracle,
+            );
+            assert_eq!(
+                fingerprint(&slab),
+                fingerprint(&oracle),
+                "{name}/{sched:?}: slab run diverged from the moving oracle"
+            );
+            if name == "drops" {
+                assert!(
+                    slab.queue_drops.iter().sum::<u64>() > 0,
+                    "regime not droppy"
+                );
+                assert!(slab.route_drops[0] > 0, "regime not route-droppy");
+            }
+        }
+    }
+}
+
+#[test]
+fn hop_event_and_watermark_sequences_are_byte_identical() {
+    for (name, cap, inj) in regimes() {
+        let mut slab_sink = RecordingSink::default();
+        let mut oracle_sink = RecordingSink::default();
+        run_network_engine(
+            diamond(cap),
+            &DiamondForwarder,
+            inj.clone(),
+            &mut slab_sink,
+            SchedulerKind::Calendar,
+            EngineKind::Slab,
+        );
+        run_network_engine(
+            diamond(cap),
+            &DiamondForwarder,
+            inj,
+            &mut oracle_sink,
+            SchedulerKind::Calendar,
+            EngineKind::MovingOracle,
+        );
+        assert!(!slab_sink.log.is_empty());
+        assert_eq!(
+            slab_sink.log, oracle_sink.log,
+            "{name}: hop-event/watermark sequence diverged"
+        );
+    }
+}
+
+#[test]
+fn streamed_mode_matches_buffered_mode_in_every_regime() {
+    for (name, cap, inj) in regimes() {
+        let buffered = run_network_engine(
+            diamond(cap),
+            &DiamondForwarder,
+            inj.clone(),
+            &mut NullSink,
+            SchedulerKind::Calendar,
+            EngineKind::Slab,
+        );
+        let mut streamed: Vec<rlir_sim::NetDelivery> = Vec::new();
+        let stats = run_network_streamed_sched(
+            diamond(cap),
+            &DiamondForwarder,
+            inj,
+            &mut NullSink,
+            SchedulerKind::Calendar,
+            |d| streamed.push(d.to_owned()),
+        );
+        streamed.sort_by_key(|d| (d.delivered_at, d.packet.id));
+        let as_run = NetworkRun {
+            deliveries: streamed,
+            queue_drops: stats.queue_drops.clone(),
+            route_drops: stats.route_drops.clone(),
+            network: stats.network.clone(),
+        };
+        assert_eq!(
+            fingerprint(&as_run),
+            fingerprint(&buffered),
+            "{name}: streamed deliveries diverged from the buffered mode"
+        );
+        assert_eq!(stats.delivered, buffered.deliveries.len() as u64, "{name}");
+    }
+}
+
+#[test]
+fn streamed_peak_slots_are_in_flight_bounded_not_run_bounded() {
+    // The engine-side mirror of PR 4's peak-pending assertion: a run 100×
+    // longer must not occupy more slots, because slots recycle at
+    // deliver/drop. Injections spaced wider than the end-to-end residence
+    // (~2.5 µs) keep only a handful of packets concurrently in flight.
+    let peak_of = |packets: u64| {
+        let inj: Vec<(NodeId, Packet)> = (0..packets)
+            .map(|i| (0usize, pkt(i, i * 5_000, 80 + (i % 3) as u16)))
+            .collect();
+        let stats = run_network_streamed_sched(
+            diamond(1 << 20),
+            &DiamondForwarder,
+            inj,
+            &mut NullSink,
+            SchedulerKind::Calendar,
+            |_| {},
+        );
+        assert_eq!(stats.delivered, packets);
+        (stats.peak_live_slots, stats.hop_allocations)
+    };
+    let (peak_short, allocs_short) = peak_of(100);
+    let (peak_long, allocs_long) = peak_of(10_000);
+    assert!(
+        peak_long <= peak_short.max(4),
+        "peak slots grew with run length: {peak_short} → {peak_long}"
+    );
+    assert!(
+        peak_long < 100,
+        "peak {peak_long} not bounded by concurrency"
+    );
+    // Hop storage is recycled with the slots: a 100× longer run performs
+    // no more hop allocations than the concurrency bound implies.
+    assert!(
+        allocs_long <= allocs_short.max(4 * peak_long as u64),
+        "hop allocations grew with run length: {allocs_short} → {allocs_long}"
+    );
+}
+
+#[test]
+fn streamed_overload_keeps_slots_bounded_under_drops() {
+    // Sustained 2× overload against a shallow buffer: drops recycle slots
+    // just like deliveries, so even at overload the peak tracks the
+    // (buffer-bounded) in-flight population, not the injected count.
+    let inj: Vec<(NodeId, Packet)> = (0..20_000u64)
+        .map(|i| (0usize, pkt(i, i * 350, 80 + (i % 3) as u16)))
+        .collect();
+    let stats = run_network_streamed_sched(
+        diamond(16_000),
+        &DiamondForwarder,
+        inj,
+        &mut NullSink,
+        SchedulerKind::Calendar,
+        |_| {},
+    );
+    assert!(
+        stats.queue_drops.iter().sum::<u64>() > 1_000,
+        "not overloaded: {:?}",
+        stats.queue_drops
+    );
+    assert!(
+        stats.peak_live_slots < 2_000,
+        "peak {} slots for 20000 injected under overload",
+        stats.peak_live_slots
+    );
+}
+
+// ---- slab free-list properties -----------------------------------------
+
+#[derive(Debug, Clone)]
+enum SlabOp {
+    Insert(u64),
+    /// Release the k-th live slot (mod live count).
+    Release(usize),
+    /// Push a hop onto the k-th live slot (mod live count).
+    PushHop(usize),
+}
+
+fn arb_op() -> impl Strategy<Value = SlabOp> {
+    (0u8..4, 0u64..1 << 40, 0usize..64).prop_map(|(tag, id, k)| match tag {
+        0 | 1 => SlabOp::Insert(id), // insert-biased so sequences grow
+        2 => SlabOp::Release(k),
+        _ => SlabOp::PushHop(k),
+    })
+}
+
+proptest! {
+    /// Interleaved insert/release/push-hop against a mirror model: the
+    /// slab must never hand out a slot that is still live (no aliasing),
+    /// must preserve every live slot's packet and hop record verbatim, and
+    /// its peak must equal the mirror's high-water mark.
+    #[test]
+    fn slot_recycling_never_aliases_live_packets(
+        ops in proptest::collection::vec(arb_op(), 1..300),
+    ) {
+        let mut slab = PacketSlab::new();
+        // Mirror: (slot, packet id, expected hop count), insertion-ordered.
+        let mut live: Vec<(u32, u64, usize)> = Vec::new();
+        let mut peak = 0usize;
+        for op in ops {
+            match op {
+                SlabOp::Insert(id) => {
+                    let slot = slab.insert(pkt(id, id % 9_999, 80), 0, SimTime::from_nanos(id));
+                    prop_assert!(
+                        !live.iter().any(|&(s, _, _)| s == slot),
+                        "slot {slot} handed out while still live"
+                    );
+                    prop_assert!(slab.get(slot).hops().is_empty(), "recycled slot kept hops");
+                    live.push((slot, id, 0));
+                    peak = peak.max(live.len());
+                }
+                SlabOp::Release(k) => {
+                    if live.is_empty() { continue; }
+                    let (slot, _, _) = live.remove(k % live.len());
+                    slab.release(slot);
+                    prop_assert!(!slab.is_live(slot));
+                }
+                SlabOp::PushHop(k) => {
+                    if live.is_empty() { continue; }
+                    let idx = k % live.len();
+                    let entry = &mut live[idx];
+                    slab.push_hop(entry.0, Hop {
+                        node: entry.2,
+                        port: 0,
+                        arrived: SimTime::from_nanos(entry.2 as u64),
+                        departed: SimTime::from_nanos(entry.2 as u64 + 1),
+                    });
+                    entry.2 += 1;
+                }
+            }
+            // Every live slot still holds exactly its own packet and hops.
+            for &(slot, id, hops) in &live {
+                prop_assert!(slab.is_live(slot));
+                let st = slab.get(slot);
+                prop_assert_eq!(st.packet.id.0, id, "live packet clobbered");
+                prop_assert_eq!(st.hops().len(), hops, "live hop record clobbered");
+                for (i, h) in st.hops().iter().enumerate() {
+                    prop_assert_eq!(h.node, i, "hop record reordered");
+                }
+            }
+            prop_assert_eq!(slab.live(), live.len());
+        }
+        prop_assert_eq!(slab.peak_live(), peak);
+        prop_assert!(slab.capacity() <= peak.max(1), "slab grew beyond its peak");
+    }
+
+    /// Random tie-heavy workloads through a lossy diamond: the slab engine
+    /// reproduces the moving oracle byte for byte under both schedulers.
+    #[test]
+    fn random_workloads_match_the_moving_oracle(
+        times in proptest::collection::vec(0u64..200_000, 1..250),
+        dports in proptest::collection::vec(0u16..5, 1..250),
+    ) {
+        let inj: Vec<(NodeId, Packet)> = times
+            .iter()
+            .zip(dports.iter().cycle())
+            .enumerate()
+            .map(|(i, (&t, &dp))| {
+                let dport = if dp == 4 { 666 } else { 80 + dp };
+                (0usize, pkt(i as u64, t, dport))
+            })
+            .collect();
+        for sched in [SchedulerKind::Calendar, SchedulerKind::Heap] {
+            let slab = run_network_engine(
+                diamond(6_000),
+                &DiamondForwarder,
+                inj.clone(),
+                &mut NullSink,
+                sched,
+                EngineKind::Slab,
+            );
+            let oracle = run_network_engine(
+                diamond(6_000),
+                &DiamondForwarder,
+                inj.clone(),
+                &mut NullSink,
+                sched,
+                EngineKind::MovingOracle,
+            );
+            prop_assert_eq!(fingerprint(&slab), fingerprint(&oracle));
+        }
+    }
+}
