@@ -1,0 +1,75 @@
+//! Time-to-localize vs epoch length × detector threshold.
+//!
+//! The closed-loop `faults` scenario reports detection latency at the
+//! paper-default configuration; this benchmark maps the trade-off behind
+//! it. Shorter epochs settle sooner (a settled epoch lags the watermark by
+//! two reorder windows plus the epoch itself) but carry fewer packets per
+//! segment, so they are noisier; higher CUSUM thresholds suppress false
+//! positives but accumulate evidence for longer. Each grid cell runs the
+//! full closed-loop sweep — a 400 µs switch degradation at a scripted
+//! onset, detection firing mid-run through the stop flag — and reports
+//! detections, correct localizations, false positives and mean
+//! time-to-localize, as JSON on stdout; `scripts/detect_bench.sh`
+//! captures it into `BENCH_detect.json`.
+//!
+//! Knobs: `RLIR_DETBENCH_MS` (simulated duration, default 40),
+//! `RLIR_DETBENCH_TRIALS` (victim draws per cell, default 3),
+//! `RLIR_DETBENCH_THREADS` (sweep workers, default 4).
+
+use rlir::experiment::{run_faults, FaultsConfig};
+use rlir_exec::SweepRunner;
+use rlir_net::time::SimDuration;
+
+fn env_u64(key: &str, default: u64) -> u64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let duration = SimDuration::from_millis(env_u64("RLIR_DETBENCH_MS", 40));
+    let trials = env_u64("RLIR_DETBENCH_TRIALS", 3) as usize;
+    let runner = SweepRunner::new(env_u64("RLIR_DETBENCH_THREADS", 4) as usize);
+
+    let epochs_us: [u64; 3] = [500, 1_000, 2_000];
+    let thresholds: [f64; 3] = [2.0, 4.0, 8.0];
+
+    let mut cells = Vec::new();
+    for &epoch_us in &epochs_us {
+        for &threshold in &thresholds {
+            let mut cfg = FaultsConfig::paper(0xDE7E, duration);
+            cfg.base.epoch = Some(SimDuration::from_micros(epoch_us));
+            cfg.detector.threshold = threshold;
+            cfg.utilizations = vec![0.25];
+            cfg.onsets = vec![SimDuration::from_millis(8)];
+            cfg.trials = trials;
+            let points = run_faults(&cfg, &runner);
+            let p = &points[0];
+            cells.push((epoch_us, threshold, p.clone()));
+        }
+    }
+
+    println!("{{");
+    println!(
+        "  \"bench\": \"time-to-localize vs epoch length x CUSUM threshold (k=4 fat-tree, 400 us degradation at 8 ms, {} ms sim, {} trials/cell)\",",
+        duration.as_nanos() / 1_000_000,
+        trials
+    );
+    println!("  \"cells\": [");
+    for (i, (epoch_us, threshold, p)) in cells.iter().enumerate() {
+        println!(
+            "    {{\"epoch_us\": {}, \"threshold\": {}, \"trials\": {}, \"detected\": {}, \"correct\": {}, \"false_positives\": {}, \"mean_ttl_ms\": {:.3}}}{}",
+            epoch_us,
+            threshold,
+            p.trials,
+            p.detected,
+            p.correct,
+            p.false_positives,
+            p.mean_ttl_ns / 1e6,
+            if i + 1 == cells.len() { "" } else { "," }
+        );
+    }
+    println!("  ]");
+    println!("}}");
+}

@@ -1,0 +1,163 @@
+//! Flat-memory soak harness for continuous operation.
+//!
+//! The deployment story is RLI running indefinitely on live routers, so
+//! the engine and the measurement plane must hold **O(in-flight) memory
+//! regardless of run length**: the PR 5 slab keeps `peak_live_slots`
+//! bounded by concurrent packets, and the PR 4/6 plane keeps pending
+//! observations bounded by the reorder window (plus the global
+//! `pending_budget` backstop). This binary proves it the blunt way: it
+//! runs the k = 4 fat-tree RLIR experiment (measured + background load,
+//! full tap plane, no epochs so nothing accumulates per-epoch) at a
+//! geometric ladder of simulated durations — by default 1×, 10× and 100×
+//! the 120 ms the scenarios use today — and **fails** (non-zero exit) if
+//! any peak-memory counter at a longer duration exceeds the shortest
+//! run's high-water mark by more than a slack factor. Wall-clock, event
+//! and delivery counts are reported alongside, as JSON on stdout;
+//! `scripts/soak_bench.sh` captures it into `BENCH_soak.json`.
+//!
+//! Knobs: `RLIR_SOAK_BASE_MS` (base simulated duration, default 120),
+//! `RLIR_SOAK_MULTIPLIERS` (comma list, default `1,10,100`),
+//! `RLIR_SOAK_SLACK` (allowed growth factor, default 1.5),
+//! `RLIR_SOAK_SETTLE_MS` (baseline-rung settle floor, default 25),
+//! `RLIR_SOAK_BUDGET` (global plane pending budget, default 8192).
+
+use rlir::experiment::{run_fattree_faulted, FatTreeExpConfig};
+use rlir_net::time::SimDuration;
+use std::time::Instant;
+
+fn env_u64(key: &str, default: u64) -> u64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn env_f64(key: &str, default: f64) -> f64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn multipliers() -> Vec<u64> {
+    std::env::var("RLIR_SOAK_MULTIPLIERS")
+        .ok()
+        .map(|v| v.split(',').filter_map(|m| m.trim().parse().ok()).collect())
+        .filter(|v: &Vec<u64>| !v.is_empty())
+        .unwrap_or_else(|| vec![1, 10, 100])
+}
+
+struct SoakRow {
+    multiplier: u64,
+    sim_ms: u64,
+    wall_ms: f64,
+    events: u64,
+    delivered: u64,
+    peak_live_slots: usize,
+    peak_pending_total: usize,
+    peak_pending_tap: usize,
+    shed: u64,
+    late: u64,
+}
+
+fn main() {
+    let base_ms = env_u64("RLIR_SOAK_BASE_MS", 120);
+    let slack = env_f64("RLIR_SOAK_SLACK", 1.5);
+    let budget = env_u64("RLIR_SOAK_BUDGET", 8_192) as usize;
+    let mults = multipliers();
+
+    let mut rows: Vec<SoakRow> = Vec::new();
+    for &m in &mults {
+        let sim_ms = base_ms * m;
+        let mut cfg = FatTreeExpConfig::paper(0x50AC, SimDuration::from_millis(sim_ms));
+        // No epoch aggregation: per-epoch series are output data and grow
+        // with run length by design; the soak measures what must NOT grow.
+        cfg.epoch = None;
+        // Graceful degradation under test: the peak of an *unbounded*
+        // pending buffer creeps logarithmically with run length (a longer
+        // stationary run samples rarer burst extremes), so indefinite
+        // operation needs the global budget — overflow regulars are shed
+        // at the offering tap and counted, references always admitted.
+        cfg.plane_budget = Some(budget);
+        let start = Instant::now();
+        let run = run_fattree_faulted(&cfg, None, None);
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        rows.push(SoakRow {
+            multiplier: m,
+            sim_ms,
+            wall_ms,
+            events: run.events,
+            delivered: run.delivered,
+            peak_live_slots: run.peak_live_slots,
+            peak_pending_total: run.outcome.peak_pending_total,
+            peak_pending_tap: run.outcome.peak_pending,
+            shed: run.outcome.shed,
+            late: run.outcome.late,
+        });
+    }
+
+    // Flatness gate: every longer run's peaks must stay within `slack` of
+    // the baseline rung's (plus a small absolute allowance so tiny smoke
+    // bases aren't judged on single-digit noise). The baseline is the
+    // first rung past the settle floor: pending peaks only plateau once
+    // the run comfortably exceeds the 4 ms reorder window and the flow
+    // ramp, so shorter rungs understate steady state and would flag
+    // transient fill-up as growth. Clamped so at least one comparison
+    // always happens; linear (unbounded) growth still blows through the
+    // slack on whatever pair remains.
+    let settle_ms = env_u64("RLIR_SOAK_SETTLE_MS", 25);
+    let base_idx = rows
+        .iter()
+        .position(|r| r.sim_ms >= settle_ms)
+        .unwrap_or(rows.len() - 1)
+        .min(rows.len() - 2);
+    let base = &rows[base_idx];
+    let bound = |b: usize| (b as f64 * slack) as usize + 16;
+    let mut flat = true;
+    for r in &rows[base_idx + 1..] {
+        if r.peak_live_slots > bound(base.peak_live_slots) {
+            eprintln!(
+                "FAIL: peak_live_slots grew {} -> {} at {}x",
+                base.peak_live_slots, r.peak_live_slots, r.multiplier
+            );
+            flat = false;
+        }
+        if r.peak_pending_total > bound(base.peak_pending_total) {
+            eprintln!(
+                "FAIL: peak_pending_total grew {} -> {} at {}x",
+                base.peak_pending_total, r.peak_pending_total, r.multiplier
+            );
+            flat = false;
+        }
+    }
+
+    println!("{{");
+    println!(
+        "  \"bench\": \"flat-memory soak (k=4 fat-tree RLIR plane, base {base_ms} ms, multipliers {mults:?}, pending budget {budget}, slack {slack})\","
+    );
+    println!("  \"rows\": [");
+    for (i, r) in rows.iter().enumerate() {
+        println!(
+            "    {{\"multiplier\": {}, \"sim_ms\": {}, \"wall_ms\": {:.1}, \"events\": {}, \"delivered\": {}, \"peak_live_slots\": {}, \"peak_pending_total\": {}, \"peak_pending_tap\": {}, \"shed\": {}, \"late\": {}}}{}",
+            r.multiplier,
+            r.sim_ms,
+            r.wall_ms,
+            r.events,
+            r.delivered,
+            r.peak_live_slots,
+            r.peak_pending_total,
+            r.peak_pending_tap,
+            r.shed,
+            r.late,
+            if i + 1 == rows.len() { "" } else { "," }
+        );
+    }
+    println!("  ],");
+    println!("  \"baseline_multiplier\": {},", rows[base_idx].multiplier);
+    println!("  \"flat\": {flat}");
+    println!("}}");
+
+    if !flat {
+        std::process::exit(1);
+    }
+}

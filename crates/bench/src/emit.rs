@@ -98,25 +98,42 @@ pub fn emit_demux(
 ) -> std::io::Result<()> {
     println!("== {title} ==");
     println!(
-        "  {:<14} {:>10} {:>16} {:>16} {:>12}",
-        "mode", "assoc acc", "seg1 median err", "seg2 median err", "estimates"
+        "  {:<14} {:>10} {:>16} {:>16} {:>12} {:>6} {:>6} {:>8}",
+        "mode",
+        "assoc acc",
+        "seg1 median err",
+        "seg2 median err",
+        "estimates",
+        "late",
+        "shed",
+        "pending"
     );
     for r in rows {
         println!(
-            "  {:<14} {:>9.1}% {:>15.2}% {:>15.2}% {:>12}",
+            "  {:<14} {:>9.1}% {:>15.2}% {:>15.2}% {:>12} {:>6} {:>6} {:>8}",
             r.mode,
             r.accuracy * 100.0,
             r.seg1_median_error * 100.0,
             r.seg2_median_error * 100.0,
-            r.seg2_estimates
+            r.seg2_estimates,
+            r.late,
+            r.shed,
+            r.peak_pending
         );
     }
     let csv = write_csv(
-        "mode,accuracy,seg1_median_error,seg2_median_error,seg2_estimates",
+        "mode,accuracy,seg1_median_error,seg2_median_error,seg2_estimates,late,shed,peak_pending",
         rows.iter().map(|r| {
             format!(
-                "{},{},{},{},{}",
-                r.mode, r.accuracy, r.seg1_median_error, r.seg2_median_error, r.seg2_estimates
+                "{},{},{},{},{},{},{},{}",
+                r.mode,
+                r.accuracy,
+                r.seg1_median_error,
+                r.seg2_median_error,
+                r.seg2_estimates,
+                r.late,
+                r.shed,
+                r.peak_pending
             )
         }),
     );

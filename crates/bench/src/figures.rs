@@ -337,6 +337,12 @@ pub struct DemuxRow {
     pub seg2_median_error: f64,
     /// Per-packet estimates produced on segment 2.
     pub seg2_estimates: u64,
+    /// Observations arriving after their reorder window flushed, all taps.
+    pub late: u64,
+    /// Regular observations shed by tap buffer caps / the plane budget.
+    pub shed: u64,
+    /// Highest per-tap buffered-observation high-water mark.
+    pub peak_pending: usize,
     /// Segment-2 per-epoch series (merged across receivers).
     pub seg2_epochs: Vec<rlir_rli::EpochSnapshot>,
 }
@@ -380,6 +386,9 @@ pub fn demux_ablation(scale: &Scale, runner: &SweepRunner) -> Vec<DemuxRow> {
                 seg1_median_error: med(&out.seg1_errors),
                 seg2_median_error: med(&out.seg2_errors),
                 seg2_estimates: out.seg2_flows.estimate_count(),
+                late: out.late,
+                shed: out.shed,
+                peak_pending: out.peak_pending,
                 seg2_epochs: out.seg2_epochs,
             }
         })

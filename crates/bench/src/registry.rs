@@ -17,8 +17,8 @@ use crate::figures::{
 use crate::output::{write_csv, OutputDir};
 use crate::scale::Scale;
 use rlir::experiment::{
-    run_asymmetric, run_drop_aware, run_incast, run_localize_full, AsymmetricConfig,
-    DropAwareConfig, IncastConfig, LocalizeConfig, LossSweepConfig,
+    run_asymmetric, run_drop_aware, run_faults, run_incast, run_localize_full, AsymmetricConfig,
+    DropAwareConfig, FaultsConfig, IncastConfig, LocalizeConfig, LossSweepConfig,
 };
 use rlir_exec::ScenarioRegistry;
 use rlir_rli::PolicyKind;
@@ -369,6 +369,52 @@ pub fn build_registry() -> ScenarioRegistry<RunContext> {
     );
 
     reg.register(
+        "faults",
+        "NEW: closed-loop robustness sweep — mid-run switch degradation, online detection, time-to-localize + false positives",
+        |ctx, runner| {
+            let cfg = FaultsConfig::paper(ctx.scale.base_seed, ctx.scale.fattree_duration);
+            let points = run_faults(&cfg, runner);
+            println!(
+                "== faults: {} degradation switching on mid-run, detected online ==",
+                cfg.extra_processing
+            );
+            println!(
+                "  {:>11} {:>9} {:>7} {:>9} {:>8} {:>7} {:>12}",
+                "background", "onset ms", "trials", "detected", "correct", "false+", "mean TTL ms"
+            );
+            for p in &points {
+                println!(
+                    "  {:>10.0}% {:>9.1} {:>7} {:>9} {:>8} {:>7} {:>12.2}",
+                    p.utilization * 100.0,
+                    p.onset_ns as f64 / 1e6,
+                    p.trials,
+                    p.detected,
+                    p.correct,
+                    p.false_positives,
+                    p.mean_ttl_ns / 1e6
+                );
+            }
+            let csv = write_csv(
+                "utilization,onset_ns,trials,detected,correct,false_positives,mean_ttl_ns",
+                points.iter().map(|p| {
+                    format!(
+                        "{},{},{},{},{},{},{}",
+                        p.utilization,
+                        p.onset_ns,
+                        p.trials,
+                        p.detected,
+                        p.correct,
+                        p.false_positives,
+                        p.mean_ttl_ns
+                    )
+                }),
+            );
+            ctx.out.write("scenario_faults.csv", &csv)?;
+            Ok(())
+        },
+    );
+
+    reg.register(
         "interference",
         "Fig. 5 with seed averaging and both policies (the full figure)",
         |ctx, runner| {
@@ -446,6 +492,7 @@ mod tests {
             "incast",
             "localize",
             "drop_aware",
+            "faults",
         ] {
             assert!(names.contains(&required), "missing scenario {required}");
         }

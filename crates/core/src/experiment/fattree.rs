@@ -19,6 +19,7 @@
 
 use crate::demux::{CoreDemux, RlirDemux};
 use crate::deployment::{Deployment, CORE_SENDER_BASE};
+use crate::detect::{ClosedLoopSink, Detection, DetectorConfig};
 use crate::fabric::{build_network, FatTreeFabric};
 use crate::localization::SegmentObservation;
 use crate::plane::{DrainMode, MeasurementPlane, PlaneConfig, TapPoint, TapSpec, TruthRef};
@@ -28,7 +29,10 @@ use rlir_net::packet::{Packet, ReferenceInfo, SenderId};
 use rlir_net::time::{SimDuration, SimTime};
 use rlir_net::{FlowKey, HashAlgo};
 use rlir_rli::{merge_epoch_series, EpochSnapshot, FlowTable, PolicyKind, RliSender};
-use rlir_sim::{run_network_streamed, NullSink, QueueConfig};
+use rlir_sim::{
+    run_network_streamed_opts, FaultScript, NullSink, QueueConfig, RunOptions, StopFlag,
+    StreamedDelivery,
+};
 use rlir_topo::{FatTree, Role, TopoId};
 use serde::{Deserialize, Serialize};
 
@@ -96,6 +100,12 @@ pub struct FatTreeExpConfig {
     /// Run the plane's pre-streaming buffered-sort drain (the differential
     /// oracle) instead of the default streaming path. Testing only.
     pub buffered_oracle: bool,
+    /// Global plane pending-observation budget
+    /// ([`PlaneConfig::pending_budget`]): graceful degradation under
+    /// memory pressure for continuous operation. `None` (the default)
+    /// leaves only the per-tap caps.
+    #[serde(default)]
+    pub plane_budget: Option<usize>,
 }
 
 impl FatTreeExpConfig {
@@ -120,6 +130,7 @@ impl FatTreeExpConfig {
             min_flow_packets: 1,
             epoch: Some(SimDuration::from_millis(5)),
             buffered_oracle: false,
+            plane_budget: None,
         }
     }
 
@@ -178,6 +189,12 @@ pub struct FatTreeOutcome {
     /// Observations that arrived after their reorder window was flushed
     /// (0 when the window covers the workload's reordering, as it must).
     pub late: u64,
+    /// Regular observations shed across every tap (per-tap caps plus the
+    /// global [`FatTreeExpConfig::plane_budget`]).
+    pub shed: u64,
+    /// High-water mark of pending observations summed across all taps —
+    /// the quantity the plane budget bounds.
+    pub peak_pending_total: usize,
 }
 
 impl FatTreeOutcome {
@@ -265,8 +282,45 @@ pub fn background_injections(cfg: &FatTreeExpConfig, tree: &FatTree) -> Vec<(Top
     injections
 }
 
+/// Outcome of a closed-loop (fault-bearing) fat-tree run: the usual
+/// outcome plus the online detector's verdict and the engine's
+/// fault/memory accounting from phase 2.
+#[derive(Debug, Clone)]
+pub struct ClosedLoopOutcome {
+    /// The measurement outcome — truncated at the detection point when the
+    /// detector fired (the run stops; that is the point).
+    pub outcome: FatTreeOutcome,
+    /// The online alarm, if one fired.
+    pub detection: Option<Detection>,
+    /// Packets killed by the fault script in phase 2 (loss bursts +
+    /// blackholes).
+    pub fault_drops: u64,
+    /// Engine in-flight high-water mark of phase 2 — the soak harness's
+    /// flat-memory witness.
+    pub peak_live_slots: usize,
+    /// Scheduler events processed in phase 2.
+    pub events: u64,
+    /// Packets delivered in phase 2.
+    pub delivered: u64,
+}
+
 /// Run the experiment.
 pub fn run_fattree(cfg: &FatTreeExpConfig) -> FatTreeOutcome {
+    run_fattree_faulted(cfg, None, None).outcome
+}
+
+/// [`run_fattree`] with a mid-run [`FaultScript`] applied inside **both**
+/// simulation phases (the fabric is faulted, so the phase-1 crossing
+/// schedules see the same network the measurement phase does) and an
+/// optional closed-loop online detector watching phase 2. When the
+/// detector fires it raises the engine's stop flag, so the run halts at
+/// the detection watermark — time-to-localize is measured online, not by
+/// post-hoc replay. With `None`/`None` this is exactly [`run_fattree`].
+pub fn run_fattree_faulted(
+    cfg: &FatTreeExpConfig,
+    faults: Option<&FaultScript>,
+    detector: Option<&DetectorConfig>,
+) -> ClosedLoopOutcome {
     let tree = FatTree::new(cfg.k, cfg.hash);
     let half = tree.half();
     let dst_tor = cfg.dst_tor(&tree);
@@ -338,11 +392,15 @@ pub fn run_fattree(cfg: &FatTreeExpConfig) -> FatTreeOutcome {
     // are sorted before use below, so the callback's processing order
     // (vs the buffered run's delivery-time order) is immaterial.
     let mut crossings: FxHashMap<TopoId, Vec<(SimTime, u32)>> = FxHashMap::default();
-    run_network_streamed(
+    run_network_streamed_opts(
         build_network(&tree, cfg.queue, cfg.link_delay, &overrides),
         &fabric,
         injections.clone(),
         &mut NullSink,
+        RunOptions {
+            faults,
+            ..RunOptions::default()
+        },
         |d| {
             if !d.packet.is_regular() {
                 return;
@@ -392,51 +450,80 @@ pub fn run_fattree(cfg: &FatTreeExpConfig) -> FatTreeOutcome {
     let mut demux_correct = 0u64;
     let mut demux_unassociated = 0u64;
     let mut measured_delivered = 0u64;
-    run_network_streamed(
-        build_network(&tree, cfg.queue, cfg.link_delay, &overrides),
-        &fabric,
-        injections,
-        &mut plane,
-        |d| {
-            if d.packet.reference_info().is_some()
-                || !d.packet.is_regular()
-                || d.delivered_node != dst_tor
-                || measured_src(&demux, &deployment, &d.packet.flow).is_none()
-            {
-                return;
-            }
-            let Some(core_hop) = d
-                .hops
-                .iter()
-                .find(|h| matches!(tree.node(h.node).role, Role::Core { .. }))
-            else {
-                return; // intra-pod: not covered by this deployment
-            };
-            measured_delivered += 1;
-            demux_total += 1;
-            match demux.traversed_core(d.packet) {
-                Some(c) if c == core_hop.node => demux_correct += 1,
-                Some(_) => {}
-                None => demux_unassociated += 1,
-            }
-        },
-    );
+    let mut on_delivery = |d: &StreamedDelivery<'_>| {
+        if d.packet.reference_info().is_some()
+            || !d.packet.is_regular()
+            || d.delivered_node != dst_tor
+            || measured_src(&demux, &deployment, &d.packet.flow).is_none()
+        {
+            return;
+        }
+        let Some(core_hop) = d
+            .hops
+            .iter()
+            .find(|h| matches!(tree.node(h.node).role, Role::Core { .. }))
+        else {
+            return; // intra-pod: not covered by this deployment
+        };
+        measured_delivered += 1;
+        demux_total += 1;
+        match demux.traversed_core(d.packet) {
+            Some(c) if c == core_hop.node => demux_correct += 1,
+            Some(_) => {}
+            None => demux_unassociated += 1,
+        }
+    };
+    let phase2_net = build_network(&tree, cfg.queue, cfg.link_delay, &overrides);
+    let stop = StopFlag::new();
+    let opts = RunOptions {
+        faults,
+        stop: detector.is_some().then_some(&stop),
+        ..RunOptions::default()
+    };
+    let (stats, detection) = match detector {
+        Some(dc) => {
+            let mut sink = ClosedLoopSink::new(&mut plane, *dc, stop.clone());
+            let stats = run_network_streamed_opts(
+                phase2_net,
+                &fabric,
+                injections,
+                &mut sink,
+                opts,
+                &mut on_delivery,
+            );
+            (stats, sink.into_detection())
+        }
+        None => {
+            let stats = run_network_streamed_opts(
+                phase2_net,
+                &fabric,
+                injections,
+                &mut plane,
+                opts,
+                &mut on_delivery,
+            );
+            (stats, None)
+        }
+    };
 
     // Fold tap reports into the per-segment outcome.
     let report = plane.finish();
     let epoch_ns = report.epoch_ns;
+    let peak_pending_total = report.peak_pending_total;
     let mut seg1_flows = FlowTable::new();
     let mut seg2_flows = FlowTable::new();
     let mut segments = Vec::new();
     let mut segment_epochs = Vec::new();
     let mut peak_pending = 0usize;
     let mut late = 0u64;
+    let mut shed = 0u64;
     for (i, tap) in report.taps.into_iter().enumerate() {
         if let Some(seg) = tap.segment() {
             segments.push(seg);
         }
         peak_pending = peak_pending.max(tap.peak_pending);
         late += tap.late;
+        shed += tap.shed;
         if epoch_ns.is_some() {
             segment_epochs.push((tap.name, tap.report.epochs));
         }
@@ -460,23 +547,32 @@ pub fn run_fattree(cfg: &FatTreeExpConfig) -> FatTreeOutcome {
 
     let seg1_errors = seg1_flows.mean_relative_errors(cfg.min_flow_packets);
     let seg2_errors = seg2_flows.mean_relative_errors(cfg.min_flow_packets);
-    FatTreeOutcome {
-        seg1_flows,
-        seg2_flows,
-        seg1_errors,
-        seg2_errors,
-        demux_total,
-        demux_correct,
-        demux_unassociated,
-        segments,
-        measured_delivered,
-        refs_emitted: (refs_tor, refs_core),
-        segment_epochs,
-        seg1_epochs,
-        seg2_epochs,
-        epoch_ns,
-        peak_pending,
-        late,
+    ClosedLoopOutcome {
+        outcome: FatTreeOutcome {
+            seg1_flows,
+            seg2_flows,
+            seg1_errors,
+            seg2_errors,
+            demux_total,
+            demux_correct,
+            demux_unassociated,
+            segments,
+            measured_delivered,
+            refs_emitted: (refs_tor, refs_core),
+            segment_epochs,
+            seg1_epochs,
+            seg2_epochs,
+            epoch_ns,
+            peak_pending,
+            late,
+            shed,
+            peak_pending_total,
+        },
+        detection,
+        fault_drops: stats.fault_drops,
+        peak_live_slots: stats.peak_live_slots,
+        events: stats.events,
+        delivered: stats.delivered,
     }
 }
 
@@ -516,6 +612,7 @@ fn attach_rlir_taps<'a>(
             DrainMode::default()
         },
         epoch: cfg.epoch,
+        pending_budget: cfg.plane_budget,
     });
 
     let seg1_keys: Vec<(TopoId, SenderId)> = if naive {

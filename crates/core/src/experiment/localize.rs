@@ -131,8 +131,13 @@ pub fn victim_pool(cfg: &FatTreeExpConfig, tree: &FatTree) -> Vec<TopoId> {
 }
 
 /// Segment names whose path traverses `victim`, for this deployment's
-/// segment structure (see module docs).
-fn expected_segments(cfg: &FatTreeExpConfig, tree: &FatTree, victim: TopoId) -> Vec<String> {
+/// segment structure (see module docs). Shared with the closed-loop
+/// `faults` sweep, which scores its online detections the same way.
+pub(crate) fn expected_segments(
+    cfg: &FatTreeExpConfig,
+    tree: &FatTree,
+    victim: TopoId,
+) -> Vec<String> {
     let half = tree.half();
     let dst_tor = cfg.dst_tor(tree);
     let dst_pod = cfg.k - 1;

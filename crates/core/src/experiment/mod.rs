@@ -22,10 +22,15 @@
 //!   per epoch, so findings carry onset times.
 //! * [`drop_aware`] — live (non-delivered-gated) taps on a loss-heavy
 //!   path: estimator behaviour when the packets it metered die downstream.
+//! * [`faults`] — the closed-loop robustness sweep: mid-run switch
+//!   degradation at scripted onsets, detected online with engine
+//!   termination; reports time-to-localize and false positives over
+//!   onset × background load.
 
 pub mod asymmetric;
 pub mod drop_aware;
 pub mod fattree;
+pub mod faults;
 pub mod incast;
 pub mod localize;
 pub mod loss_sweep;
@@ -36,9 +41,10 @@ pub use asymmetric::{
 };
 pub use drop_aware::{run_drop_aware, DropAwareConfig, DropAwarePoint, DropAwareSweep};
 pub use fattree::{
-    background_injections, measured_traces, run_fattree, run_fattree_sweep, CoreAnomaly,
-    FatTreeExpConfig, FatTreeOutcome, FatTreeSweep, SwitchAnomaly,
+    background_injections, measured_traces, run_fattree, run_fattree_faulted, run_fattree_sweep,
+    ClosedLoopOutcome, CoreAnomaly, FatTreeExpConfig, FatTreeOutcome, FatTreeSweep, SwitchAnomaly,
 };
+pub use faults::{run_faults, FaultsConfig, FaultsPoint, FaultsSweep, FaultsTrial};
 pub use incast::{run_incast, IncastConfig, IncastPoint, IncastSweep};
 pub use localize::{
     run_localize, run_localize_full, victim_pool, LocalizeConfig, LocalizePoint, LocalizeReport,

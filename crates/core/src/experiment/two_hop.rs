@@ -280,6 +280,7 @@ pub fn run_two_hop_on(cfg: &TwoHopConfig, regular: &Trace, cross: &Trace) -> Two
             DrainMode::default()
         },
         epoch: cfg.epoch,
+        ..PlaneConfig::default()
     });
     let mut tap = TapSpec::new("sw2-egress", TapPoint::Delivery(TANDEM_SW2), SenderId(1));
     tap.truth = TruthRef::SinceInjection;

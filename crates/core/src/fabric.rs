@@ -9,7 +9,7 @@
 use crate::demux::core_mark;
 use rlir_net::packet::Packet;
 use rlir_net::time::SimDuration;
-use rlir_sim::{Forwarder, Network, NodeId, Port, PortId, QueueConfig, RouteDecision};
+use rlir_sim::{DeadPorts, Forwarder, Network, NodeId, Port, PortId, QueueConfig, RouteDecision};
 use rlir_topo::{FatTree, NextHop, PortTarget, Role, TopoId};
 
 /// Build the simulator network for a fat-tree. Simulator node ids equal
@@ -75,6 +75,35 @@ impl Forwarder for FatTreeFabric<'_> {
         {
             packet.mark = core_mark(self.tree, node);
         }
+    }
+
+    /// Fault-plane reroute: the fat-tree's path diversity is exactly its
+    /// two upward ECMP decisions, so a dead *uplink* falls over to the
+    /// next live sibling of the same `k/2` hashed set (scanning from the
+    /// hash's choice keeps the fallback deterministic). Downward and
+    /// host-facing links have a unique next hop — a dead one blackholes,
+    /// which the engine accounts as a route drop.
+    fn reroute(
+        &self,
+        node: NodeId,
+        _packet: &Packet,
+        chosen: PortId,
+        dead: &DeadPorts<'_>,
+    ) -> RouteDecision {
+        let half = self.tree.half();
+        let (lo, hi) = match self.tree.node(node).role {
+            Role::Tor { .. } if chosen < half => (0, half),
+            Role::Agg { .. } if (half..2 * half).contains(&chosen) => (half, 2 * half),
+            _ => return RouteDecision::Drop,
+        };
+        let span = hi - lo;
+        for k in 1..span {
+            let p = lo + (chosen - lo + k) % span;
+            if !dead.is_dead(p) {
+                return RouteDecision::Forward(p);
+            }
+        }
+        RouteDecision::Drop
     }
 }
 
@@ -170,6 +199,90 @@ mod tests {
         let d0 = base.deliveries[0].true_delay().as_nanos();
         let d1 = slowed.deliveries[0].true_delay().as_nanos();
         assert_eq!(d1 - d0, 500_000, "anomaly must add exactly 500 µs");
+    }
+
+    #[test]
+    fn dead_tor_uplink_reroutes_over_ecmp_sibling() {
+        use rlir_sim::fault::{FaultEvent, FaultKind, FaultScript};
+        use rlir_sim::{run_network_streamed_opts, NullSink, RunOptions};
+        let t = tree();
+        let (src, dst) = (t.tor(0, 0), t.tor(3, 1));
+        // Find a flow whose first upward choice is ToR port 0, then kill
+        // that uplink: its ECMP sibling (port 1 at k=4) must absorb it.
+        let f = (0..64u16)
+            .map(|sport| flow(&t, src, dst, sport))
+            .find(|f| t.node(src).hash.select(f, t.half()) == 0)
+            .expect("some flow hashes to uplink 0");
+        let inj: Vec<(usize, Packet)> = (0..20)
+            .map(|i| {
+                (
+                    src,
+                    Packet::regular(i, f, 1000, SimTime::from_nanos(i * 50_000)),
+                )
+            })
+            .collect();
+        let script = FaultScript::new(vec![FaultEvent {
+            at: SimTime::from_nanos(500_000),
+            kind: FaultKind::LinkDown { node: src, port: 0 },
+        }]);
+        let fabric = FatTreeFabric::new(&t, false);
+        let mut first_aggs: Vec<usize> = Vec::new();
+        let stats = run_network_streamed_opts(
+            build_network(&t, qcfg(), SimDuration::from_nanos(100), &[]),
+            &fabric,
+            inj,
+            &mut NullSink,
+            RunOptions {
+                faults: Some(&script),
+                ..RunOptions::default()
+            },
+            |d| first_aggs.push(d.hops[1].node),
+        );
+        assert_eq!(stats.delivered, 20, "sibling uplink must absorb the fault");
+        assert_eq!(stats.fault_drops, 0);
+        let (a0, a1) = (t.agg(0, 0), t.agg(0, 1));
+        assert!(first_aggs.contains(&a0) && first_aggs.contains(&a1));
+    }
+
+    #[test]
+    fn dead_downlink_blackholes_with_drop_accounting() {
+        use rlir_sim::fault::{FaultEvent, FaultKind, FaultScript};
+        use rlir_sim::{run_network_streamed_opts, NullSink, RunOptions};
+        let t = tree();
+        let (src, dst) = (t.tor(0, 0), t.tor(3, 1));
+        let f = flow(&t, src, dst, 777);
+        let core = t.core_of_path(&f).unwrap();
+        // The core's downlink to pod 3 has no equal-cost alternative.
+        let script = FaultScript::new(vec![FaultEvent {
+            at: SimTime::ZERO,
+            kind: FaultKind::LinkDown {
+                node: core,
+                port: 3,
+            },
+        }]);
+        let inj: Vec<(usize, Packet)> = (0..5)
+            .map(|i| {
+                (
+                    src,
+                    Packet::regular(i, f, 1000, SimTime::from_nanos(i * 10_000)),
+                )
+            })
+            .collect();
+        let fabric = FatTreeFabric::new(&t, false);
+        let stats = run_network_streamed_opts(
+            build_network(&t, qcfg(), SimDuration::from_nanos(100), &[]),
+            &fabric,
+            inj,
+            &mut NullSink,
+            RunOptions {
+                faults: Some(&script),
+                ..RunOptions::default()
+            },
+            |_| {},
+        );
+        assert_eq!(stats.delivered, 0);
+        assert_eq!(stats.fault_drops, 5);
+        assert_eq!(stats.route_drops[core], 5);
     }
 
     #[test]

@@ -9,6 +9,9 @@
 //!   identification by IP prefix matching (upstream) and traversed-core
 //!   identification by ToS packet marking or reverse-ECMP computation
 //!   (downstream), plus the naive no-association ablation.
+//! * [`detect`] — the closed-loop online detector: CUSUM/EWMA change
+//!   detection over the plane's settled epochs, with an engine-termination
+//!   hook so time-to-localize is measured mid-run.
 //! * [`deployment`] — instance placement and reference-stream engineering
 //!   ("each sender sends reference packets to all intermediate receivers").
 //! * [`fabric`] — materialises the fat-tree on the event-driven simulator,
@@ -40,6 +43,7 @@
 
 pub mod demux;
 pub mod deployment;
+pub mod detect;
 pub mod experiment;
 pub mod fabric;
 pub mod localization;
@@ -48,6 +52,7 @@ pub mod windowed;
 
 pub use demux::{core_from_mark, core_mark, CoreDemux, RlirDemux};
 pub use deployment::{engineer_ref_key, CoreSenderSpec, Deployment, TorSenderSpec};
+pub use detect::{ClosedLoopSink, Detection, DetectorConfig, EpochDetector};
 pub use fabric::{build_network, FatTreeFabric};
 pub use localization::{localize, AnomalyFinding, LocalizerConfig, SegmentObservation};
 pub use plane::{

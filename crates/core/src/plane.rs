@@ -188,6 +188,17 @@ pub struct PlaneConfig {
     /// per-epoch [`EpochSnapshot`]s and the report carries per-tap latency
     /// time-series. `None` keeps whole-run aggregates only.
     pub epoch: Option<SimDuration>,
+    /// Global pending-observation budget across **all** taps — the plane's
+    /// graceful-degradation knob for continuous operation. When the total
+    /// number of buffered observations reaches the budget, further regular
+    /// observations are shed at the offering tap (counted in
+    /// [`TapReport::shed`] and as unestimated in the receiver's books,
+    /// exactly like the per-tap [`TapSpec::max_buffer`] cap); references
+    /// are still admitted, so estimation quality degrades instead of
+    /// collapsing. `None` (the default) leaves only the per-tap caps.
+    /// Applies to [`DrainMode::Streaming`]; the buffered-sort oracle is
+    /// O(run) by design and ignores it.
+    pub pending_budget: Option<usize>,
 }
 
 impl PlaneConfig {
@@ -322,6 +333,15 @@ impl TapState<'_> {
     }
 }
 
+/// Plane-wide pending-observation accounting (streaming drain only): the
+/// live total across every tap's reorder window, and its high-water mark —
+/// what the global [`PlaneConfig::pending_budget`] bounds.
+#[derive(Debug, Clone, Copy, Default)]
+struct PendingTotals {
+    pending: usize,
+    peak: usize,
+}
+
 /// Final output of one tap.
 pub struct TapReport {
     /// The tap's name.
@@ -392,6 +412,12 @@ pub struct PlaneReport {
     pub taps: Vec<TapReport>,
     /// The epoch width the plane ran with, ns.
     pub epoch_ns: Option<u64>,
+    /// High-water mark of pending observations summed across **all** taps
+    /// (streaming drain only; zero under the buffered-sort oracle) — the
+    /// quantity [`PlaneConfig::pending_budget`] bounds, and the soak
+    /// harness's flat-memory witness alongside the engine's
+    /// `peak_live_slots`.
+    pub peak_pending_total: usize,
 }
 
 impl PlaneReport {
@@ -426,6 +452,12 @@ impl PlaneReport {
     /// the streaming refactor bounds to O(reorder window).
     pub fn max_peak_pending(&self) -> usize {
         self.taps.iter().map(|t| t.peak_pending).max().unwrap_or(0)
+    }
+
+    /// Regular observations shed across every tap (per-tap caps plus the
+    /// global [`PlaneConfig::pending_budget`]).
+    pub fn total_shed(&self) -> u64 {
+        self.taps.iter().map(|t| t.shed).sum()
     }
 }
 
@@ -503,6 +535,8 @@ pub struct MeasurementPlane<'a> {
     /// (half-window granularity: keeps the per-event cost at one branch
     /// while bounding pending growth to 1.5 windows).
     next_flush: SimTime,
+    /// Plane-wide pending accounting for the global budget.
+    totals: PendingTotals,
 }
 
 impl<'a> MeasurementPlane<'a> {
@@ -563,6 +597,13 @@ impl<'a> MeasurementPlane<'a> {
         self.taps.len()
     }
 
+    /// Name of tap `idx` (attachment order) — lets streaming consumers
+    /// (e.g. an online detector) label findings without waiting for
+    /// [`MeasurementPlane::finish`].
+    pub fn tap_name(&self, idx: usize) -> &str {
+        &self.taps[idx].spec.name
+    }
+
     /// The per-epoch snapshots tap `idx` has produced *so far* — a
     /// streaming consumer can read the series mid-run, before
     /// [`MeasurementPlane::finish`].
@@ -613,12 +654,14 @@ impl<'a> MeasurementPlane<'a> {
     /// tie-break key `(tie, id)`.
     fn observe(
         taps: &mut [TapState<'a>],
-        drain: DrainMode,
+        cfg: PlaneConfig,
+        totals: &mut PendingTotals,
         idx: usize,
         at: SimTime,
         tie: u64,
         ev: &HopEvent<'_>,
     ) {
+        let drain = cfg.drain;
         let tap = &mut taps[idx];
         let payload = match ev.packet.reference_info() {
             Some(info) => {
@@ -667,11 +710,15 @@ impl<'a> MeasurementPlane<'a> {
                     tap.late += 1;
                     return;
                 }
-                if tap.window.len() >= tap.spec.max_buffer {
+                let over_budget = cfg
+                    .pending_budget
+                    .is_some_and(|budget| totals.pending >= budget);
+                if tap.window.len() >= tap.spec.max_buffer || over_budget {
                     if let Payload::Regular { .. } = payload {
-                        // Per-window cap: shed the observation but keep the
-                        // books honest — it was seen at the point and will
-                        // never be estimated.
+                        // Per-window cap or exhausted global budget: shed
+                        // the observation but keep the books honest — it
+                        // was seen at the point and will never be
+                        // estimated.
                         tap.shed += 1;
                         tap.rx.on_shed(at);
                         return;
@@ -682,6 +729,10 @@ impl<'a> MeasurementPlane<'a> {
                     key: (at, tie, ev.packet.id.0),
                     payload,
                 }));
+                totals.pending += 1;
+                if totals.pending > totals.peak {
+                    totals.peak = totals.pending;
+                }
                 let len = tap.window.len();
                 tap.note_pending(len);
             }
@@ -695,12 +746,13 @@ impl<'a> MeasurementPlane<'a> {
 
     /// Pop-and-feed every pending observation strictly below `bound`, in
     /// `(at, tie, id)` order.
-    fn flush_tap(tap: &mut TapState<'a>, bound: SimTime) {
+    fn flush_tap(tap: &mut TapState<'a>, totals: &mut PendingTotals, bound: SimTime) {
         while let Some(Reverse(top)) = tap.window.peek() {
             if top.key.0 >= bound {
                 break;
             }
             let Reverse(obs) = tap.window.pop().expect("peeked");
+            totals.pending = totals.pending.saturating_sub(1);
             feed(&mut tap.rx, obs.key.0, &obs.payload);
         }
         if bound > tap.flushed_to {
@@ -720,6 +772,7 @@ impl<'a> MeasurementPlane<'a> {
     /// Drain every tap (deterministic order) and finish every receiver.
     pub fn finish(self) -> PlaneReport {
         let epoch_ns = self.cfg.epoch_ns();
+        let peak_pending_total = self.totals.peak;
         let taps = self
             .taps
             .into_iter()
@@ -765,7 +818,11 @@ impl<'a> MeasurementPlane<'a> {
                 }
             })
             .collect();
-        PlaneReport { taps, epoch_ns }
+        PlaneReport {
+            taps,
+            epoch_ns,
+            peak_pending_total,
+        }
     }
 }
 
@@ -792,7 +849,7 @@ impl HopSink for MeasurementPlane<'_> {
         );
         for tap in &mut self.taps {
             if !tap.spec.ordered {
-                Self::flush_tap(tap, bound);
+                Self::flush_tap(tap, &mut self.totals, bound);
             }
         }
         self.next_flush = watermark + SimDuration::from_nanos(reorder_window.as_nanos() / 2 + 1);
@@ -809,7 +866,15 @@ impl HopSink for MeasurementPlane<'_> {
                 for i in 0..self.taps.len() {
                     let spec = &self.taps[i].spec;
                     if !spec.delivered_only && spec.point == TapPoint::NodeArrival(ev.node) {
-                        Self::observe(&mut self.taps, self.cfg.drain, i, ev.at, tie, ev);
+                        Self::observe(
+                            &mut self.taps,
+                            self.cfg,
+                            &mut self.totals,
+                            i,
+                            ev.at,
+                            tie,
+                            ev,
+                        );
                     }
                 }
             }
@@ -823,7 +888,15 @@ impl HopSink for MeasurementPlane<'_> {
                     let spec = &self.taps[i].spec;
                     if !spec.delivered_only && spec.point == TapPoint::PortDeparture(ev.node, port)
                     {
-                        Self::observe(&mut self.taps, self.cfg.drain, i, ev.at, tie, ev);
+                        Self::observe(
+                            &mut self.taps,
+                            self.cfg,
+                            &mut self.totals,
+                            i,
+                            ev.at,
+                            tie,
+                            ev,
+                        );
                     }
                 }
             }
@@ -844,7 +917,15 @@ impl HopSink for MeasurementPlane<'_> {
                         _ => None,
                     };
                     if let Some(at) = at {
-                        Self::observe(&mut self.taps, self.cfg.drain, i, at, delivered, ev);
+                        Self::observe(
+                            &mut self.taps,
+                            self.cfg,
+                            &mut self.totals,
+                            i,
+                            at,
+                            delivered,
+                            ev,
+                        );
                     }
                 }
             }
@@ -1031,7 +1112,11 @@ mod tests {
         // Observations arrive out of delivery order (as Deliver events do);
         // the drain must reorder by (at, delivered, id) — in both modes.
         for drain in [DrainMode::default(), DrainMode::BufferedSort] {
-            let mut plane = MeasurementPlane::with_config(PlaneConfig { drain, epoch: None });
+            let mut plane = MeasurementPlane::with_config(PlaneConfig {
+                drain,
+                epoch: None,
+                ..PlaneConfig::default()
+            });
             let mut spec = TapSpec::new("mid", TapPoint::NodeArrival(1), SenderId(1));
             spec.truth = TruthRef::NoTruth;
             spec.delivered_only = true;
@@ -1126,6 +1211,7 @@ mod tests {
                 reorder_window: SimDuration::from_nanos(500),
             },
             epoch: Some(SimDuration::from_nanos(1_000)),
+            ..PlaneConfig::default()
         });
         let idx = plane.attach(TapSpec::new("live", TapPoint::NodeArrival(0), SenderId(1)));
         let r0 = Packet::reference(1, fk(9), SenderId(1), 0, SimTime::ZERO);
@@ -1153,6 +1239,7 @@ mod tests {
                 reorder_window: SimDuration::from_nanos(10),
             },
             epoch: None,
+            ..PlaneConfig::default()
         });
         let mut spec = TapSpec::new("mid", TapPoint::NodeArrival(1), SenderId(1));
         spec.delivered_only = true;
@@ -1177,6 +1264,7 @@ mod tests {
         let mut plane = MeasurementPlane::with_config(PlaneConfig {
             drain: DrainMode::default(),
             epoch: Some(SimDuration::from_nanos(100)),
+            ..PlaneConfig::default()
         });
         let mut spec = TapSpec::new("capped", TapPoint::NodeArrival(0), SenderId(1));
         spec.max_buffer = 2;
@@ -1210,6 +1298,7 @@ mod tests {
         let mut plane = MeasurementPlane::with_config(PlaneConfig {
             drain: DrainMode::default(),
             epoch: Some(SimDuration::from_nanos(1_000)),
+            ..PlaneConfig::default()
         });
         plane.attach(TapSpec::new("live", TapPoint::NodeArrival(0), SenderId(1)));
         let r0 = Packet::reference(1, fk(9), SenderId(1), 0, SimTime::ZERO);
@@ -1258,6 +1347,7 @@ mod tests {
         let mut plane = MeasurementPlane::with_config(PlaneConfig {
             drain: DrainMode::default(),
             epoch: Some(SimDuration::from_nanos(10_000)),
+            ..PlaneConfig::default()
         });
         for (name, node) in [("good-a", 2usize), ("good-b", 3), ("bad", 4)] {
             let mut spec = TapSpec::new(name, TapPoint::Delivery(node), SenderId(1));

@@ -23,11 +23,17 @@
 //!   schedulers move 8-byte `Copy` handles instead of full packets and
 //!   engine memory is O(max in-flight) (the pre-slab engine is retained as
 //!   [`EngineKind::MovingOracle`]).
+//! * [`fault`] — deterministic mid-run fault injection (link
+//!   failure/recovery, switch service-time degradation, loss bursts) plus
+//!   the cooperative [`StopFlag`] termination hook closed-loop detectors
+//!   raise; an empty [`FaultScript`] is byte-identical to a fault-free
+//!   run.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod crosstraffic;
+pub mod fault;
 pub mod network;
 pub mod pipeline;
 pub mod queue;
@@ -35,11 +41,12 @@ pub mod sched;
 pub mod slab;
 
 pub use crosstraffic::{calibrate_keep_prob, CrossInjector, CrossModel};
+pub use fault::{DeadPorts, FaultEvent, FaultKind, FaultScript, StopFlag};
 pub use network::{
     run_network, run_network_engine, run_network_sched, run_network_streamed,
-    run_network_streamed_sched, run_network_with, EngineKind, Forwarder, Hop, HopEvent, HopKind,
-    HopSink, NetDelivery, Network, NetworkRun, NetworkRunStats, NodeId, NullSink, Port, PortId,
-    RouteDecision, SchedulerKind, StreamedDelivery, SwitchNode,
+    run_network_streamed_opts, run_network_streamed_sched, run_network_with, EngineKind, Forwarder,
+    Hop, HopEvent, HopKind, HopSink, NetDelivery, Network, NetworkRun, NetworkRunStats, NodeId,
+    NullSink, Port, PortId, RouteDecision, RunOptions, SchedulerKind, StreamedDelivery, SwitchNode,
 };
 pub use pipeline::{
     run_tandem, run_tandem_two_pass, run_tandem_with, Delivery, TandemConfig, TandemResult,

@@ -47,6 +47,7 @@
 //! plane-driven run holds *no* per-delivery state at all and returns a
 //! bounded [`NetworkRunStats`].
 
+use crate::fault::{DeadPorts, FaultScript, FaultState, StopFlag};
 use crate::queue::{FifoQueue, QueueConfig, Verdict};
 use crate::sched::{CalendarQueue, EventSchedule, HeapSchedule};
 use crate::slab::{PacketSlab, SlotId};
@@ -150,6 +151,26 @@ pub trait Forwarder {
     /// packet-marking demultiplexer stamps the ToS byte here (§3.1).
     fn on_forward(&self, node: NodeId, port: PortId, packet: &mut Packet) {
         let _ = (node, port, packet);
+    }
+
+    /// The forwarder's chosen egress `chosen` is administratively dead
+    /// (fault plane, see [`crate::fault`]): pick an alternative.
+    ///
+    /// A topology-aware forwarder returns `Forward` of a live ECMP
+    /// sibling (consult `dead`); the default — and the honest answer
+    /// wherever no equal-cost alternative exists, e.g. the unique
+    /// downward path of a fat-tree — is [`RouteDecision::Drop`], which
+    /// the engine accounts as a route drop (blackhole). Returning a port
+    /// that is itself dead is treated as `Drop`.
+    fn reroute(
+        &self,
+        node: NodeId,
+        packet: &Packet,
+        chosen: PortId,
+        dead: &DeadPorts<'_>,
+    ) -> RouteDecision {
+        let _ = (node, packet, chosen, dead);
+        RouteDecision::Drop
     }
 }
 
@@ -420,6 +441,10 @@ pub struct NetworkRunStats {
     /// Hop-storage (re)allocations over the whole run; amortized O(max
     /// in-flight) thanks to slot recycling.
     pub hop_allocations: u64,
+    /// Packets dropped *because of* an injected fault (loss-burst deaths
+    /// and dead-link blackholes) — a subset of the route drops. Zero for
+    /// runs without a [`FaultScript`].
+    pub fault_drops: u64,
     /// The network with final queue states (counters).
     pub network: Network,
 }
@@ -493,9 +518,17 @@ pub fn run_network_engine(
         EngineKind::MovingOracle => run_moving(network, forwarder, injections, sink, scheduler),
         EngineKind::Slab => {
             let mut deliveries: Vec<NetDelivery> = Vec::new();
-            let stats = run_slab(network, forwarder, injections, sink, scheduler, &mut |d| {
-                deliveries.push(d.to_owned())
-            });
+            let stats = run_slab(
+                network,
+                forwarder,
+                injections,
+                sink,
+                RunOptions {
+                    scheduler,
+                    ..RunOptions::default()
+                },
+                &mut |d| deliveries.push(d.to_owned()),
+            );
             deliveries.sort_by_key(|d| (d.delivered_at, d.packet.id));
             NetworkRun {
                 deliveries,
@@ -545,9 +578,42 @@ pub fn run_network_streamed_sched(
         forwarder,
         injections,
         sink,
-        scheduler,
+        RunOptions {
+            scheduler,
+            ..RunOptions::default()
+        },
         &mut on_delivery,
     )
+}
+
+/// Run-shaping options for [`run_network_streamed_opts`] — the
+/// full-featured slab-engine entry the robustness scenarios use.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunOptions<'a> {
+    /// Event scheduler (see [`SchedulerKind`]).
+    pub scheduler: SchedulerKind,
+    /// Timed fault script applied as the clock advances. `None` — and an
+    /// empty script — are byte-identical to today's fault-free runs.
+    pub faults: Option<&'a FaultScript>,
+    /// Cooperative termination hook: when raised (typically by an online
+    /// detector inside `sink`), the loop stops before its next event.
+    pub stop: Option<&'a StopFlag>,
+}
+
+/// [`run_network_streamed`] with explicit [`RunOptions`]: scheduler
+/// choice, mid-run fault injection and an early-termination hook. With
+/// default options this is exactly [`run_network_streamed`]. Fault
+/// injection is a slab-engine feature; the retained
+/// [`EngineKind::MovingOracle`] stays fault-free.
+pub fn run_network_streamed_opts(
+    network: Network,
+    forwarder: &impl Forwarder,
+    injections: impl IntoIterator<Item = (NodeId, Packet)>,
+    sink: &mut impl HopSink,
+    opts: RunOptions<'_>,
+    mut on_delivery: impl FnMut(&StreamedDelivery<'_>),
+) -> NetworkRunStats {
+    run_slab(network, forwarder, injections, sink, opts, &mut on_delivery)
 }
 
 /// Slab-engine entry: sort the injections by injection time (stable, so
@@ -563,7 +629,7 @@ fn run_slab(
     forwarder: &impl Forwarder,
     injections: impl IntoIterator<Item = (NodeId, Packet)>,
     sink: &mut impl HopSink,
-    scheduler: SchedulerKind,
+    opts: RunOptions<'_>,
     on_delivery: &mut impl FnMut(&StreamedDelivery<'_>),
 ) -> NetworkRunStats {
     let n = network.nodes.len();
@@ -572,7 +638,7 @@ fn run_slab(
         assert!(*node < n, "injection at unknown node {node}");
     }
     injections.sort_by_key(|(_, p)| p.created_at);
-    match scheduler {
+    match opts.scheduler {
         SchedulerKind::Calendar => {
             let span = match (injections.first(), injections.last()) {
                 (Some((_, first)), Some((_, last))) => {
@@ -581,14 +647,30 @@ fn run_slab(
                 _ => 0,
             };
             let sched = CalendarQueue::for_spacing(span, injections.len());
-            drive_slab(network, forwarder, injections, sink, sched, on_delivery)
+            drive_slab(
+                network,
+                forwarder,
+                injections,
+                sink,
+                sched,
+                opts,
+                on_delivery,
+            )
         }
         SchedulerKind::CalendarFixed {
             bucket_ns_log2,
             buckets_log2,
         } => {
             let sched = CalendarQueue::with_geometry(bucket_ns_log2, buckets_log2);
-            drive_slab(network, forwarder, injections, sink, sched, on_delivery)
+            drive_slab(
+                network,
+                forwarder,
+                injections,
+                sink,
+                sched,
+                opts,
+                on_delivery,
+            )
         }
         SchedulerKind::Heap => drive_slab(
             network,
@@ -596,6 +678,7 @@ fn run_slab(
             injections,
             sink,
             HeapSchedule::new(),
+            opts,
             on_delivery,
         ),
     }
@@ -614,6 +697,10 @@ struct SlabEngine<'a, F, S, D> {
     delivered: u64,
     events: u64,
     watermark: Option<SimTime>,
+    /// Live fault state; `None` for fault-free runs, whose per-event cost
+    /// is a skipped `Option` check (pinned byte-identical to the
+    /// pre-fault engine).
+    faults: Option<FaultState<'a>>,
 }
 
 impl<F: Forwarder, S: HopSink, D: FnMut(&StreamedDelivery<'_>)> SlabEngine<'_, F, S, D> {
@@ -644,12 +731,52 @@ impl<F: Forwarder, S: HopSink, D: FnMut(&StreamedDelivery<'_>)> SlabEngine<'_, F
         schedule: &mut impl EventSchedule<SlotEvent>,
     ) {
         self.events += 1;
+        if let Some(fs) = self.faults.as_mut() {
+            fs.advance(at, &mut self.network);
+        }
         if self.watermark.is_none_or(|w| at > w) {
             self.sink.on_watermark(at);
             self.watermark = Some(at);
         }
         self.emit(HopKind::Arrive, node, at, slot);
-        match self.forwarder.route(node, &self.slab.get(slot).packet) {
+        if self.faults.as_ref().is_some_and(|f| f.lossy(node)) {
+            // Loss burst: the packet dies here, accounted exactly like a
+            // route drop so drop-aware taps see it.
+            if let Some(fs) = self.faults.as_mut() {
+                fs.fault_drops += 1;
+            }
+            self.route_drops[node] += 1;
+            self.emit(HopKind::RouteDrop, node, at, slot);
+            self.slab.release(slot);
+            return;
+        }
+        let mut decision = self.forwarder.route(node, &self.slab.get(slot).packet);
+        let mut blackholed = false;
+        if let (RouteDecision::Forward(chosen), Some(fs)) = (decision, self.faults.as_ref()) {
+            if fs.is_dead(node, chosen) {
+                let dead = fs.dead_ports(node);
+                decision =
+                    match self
+                        .forwarder
+                        .reroute(node, &self.slab.get(slot).packet, chosen, &dead)
+                    {
+                        RouteDecision::Forward(alt) if !fs.is_dead(node, alt) => {
+                            RouteDecision::Forward(alt)
+                        }
+                        RouteDecision::Deliver => RouteDecision::Deliver,
+                        _ => {
+                            blackholed = true;
+                            RouteDecision::Drop
+                        }
+                    };
+            }
+        }
+        if blackholed {
+            if let Some(fs) = self.faults.as_mut() {
+                fs.fault_drops += 1;
+            }
+        }
+        match decision {
             RouteDecision::Drop => {
                 self.route_drops[node] += 1;
                 self.emit(HopKind::RouteDrop, node, at, slot);
@@ -739,6 +866,7 @@ fn drive_slab<F: Forwarder, S: HopSink, D: FnMut(&StreamedDelivery<'_>)>(
     injections: Vec<(NodeId, Packet)>,
     sink: &mut S,
     mut schedule: impl EventSchedule<SlotEvent>,
+    opts: RunOptions<'_>,
     on_delivery: &mut D,
 ) -> NetworkRunStats {
     let n = network.nodes.len();
@@ -753,9 +881,13 @@ fn drive_slab<F: Forwarder, S: HopSink, D: FnMut(&StreamedDelivery<'_>)>(
         delivered: 0,
         events: 0,
         watermark: None,
+        faults: opts.faults.map(FaultState::new),
     };
     let mut next = 0usize;
     loop {
+        if opts.stop.is_some_and(StopFlag::is_set) {
+            break;
+        }
         let due = match (injections.get(next), schedule.peek_at()) {
             (Some((_, p)), Some(head)) => p.created_at <= head,
             (Some(_), None) => true,
@@ -782,6 +914,7 @@ fn drive_slab<F: Forwarder, S: HopSink, D: FnMut(&StreamedDelivery<'_>)>(
         events: eng.events,
         peak_live_slots: eng.slab.peak_live(),
         hop_allocations: eng.slab.hop_allocations(),
+        fault_drops: eng.faults.map_or(0, |f| f.fault_drops),
         network: eng.network,
     }
 }
@@ -1447,6 +1580,291 @@ mod tests {
             stats.hop_allocations
         );
         assert!(stats.events >= 3 * 5_000, "arrivals at 3 switches");
+    }
+
+    use crate::fault::{FaultEvent, FaultKind};
+
+    /// The watermark-contract sink shared by the fault-regime tests:
+    /// strictly increasing marks, no event behind the current mark.
+    struct WatermarkCheck {
+        marks: Vec<u64>,
+        current: u64,
+        violations: usize,
+    }
+
+    impl WatermarkCheck {
+        fn new() -> Self {
+            WatermarkCheck {
+                marks: Vec::new(),
+                current: 0,
+                violations: 0,
+            }
+        }
+
+        fn assert_contract(&self) {
+            assert!(!self.marks.is_empty());
+            for w in self.marks.windows(2) {
+                assert!(w[0] < w[1], "watermark not strictly increasing: {w:?}");
+            }
+            assert_eq!(self.violations, 0, "events ran behind the watermark");
+        }
+    }
+
+    impl HopSink for WatermarkCheck {
+        fn on_hop(&mut self, ev: &HopEvent<'_>) {
+            if ev.at.as_nanos() < self.current {
+                self.violations += 1;
+            }
+        }
+        fn on_watermark(&mut self, watermark: SimTime) {
+            self.marks.push(watermark.as_nanos());
+            self.current = watermark.as_nanos();
+        }
+    }
+
+    #[test]
+    fn empty_fault_script_is_byte_identical() {
+        let inj: Vec<(NodeId, Packet)> = (0..300)
+            .map(|i| (0usize, pkt(i, (i / 5) * 700, 80)))
+            .collect();
+        let plain = run_network(line(3, 100), &LineForwarder { last: 2 }, inj.clone());
+        let script = FaultScript::empty();
+        let mut deliveries: Vec<NetDelivery> = Vec::new();
+        let stats = run_network_streamed_opts(
+            line(3, 100),
+            &LineForwarder { last: 2 },
+            inj,
+            &mut NullSink,
+            RunOptions {
+                faults: Some(&script),
+                ..RunOptions::default()
+            },
+            |d| deliveries.push(d.to_owned()),
+        );
+        deliveries.sort_by_key(|d| (d.delivered_at, d.packet.id));
+        assert_eq!(run_fingerprint(&plain).0.len(), deliveries.len());
+        for (a, b) in plain.deliveries.iter().zip(&deliveries) {
+            assert_eq!(a.packet.id, b.packet.id);
+            assert_eq!(a.delivered_at, b.delivered_at);
+            assert_eq!(a.hops, b.hops);
+        }
+        assert_eq!(stats.queue_drops, plain.queue_drops);
+        assert_eq!(stats.route_drops, plain.route_drops);
+        assert_eq!(stats.fault_drops, 0);
+    }
+
+    #[test]
+    fn loss_burst_drops_only_inside_window_and_keeps_watermarks_monotone() {
+        // 100 packets, 1 every 1000 ns; burst at node 1 covers arrivals
+        // whose node-1 arrival time lands in [20_000, 40_000).
+        let inj: Vec<(NodeId, Packet)> = (0..100).map(|i| (0usize, pkt(i, i * 1000, 80))).collect();
+        let script = FaultScript::new(vec![
+            FaultEvent {
+                at: SimTime::from_nanos(20_000),
+                kind: FaultKind::LossBurstStart { node: 1 },
+            },
+            FaultEvent {
+                at: SimTime::from_nanos(40_000),
+                kind: FaultKind::LossBurstEnd { node: 1 },
+            },
+        ]);
+        let mut sink = WatermarkCheck::new();
+        let mut delivered_ids: Vec<u64> = Vec::new();
+        let stats = run_network_streamed_opts(
+            line(3, 100),
+            &LineForwarder { last: 2 },
+            inj,
+            &mut sink,
+            RunOptions {
+                faults: Some(&script),
+                ..RunOptions::default()
+            },
+            |d| delivered_ids.push(d.packet.id.0),
+        );
+        sink.assert_contract();
+        assert!(stats.fault_drops > 0, "burst killed nobody");
+        assert_eq!(stats.route_drops[1], stats.fault_drops);
+        assert_eq!(stats.delivered + stats.fault_drops, 100);
+        // Deaths are contiguous in injection order (fixed per-hop delay):
+        // exactly one id gap, of exactly the burst's width.
+        delivered_ids.sort_unstable();
+        let gaps: Vec<u64> = delivered_ids
+            .windows(2)
+            .map(|w| w[1] - w[0] - 1)
+            .filter(|&g| g > 0)
+            .collect();
+        assert_eq!(gaps, vec![stats.fault_drops]);
+    }
+
+    #[test]
+    fn link_failure_blackholes_then_recovery_restores_and_watermarks_hold() {
+        let inj: Vec<(NodeId, Packet)> = (0..100).map(|i| (0usize, pkt(i, i * 1500, 80))).collect();
+        // Node 1's only egress (port 0) dies and later recovers; the line
+        // forwarder knows no alternative, so the default reroute
+        // blackholes — counted as route drops at node 1.
+        let script = FaultScript::new(vec![
+            FaultEvent {
+                at: SimTime::from_nanos(30_000),
+                kind: FaultKind::LinkDown { node: 1, port: 0 },
+            },
+            FaultEvent {
+                at: SimTime::from_nanos(60_000),
+                kind: FaultKind::LinkUp { node: 1, port: 0 },
+            },
+        ]);
+        let mut sink = WatermarkCheck::new();
+        let mut delivered = 0u64;
+        let stats = run_network_streamed_opts(
+            line(3, 100),
+            &LineForwarder { last: 2 },
+            inj,
+            &mut sink,
+            RunOptions {
+                faults: Some(&script),
+                ..RunOptions::default()
+            },
+            |_| delivered += 1,
+        );
+        sink.assert_contract();
+        assert!(stats.fault_drops > 0, "dead link dropped nobody");
+        assert_eq!(stats.route_drops[1], stats.fault_drops);
+        assert_eq!(delivered + stats.fault_drops, 100);
+        assert!(delivered > 50, "recovery should restore most deliveries");
+    }
+
+    #[test]
+    fn reroute_hook_diverts_to_live_ecmp_sibling() {
+        // A diamond: node 0 has two equal ports to nodes 1 and 2, both of
+        // which forward to 3. The forwarder always picks port 0; reroute
+        // falls over to port 1 when it is dead.
+        let build = || {
+            let mut net = Network::default();
+            let s = net.add_node("s");
+            let a = net.add_node("a");
+            let b = net.add_node("b");
+            let t = net.add_node("t");
+            net.add_port(s, Port::to_switch(qcfg(), a, SimDuration::from_nanos(10)));
+            net.add_port(s, Port::to_switch(qcfg(), b, SimDuration::from_nanos(10)));
+            net.add_port(a, Port::to_switch(qcfg(), t, SimDuration::from_nanos(10)));
+            net.add_port(b, Port::to_switch(qcfg(), t, SimDuration::from_nanos(10)));
+            net
+        };
+        struct Ecmp;
+        impl Forwarder for Ecmp {
+            fn route(&self, node: NodeId, _p: &Packet) -> RouteDecision {
+                if node == 3 {
+                    RouteDecision::Deliver
+                } else {
+                    RouteDecision::Forward(0)
+                }
+            }
+            fn reroute(
+                &self,
+                node: NodeId,
+                _p: &Packet,
+                chosen: PortId,
+                dead: &crate::fault::DeadPorts<'_>,
+            ) -> RouteDecision {
+                // Node 0 has an equal-cost sibling; elsewhere, blackhole.
+                if node == 0 && chosen == 0 && !dead.is_dead(1) {
+                    RouteDecision::Forward(1)
+                } else {
+                    RouteDecision::Drop
+                }
+            }
+        }
+        let inj: Vec<(NodeId, Packet)> = (0..40).map(|i| (0usize, pkt(i, i * 2000, 80))).collect();
+        let script = FaultScript::new(vec![FaultEvent {
+            at: SimTime::from_nanos(20_000),
+            kind: FaultKind::LinkDown { node: 0, port: 0 },
+        }]);
+        let mut via: Vec<usize> = Vec::new();
+        let stats = run_network_streamed_opts(
+            build(),
+            &Ecmp,
+            inj,
+            &mut NullSink,
+            RunOptions {
+                faults: Some(&script),
+                ..RunOptions::default()
+            },
+            |d| via.push(d.hops[1].node),
+        );
+        assert_eq!(stats.delivered, 40, "ECMP sibling must absorb the fault");
+        assert_eq!(stats.fault_drops, 0);
+        assert!(
+            via.contains(&1) && via.contains(&2),
+            "both paths used: {via:?}"
+        );
+    }
+
+    #[test]
+    fn slow_switch_onset_and_clearance_shift_delays() {
+        // One packet before onset, one during degradation, one after
+        // clearance; spacing large enough that queues idle in between.
+        let inj = vec![
+            (0usize, pkt(1, 0, 80)),
+            (0usize, pkt(2, 100_000, 80)),
+            (0usize, pkt(3, 200_000, 80)),
+        ];
+        let extra = SimDuration::from_nanos(5_000);
+        let script = FaultScript::new(vec![
+            FaultEvent {
+                at: SimTime::from_nanos(50_000),
+                kind: FaultKind::SlowSwitch { node: 1, extra },
+            },
+            FaultEvent {
+                at: SimTime::from_nanos(150_000),
+                kind: FaultKind::ClearSwitch { node: 1 },
+            },
+        ]);
+        let mut delays: Vec<u64> = Vec::new();
+        run_network_streamed_opts(
+            line(3, 100),
+            &LineForwarder { last: 2 },
+            inj,
+            &mut NullSink,
+            RunOptions {
+                faults: Some(&script),
+                ..RunOptions::default()
+            },
+            |d| delays.push(d.true_delay().as_nanos()),
+        );
+        delays.sort_unstable();
+        assert_eq!(delays.len(), 3);
+        assert_eq!(delays[0], delays[1], "pre-onset and post-clear identical");
+        assert_eq!(
+            delays[2],
+            delays[0] + extra.as_nanos(),
+            "degradation adds exactly the scripted extra at the one slowed hop"
+        );
+    }
+
+    #[test]
+    fn stop_flag_halts_the_run_early() {
+        let inj: Vec<(NodeId, Packet)> = (0..100).map(|i| (0usize, pkt(i, i * 1000, 80))).collect();
+        let stop = StopFlag::new();
+        let raise_at = SimTime::from_nanos(50_000);
+        let handle = stop.clone();
+        let mut sink = move |ev: &HopEvent<'_>| {
+            if ev.at >= raise_at {
+                handle.request_stop();
+            }
+        };
+        let stats = run_network_streamed_opts(
+            line(3, 100),
+            &LineForwarder { last: 2 },
+            inj,
+            &mut sink,
+            RunOptions {
+                stop: Some(&stop),
+                ..RunOptions::default()
+            },
+            |_| {},
+        );
+        assert!(stats.delivered < 100, "run should have stopped early");
+        assert!(stats.delivered > 10, "but not immediately");
+        assert!(stop.is_set());
     }
 
     #[test]

@@ -136,6 +136,14 @@ impl FifoQueue {
         &self.cfg
     }
 
+    /// Change the per-packet processing delay mid-run — the fault plane's
+    /// switch-degradation knob. Safe at any point between offers: the
+    /// memoized transmission times depend only on the rate, and the
+    /// processing delay is read fresh on every [`Self::offer`].
+    pub fn set_processing_delay(&mut self, delay: SimDuration) {
+        self.cfg.processing_delay = delay;
+    }
+
     /// Exact transmission time of `size` bytes, memoized per size.
     #[inline]
     fn tx_ns(&mut self, size: u32) -> SimDuration {

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Time-to-localize bench: run the closed-loop faults sweep (mid-run switch
+# degradation, online CUSUM/EWMA detection, stop-flag termination) over a
+# grid of epoch lengths x detector thresholds and emit BENCH_detect.json —
+# the detection-latency counterpart of the accuracy scenarios. For each
+# cell the binary reports detections, correct localizations, false
+# positives, and mean time-to-localize (detection watermark - fault
+# onset), so the epoch-length/threshold trade-off is a recorded artifact
+# rather than folklore.
+#
+# Usage: scripts/detect_bench.sh [output.json]
+# Knobs: RLIR_DETBENCH_MS      (simulated duration, default 40)
+#        RLIR_DETBENCH_TRIALS  (victim draws per cell, default 3)
+#        RLIR_DETBENCH_THREADS (sweep workers, default 4)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_detect.json}"
+
+cargo build --release -p rlir-bench --bin detect_bench
+target/release/detect_bench > "$OUT"
+echo "wrote $OUT:"
+cat "$OUT"

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Flat-memory soak: run the k=4 fat-tree RLIR experiment (full tap plane,
+# no per-epoch aggregation) at 1x/10x/100x the scenarios' 120 ms simulated
+# duration and emit BENCH_soak.json with wall-clock, event counts, and the
+# two peak-memory counters that must NOT grow with run length —
+# NetworkRunStats::peak_live_slots (slab in-flight high-water mark) and
+# the plane's peak pending observations (reorder-window buffering, capped
+# by the global pending budget). The binary itself exits non-zero if a
+# longer run's peaks exceed the shortest run's by more than the slack
+# factor, so CI fails on any memory-vs-duration growth.
+#
+# Usage: scripts/soak_bench.sh [output.json]
+# Knobs: RLIR_SOAK_BASE_MS     (base simulated duration, default 120)
+#        RLIR_SOAK_MULTIPLIERS (comma list, default 1,10,100)
+#        RLIR_SOAK_SLACK       (allowed growth factor, default 1.5)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_soak.json}"
+
+cargo build --release -p rlir-bench --bin soak_bench
+target/release/soak_bench > "$OUT"
+echo "wrote $OUT:"
+cat "$OUT"

@@ -9,8 +9,8 @@
 //! `to_bits`, so even a ULP of scheduling-dependent drift fails.
 
 use rlir::experiment::{
-    run_asymmetric, run_drop_aware, run_localize, run_loss_sweep_on, AsymmetricConfig,
-    DropAwareConfig, LocalizeConfig, LossPoint, LossSweepConfig, TwoHopConfig,
+    run_asymmetric, run_drop_aware, run_faults, run_localize, run_loss_sweep_on, AsymmetricConfig,
+    DropAwareConfig, FaultsConfig, LocalizeConfig, LossPoint, LossSweepConfig, TwoHopConfig,
 };
 use rlir_exec::SweepRunner;
 use rlir_net::time::SimDuration;
@@ -131,6 +131,33 @@ fn drop_aware_sweep_is_thread_count_invariant() {
                     b.est_mean().unwrap_or(f64::NAN).to_bits()
                 );
             }
+        }
+    }
+}
+
+#[test]
+fn faults_sweep_is_thread_count_invariant() {
+    // The closed-loop sweep adds a twist: detection *truncates* each run
+    // via the stop flag, so the engine-event counts — and therefore the
+    // detection watermarks behind every TTL — must themselves be
+    // reproduced bit-for-bit regardless of worker count.
+    let mut cfg = FaultsConfig::paper(31, SimDuration::from_millis(20));
+    cfg.base.policy = PolicyKind::Static { n: 30 };
+    cfg.utilizations = vec![0.05, 0.2];
+    cfg.onsets = vec![SimDuration::from_millis(4)];
+    cfg.trials = 2;
+    let one = run_faults(&cfg, &SweepRunner::single());
+    for threads in [2, 4] {
+        let many = run_faults(&cfg, &SweepRunner::new(threads));
+        assert_eq!(one.len(), many.len());
+        for (x, y) in one.iter().zip(&many) {
+            assert_eq!(x.utilization.to_bits(), y.utilization.to_bits());
+            assert_eq!(x.onset_ns, y.onset_ns);
+            assert_eq!(
+                (x.trials, x.detected, x.correct, x.false_positives),
+                (y.trials, y.detected, y.correct, y.false_positives)
+            );
+            assert_eq!(x.mean_ttl_ns.to_bits(), y.mean_ttl_ns.to_bits());
         }
     }
 }
