@@ -2,7 +2,7 @@
 //! registered scenarios by name.
 //!
 //! ```text
-//! experiments <command> [--threads N]
+//! experiments <command> [--threads N] [--shards N]
 //!
 //!   list        list the registered scenarios (for `run`)
 //!   run <name>  run one registered scenario through the shared SweepRunner
@@ -20,7 +20,10 @@
 //! ```
 //!
 //! `--threads N` sizes the sweep worker pool (default: `RLIR_THREADS`, else
-//! available parallelism); results are byte-identical for any N. Scale via
+//! available parallelism); `--shards N` runs the fat-tree scenarios
+//! (`fattree`, `faults`, `demux`) on the pod-sharded engine (default:
+//! `RLIR_SHARDS`, else the sequential engine). Results are byte-identical
+//! for any thread or shard count. Scale via
 //! `RLIR_SCALE={quick,default,full}`, `RLIR_DURATION_MS`, `RLIR_SEEDS`,
 //! `RLIR_SEED`; output directory via `RLIR_RESULTS_DIR` (default
 //! `results/`). CSV series are written per curve.
@@ -33,9 +36,10 @@ use rlir_bench::{
 };
 use rlir_exec::SweepRunner;
 
-const HELP: &str = "experiments <list|run <name>|fig4a|fig4b|fig4c|fig5|placement|demux|interp|sync|baselines|quantiles|localize|all> [--threads N]
+const HELP: &str = "experiments <list|run <name>|fig4a|fig4b|fig4c|fig5|placement|demux|interp|sync|baselines|quantiles|localize|all> [--threads N] [--shards N]
 Scale: RLIR_SCALE={quick,default,full} RLIR_DURATION_MS=<ms> RLIR_SEEDS=<n> RLIR_SEED=<n>
 Threads: --threads N (default RLIR_THREADS, else available parallelism)
+Shards: --shards N pod-sharded fat-tree engine (default RLIR_SHARDS, else sequential; byte-identical for any N)
 Output: RLIR_RESULTS_DIR=<dir> (default results/)";
 
 fn emit_accuracy_figure(
@@ -253,6 +257,7 @@ fn main() -> std::io::Result<()> {
     // Split `--threads N` out of the positional arguments.
     let mut positional: Vec<String> = Vec::new();
     let mut threads: Option<usize> = None;
+    let mut shards: Option<usize> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -265,6 +270,17 @@ fn main() -> std::io::Result<()> {
                         std::process::exit(2);
                     });
                 threads = Some(n);
+            }
+            "--shards" => {
+                let n = args
+                    .next()
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| {
+                        eprintln!("--shards needs a positive integer\n{HELP}");
+                        std::process::exit(2);
+                    });
+                shards = Some(n);
             }
             "--help" | "-h" => {
                 println!("{HELP}");
@@ -299,16 +315,20 @@ fn main() -> std::io::Result<()> {
         return Ok(());
     }
 
-    let scale = Scale::from_env();
+    let mut scale = Scale::from_env();
+    if shards.is_some() {
+        scale.shards = shards;
+    }
     let out = OutputDir::from_env()?;
     eprintln!(
-        "scale: accuracy {} | interference {} | fat-tree {} | seeds {} | base seed {} | threads {}",
+        "scale: accuracy {} | interference {} | fat-tree {} | seeds {} | base seed {} | threads {} | shards {}",
         scale.accuracy_duration,
         scale.interference_duration,
         scale.fattree_duration,
         scale.seeds,
         scale.base_seed,
-        runner.threads()
+        runner.threads(),
+        scale.shards.map_or("seq".to_string(), |n| n.to_string()),
     );
 
     if cmd == "run" {

@@ -372,7 +372,8 @@ pub fn build_registry() -> ScenarioRegistry<RunContext> {
         "faults",
         "NEW: closed-loop robustness sweep — mid-run switch degradation, online detection, time-to-localize + false positives",
         |ctx, runner| {
-            let cfg = FaultsConfig::paper(ctx.scale.base_seed, ctx.scale.fattree_duration);
+            let mut cfg = FaultsConfig::paper(ctx.scale.base_seed, ctx.scale.fattree_duration);
+            cfg.base.shards = ctx.scale.shards;
             let points = run_faults(&cfg, runner);
             println!(
                 "== faults: {} degradation switching on mid-run, detected online ==",
@@ -521,6 +522,7 @@ mod tests {
                 fattree_duration: rlir_net::time::SimDuration::from_millis(10),
                 seeds: 1,
                 base_seed: 42,
+                shards: None,
             },
             out: OutputDir::at(&dir).unwrap(),
         };

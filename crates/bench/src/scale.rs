@@ -10,6 +10,8 @@
 //! * `RLIR_DURATION_MS` — explicit trace duration in milliseconds
 //! * `RLIR_SEEDS` — number of seeds averaged where noise matters (Fig. 5)
 //! * `RLIR_SEED` — base seed
+//! * `RLIR_SHARDS` — pod-shard count for the fat-tree engine (the
+//!   `--shards` CLI flag overrides it; unset keeps the sequential engine)
 
 use rlir_net::time::SimDuration;
 use serde::{Deserialize, Serialize};
@@ -28,6 +30,9 @@ pub struct Scale {
     pub seeds: u64,
     /// Base seed.
     pub base_seed: u64,
+    /// Pod-shard count for the fat-tree engine (`None` → sequential).
+    #[serde(default)]
+    pub shards: Option<usize>,
 }
 
 impl Scale {
@@ -55,6 +60,7 @@ impl Scale {
                 s.base_seed = n;
             }
         }
+        s.shards = rlir_exec::shards_from_env();
         s
     }
 
@@ -66,6 +72,7 @@ impl Scale {
             fattree_duration: SimDuration::from_millis(25),
             seeds: 1,
             base_seed: 42,
+            shards: None,
         }
     }
 
@@ -77,6 +84,7 @@ impl Scale {
             fattree_duration: SimDuration::from_millis(60),
             seeds: 3,
             base_seed: 42,
+            shards: None,
         }
     }
 
@@ -88,6 +96,7 @@ impl Scale {
             fattree_duration: SimDuration::from_millis(150),
             seeds: 5,
             base_seed: 42,
+            shards: None,
         }
     }
 }

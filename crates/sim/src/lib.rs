@@ -28,6 +28,11 @@
 //!   the cooperative [`StopFlag`] termination hook closed-loop detectors
 //!   raise; an empty [`FaultScript`] is byte-identical to a fault-free
 //!   run.
+//! * [`shard`] — the pod-sharded engine: conservative-lookahead windows
+//!   over a topology-supplied node partition, each shard owning its own
+//!   scheduler/slab/fault cursor, with cross-shard packets handed off at
+//!   window barriers and the merged stream byte-identical for any shard
+//!   count.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -38,6 +43,7 @@ pub mod network;
 pub mod pipeline;
 pub mod queue;
 pub mod sched;
+pub mod shard;
 pub mod slab;
 
 pub use crosstraffic::{calibrate_keep_prob, CrossInjector, CrossModel};
@@ -54,4 +60,5 @@ pub use pipeline::{
 };
 pub use queue::{ClassCounters, FifoQueue, QueueConfig, Verdict};
 pub use sched::{CalendarQueue, EventSchedule, HeapSchedule};
+pub use shard::{run_network_sharded, ShardPlan, ShardRunStats};
 pub use slab::{FlightState, PacketSlab, SlotId};

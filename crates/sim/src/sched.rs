@@ -1,8 +1,13 @@
 //! Event schedulers for the network engine.
 //!
 //! The engine needs one operation pair — `push(at, item)` / `pop() → min by
-//! (at, seq)` — with FIFO tie-breaking among equal timestamps (`seq` is the
-//! global push order). Two implementations share that contract:
+//! (at, key, seq)` — with FIFO tie-breaking among equal timestamps (`seq` is
+//! the push order) refined by an optional caller-supplied **tie key** `K`.
+//! The default `K = ()` is zero-cost and reduces the order to the historical
+//! `(at, seq)`; the pod-sharded engine (`crate::shard`) instead keys entries
+//! by `(packet ordinal, hop progress)`, a *partition-independent* total
+//! order, so N shards draining their own queues reproduce exactly the
+//! one-shard drain. Two implementations share the contract:
 //!
 //! * [`HeapSchedule`] — the original `BinaryHeap<Reverse<…>>`, kept as the
 //!   differential oracle and benchmark baseline.
@@ -13,48 +18,66 @@
 //!   (a handler never schedules into the past) keeps the cursor monotonic.
 //!
 //! `tests` + the workspace property suite pin the two implementations to
-//! identical `(time, seq)` drain orders, including same-timestamp ties.
+//! identical `(time, key, seq)` drain orders, including same-timestamp ties.
 
 use rlir_net::time::SimTime;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-/// One scheduled entry; ordered by `(at, seq)` so equal timestamps drain in
-/// push (FIFO) order.
-struct Entry<T> {
+/// One scheduled entry; ordered by `(at, key, seq)` so equal timestamps
+/// drain in key order, and — among equal keys, which with the default
+/// `K = ()` means *all* equal timestamps — in push (FIFO) order.
+struct Entry<T, K = ()> {
     at: u64,
+    key: K,
     seq: u64,
     item: T,
 }
 
-impl<T> PartialEq for Entry<T> {
+impl<T, K: Ord> PartialEq for Entry<T, K> {
     fn eq(&self, other: &Self) -> bool {
-        (self.at, self.seq) == (other.at, other.seq)
+        (self.at, &self.key, self.seq) == (other.at, &other.key, other.seq)
     }
 }
-impl<T> Eq for Entry<T> {}
-impl<T> PartialOrd for Entry<T> {
+impl<T, K: Ord> Eq for Entry<T, K> {}
+impl<T, K: Ord> PartialOrd for Entry<T, K> {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
 }
-impl<T> Ord for Entry<T> {
+impl<T, K: Ord> Ord for Entry<T, K> {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
+        (self.at, &self.key, self.seq).cmp(&(other.at, &other.key, other.seq))
     }
 }
 
-/// The scheduler contract of the event engine.
-pub trait EventSchedule<T> {
-    /// Schedule `item` at `at`. Ties drain in push order.
-    fn push(&mut self, at: SimTime, item: T);
-    /// Remove and return the earliest entry (smallest `(at, seq)`).
-    fn pop(&mut self) -> Option<(SimTime, T)>;
+/// The scheduler contract of the event engine, generic over a tie key `K`
+/// (default `()`: plain `(at, seq)` FIFO order, the single-engine
+/// behaviour).
+pub trait EventSchedule<T, K: Copy + Ord + Default = ()> {
+    /// Schedule `item` at `at` with the default key. Ties drain in push
+    /// order (among equal keys).
+    fn push(&mut self, at: SimTime, item: T) {
+        self.push_keyed(at, K::default(), item);
+    }
+    /// Schedule `item` at `at` under tie key `key`.
+    fn push_keyed(&mut self, at: SimTime, key: K, item: T);
+    /// Remove and return the earliest entry (smallest `(at, key, seq)`).
+    fn pop(&mut self) -> Option<(SimTime, T)> {
+        self.pop_keyed().map(|(at, _, item)| (at, item))
+    }
+    /// Remove and return the earliest entry together with its key.
+    fn pop_keyed(&mut self) -> Option<(SimTime, K, T)>;
     /// Timestamp of the earliest entry without removing it (`&mut` because
     /// the calendar queue may need to advance its cursor to find it). The
     /// slab engine merges the time-sorted injection stream against this,
     /// so pending injections never occupy scheduler or slab space.
-    fn peek_at(&mut self) -> Option<SimTime>;
+    fn peek_at(&mut self) -> Option<SimTime> {
+        self.peek_key().map(|(at, _)| at)
+    }
+    /// Timestamp and key of the earliest entry without removing it — the
+    /// sharded engine's injection merge compares full keys, not just times.
+    fn peek_key(&mut self) -> Option<(SimTime, K)>;
     /// Number of scheduled entries.
     fn len(&self) -> usize;
     /// Whether the schedule is empty.
@@ -65,13 +88,12 @@ pub trait EventSchedule<T> {
 
 /// The original binary-heap scheduler (differential oracle / benchmark
 /// baseline).
-#[derive(Default)]
-pub struct HeapSchedule<T> {
-    heap: BinaryHeap<Reverse<Entry<T>>>,
+pub struct HeapSchedule<T, K = ()> {
+    heap: BinaryHeap<Reverse<Entry<T, K>>>,
     seq: u64,
 }
 
-impl<T> HeapSchedule<T> {
+impl<T, K: Ord> HeapSchedule<T, K> {
     /// An empty schedule.
     pub fn new() -> Self {
         HeapSchedule {
@@ -81,24 +103,33 @@ impl<T> HeapSchedule<T> {
     }
 }
 
-impl<T> EventSchedule<T> for HeapSchedule<T> {
-    fn push(&mut self, at: SimTime, item: T) {
+impl<T, K: Ord> Default for HeapSchedule<T, K> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T, K: Copy + Ord + Default> EventSchedule<T, K> for HeapSchedule<T, K> {
+    fn push_keyed(&mut self, at: SimTime, key: K, item: T) {
         self.heap.push(Reverse(Entry {
             at: at.as_nanos(),
+            key,
             seq: self.seq,
             item,
         }));
         self.seq += 1;
     }
 
-    fn pop(&mut self) -> Option<(SimTime, T)> {
+    fn pop_keyed(&mut self) -> Option<(SimTime, K, T)> {
         self.heap
             .pop()
-            .map(|Reverse(e)| (SimTime::from_nanos(e.at), e.item))
+            .map(|Reverse(e)| (SimTime::from_nanos(e.at), e.key, e.item))
     }
 
-    fn peek_at(&mut self) -> Option<SimTime> {
-        self.heap.peek().map(|Reverse(e)| SimTime::from_nanos(e.at))
+    fn peek_key(&mut self) -> Option<(SimTime, K)> {
+        self.heap
+            .peek()
+            .map(|Reverse(e)| (SimTime::from_nanos(e.at), e.key))
     }
 
     fn len(&self) -> usize {
@@ -125,11 +156,11 @@ const DEFAULT_BUCKETS_LOG2: u32 = 10;
 /// overflow minimum's rotation when the intervening ones are empty — and
 /// overflow entries that now fall inside the new rotation are distributed
 /// into their buckets.
-pub struct CalendarQueue<T> {
+pub struct CalendarQueue<T, K = ()> {
     /// Per-bucket unordered entry lists for the current rotation.
-    wheel: Vec<Vec<Entry<T>>>,
+    wheel: Vec<Vec<Entry<T, K>>>,
     /// The bucket currently being drained, ordered.
-    active: BinaryHeap<Reverse<Entry<T>>>,
+    active: BinaryHeap<Reverse<Entry<T, K>>>,
     /// Exclusive time bound of the active bucket.
     active_end: u64,
     /// Next wheel index the cursor will open.
@@ -137,13 +168,13 @@ pub struct CalendarQueue<T> {
     /// Start time of the current rotation (multiple of the bucket width).
     rotation_start: u64,
     /// Far-future entries (at ≥ rotation end when pushed).
-    overflow: BinaryHeap<Reverse<Entry<T>>>,
+    overflow: BinaryHeap<Reverse<Entry<T, K>>>,
     bucket_ns_log2: u32,
     len: usize,
     seq: u64,
 }
 
-impl<T> CalendarQueue<T> {
+impl<T, K: Ord> CalendarQueue<T, K> {
     /// An empty queue with the default geometry (1 µs × 1024 buckets).
     pub fn new() -> Self {
         Self::with_geometry(DEFAULT_BUCKET_NS_LOG2, DEFAULT_BUCKETS_LOG2)
@@ -242,17 +273,18 @@ impl<T> CalendarQueue<T> {
     }
 }
 
-impl<T> Default for CalendarQueue<T> {
+impl<T, K: Ord> Default for CalendarQueue<T, K> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<T> EventSchedule<T> for CalendarQueue<T> {
-    fn push(&mut self, at: SimTime, item: T) {
+impl<T, K: Copy + Ord + Default> EventSchedule<T, K> for CalendarQueue<T, K> {
+    fn push_keyed(&mut self, at: SimTime, key: K, item: T) {
         let t = at.as_nanos();
         let e = Entry {
             at: t,
+            key,
             seq: self.seq,
             item,
         };
@@ -271,18 +303,18 @@ impl<T> EventSchedule<T> for CalendarQueue<T> {
         }
     }
 
-    fn pop(&mut self) -> Option<(SimTime, T)> {
+    fn pop_keyed(&mut self) -> Option<(SimTime, K, T)> {
         self.refill_active();
         let Reverse(e) = self.active.pop()?;
         self.len -= 1;
-        Some((SimTime::from_nanos(e.at), e.item))
+        Some((SimTime::from_nanos(e.at), e.key, e.item))
     }
 
-    fn peek_at(&mut self) -> Option<SimTime> {
+    fn peek_key(&mut self) -> Option<(SimTime, K)> {
         self.refill_active();
         self.active
             .peek()
-            .map(|Reverse(e)| SimTime::from_nanos(e.at))
+            .map(|Reverse(e)| (SimTime::from_nanos(e.at), e.key))
     }
 
     fn len(&self) -> usize {
@@ -323,6 +355,38 @@ mod tests {
     }
 
     #[test]
+    fn keyed_ties_drain_in_key_order_on_both_impls() {
+        // Same timestamp, keys pushed out of order: the key beats push
+        // order; equal keys keep FIFO; keys survive the overflow path.
+        let pushes: &[(u64, (u64, u32), u32)] = &[
+            (10, (7, 0), 0),
+            (10, (2, 1), 1),
+            (10, (2, 0), 2),
+            (5, (9, 9), 3),
+            (10, (7, 0), 4),
+            (2_500_000, (1, 0), 5),
+            (10, (0, 3), 6),
+        ];
+        let mut heap: HeapSchedule<u32, (u64, u32)> = HeapSchedule::new();
+        let mut cal: CalendarQueue<u32, (u64, u32)> = CalendarQueue::new();
+        let mut h = Vec::new();
+        let mut c = Vec::new();
+        for &(t, k, v) in pushes {
+            heap.push_keyed(SimTime::from_nanos(t), k, v);
+            cal.push_keyed(SimTime::from_nanos(t), k, v);
+        }
+        while let Some((at, k, v)) = heap.pop_keyed() {
+            h.push((at.as_nanos(), k, v));
+        }
+        while let Some((at, k, v)) = cal.pop_keyed() {
+            c.push((at.as_nanos(), k, v));
+        }
+        assert_eq!(h, c);
+        let order: Vec<u32> = h.iter().map(|&(.., v)| v).collect();
+        assert_eq!(order, vec![3, 6, 2, 1, 0, 4, 5]);
+    }
+
+    #[test]
     fn far_future_events_take_the_overflow_path() {
         // Default rotation is ~1 ms; push events many rotations out.
         let pushes: Vec<(u64, u32)> = (0..100)
@@ -335,8 +399,8 @@ mod tests {
 
     #[test]
     fn interleaved_push_pop_stays_ordered() {
-        let mut cal = CalendarQueue::new();
-        let mut heap = HeapSchedule::new();
+        let mut cal: CalendarQueue<u32> = CalendarQueue::new();
+        let mut heap: HeapSchedule<u32> = HeapSchedule::new();
         // Seed both, then pop one / push two in lockstep (event-driven shape:
         // new events never precede the one just popped).
         for t in [5u64, 3, 9] {
@@ -367,8 +431,8 @@ mod tests {
 
     #[test]
     fn peek_matches_next_pop() {
-        let mut cal = CalendarQueue::new();
-        let mut heap = HeapSchedule::new();
+        let mut cal: CalendarQueue<u32> = CalendarQueue::new();
+        let mut heap: HeapSchedule<u32> = HeapSchedule::new();
         assert_eq!(cal.peek_at(), None);
         assert_eq!(heap.peek_at(), None);
         // Spread over near buckets and the overflow path.
@@ -388,7 +452,7 @@ mod tests {
 
     #[test]
     fn len_tracks_pushes_and_pops() {
-        let mut cal = CalendarQueue::new();
+        let mut cal: CalendarQueue<u32> = CalendarQueue::new();
         assert!(cal.is_empty());
         cal.push(SimTime::from_nanos(1), 1u32);
         cal.push(SimTime::from_nanos(2_000_000_000), 2);

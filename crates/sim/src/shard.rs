@@ -1,0 +1,1021 @@
+//! Pod-sharded deterministic engine: conservative-lookahead parallelism
+//! *inside* one simulation.
+//!
+//! Sweep-level parallelism (`rlir-exec`) cannot speed up one large run;
+//! this module shards [`run_network_streamed_opts`]-shaped runs by a
+//! topology-supplied partition (for the fat-tree: one group per pod plus
+//! one core group, see `FatTree::pod_partition` in `rlir-topo`). Each
+//! shard owns its own calendar queue, free-list slab and fault-script
+//! cursor, and advances only to the **global safe horizon**
+//! `min(pending event time) + L`, where the lookahead `L` is the minimum
+//! link latency on any inter-group edge — conservative-window PDES with
+//! the window width the topology guarantees. Packets crossing a shard
+//! boundary are handed off as timestamped injections into the destination
+//! shard's mailbox at the window barrier (their arrival is provably `≥`
+//! the horizon, so they never belong to the window that produced them).
+//!
+//! # Byte-identical for any shard count
+//!
+//! The sequential engine breaks same-time ties by global push order
+//! (`seq`), which is unreproducible under partitioning: a shard cannot
+//! know how its pushes interleave with another's. The sharded engine
+//! instead keys every scheduler entry by `(ordinal, progress)` — the
+//! packet's index in the globally time-sorted injection list and its hop
+//! counter — a **partition-independent** total order `(time, tie, id)`.
+//! Per-shard pops therefore drain in globally keyed order restricted to
+//! the shard, and the coordinator's k-way merge of the per-window unit
+//! streams *is* the global keyed order. Everything observable — the full
+//! [`HopEvent`] + watermark sequence, deliveries, drop/queue counters,
+//! fault semantics, [`StopFlag`] truncation — is emitted from the merged
+//! stream and counted at emission, so an N-shard run is byte-identical to
+//! the 1-shard run through this entry point (pinned by
+//! `tests/shard_determinism.rs` and asserted in-run by `shard_bench`).
+//! Only the capacity diagnostics (`peak_live_slots`, `hop_allocations`)
+//! are per-shard quantities; see [`NetworkRunStats`].
+//!
+//! Same-time arrivals at one node from *different* upstream queues are
+//! real in fat-tree workloads, and there the keyed order genuinely
+//! differs from the sequential engine's push order — so scenarios opt in
+//! explicitly (`shards: Some(n)`) and the 1-shard keyed run is the
+//! identity baseline. On tie-free workloads the keyed and sequential
+//! engines coincide exactly (differentially pinned in the test suite).
+
+use crate::fault::{FaultState, StopFlag};
+use crate::network::{
+    Forwarder, Hop, HopEvent, HopKind, HopSink, Network, NetworkRunStats, NodeId, RouteDecision,
+    RunOptions, SchedulerKind, StreamedDelivery,
+};
+use crate::queue::Verdict;
+use crate::sched::{CalendarQueue, EventSchedule, HeapSchedule};
+use crate::slab::{PacketSlab, SlotId};
+use rlir_net::packet::Packet;
+use rlir_net::time::SimTime;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Barrier, Mutex};
+
+/// Partition-independent scheduler tie key: `(packet ordinal, hop
+/// progress)`. The ordinal is the packet's index in the globally
+/// time-sorted injection list (unique per packet); progress is its hop
+/// counter, strictly increasing along the packet's life, so
+/// `(at, ordinal, progress)` is a total order over engine units that no
+/// partition can perturb.
+type ShardKey = (u64, u32);
+
+/// What a shard's scheduler moves: slot handle + next node, like the
+/// sequential engine's event, private to this shard's slab.
+#[derive(Debug, Clone, Copy)]
+struct ShardEvent {
+    node: u32,
+    slot: SlotId,
+}
+
+/// A node-to-group partition of the network, the shard boundary.
+///
+/// Groups are the unit the lookahead is computed over — the window width
+/// is the minimum link latency between *groups*, independent of how many
+/// shards the groups are folded onto — which is what makes the window
+/// sequence (and therefore every emitted byte) identical for every shard
+/// count.
+#[derive(Debug, Clone)]
+pub struct ShardPlan {
+    groups: Vec<usize>,
+}
+
+impl ShardPlan {
+    /// A plan from an explicit node → group map (indices must be dense
+    /// enough that `max(group) + 1` is the group count).
+    pub fn new(groups: Vec<usize>) -> Self {
+        ShardPlan { groups }
+    }
+
+    /// The degenerate plan: every node in one group (no parallelism, one
+    /// unbounded window — still exercises the keyed engine).
+    pub fn single(n_nodes: usize) -> Self {
+        ShardPlan {
+            groups: vec![0; n_nodes],
+        }
+    }
+
+    /// The node → group map.
+    pub fn groups(&self) -> &[usize] {
+        &self.groups
+    }
+}
+
+/// Result of a sharded run: the fused [`NetworkRunStats`] plus the
+/// coordinator's own accounting.
+#[derive(Debug, Clone)]
+pub struct ShardRunStats {
+    /// The fused run stats — every stream-observable field shard-count
+    /// invariant (see the struct docs for the fusion rules).
+    pub stats: NetworkRunStats,
+    /// Effective shard count the run used (requested count capped by the
+    /// plan's group count, and collapsed to 1 when a zero-latency
+    /// inter-group link makes conservative lookahead impossible).
+    pub shards: usize,
+    /// Safe-horizon windows the run was divided into (shard-count
+    /// invariant: window boundaries depend only on the group partition).
+    pub windows: u64,
+    /// Safe-horizon stalls: windows in which some shard had no unit to
+    /// process and advanced to the horizon idle — the synchronization
+    /// overhead of conservative lookahead (0 for a 1-shard run, since the
+    /// window minimum always belongs to the only shard).
+    pub shard_stalls: u64,
+}
+
+/// One globally-time-sorted injection owned by a shard.
+#[derive(Debug, Clone, Copy)]
+struct Injection {
+    node: NodeId,
+    packet: Packet,
+    ord: u64,
+}
+
+/// A packet crossing a shard boundary: everything the destination shard
+/// needs to re-seed it as a timestamped keyed injection.
+#[derive(Debug)]
+struct Handoff {
+    /// Arrival time at the destination node (≥ the producing window's
+    /// horizon, by the lookahead bound).
+    at: u64,
+    ord: u64,
+    prog: u32,
+    /// Destination node.
+    node: u32,
+    packet: Packet,
+    injected_node: u32,
+    injected_at: u64,
+    hops: Vec<Hop>,
+}
+
+/// One logged hop event, a deferred [`HopEvent`]: the packet snapshot at
+/// emission time plus the length of the hop-record prefix visible then
+/// (hops only append within a unit, so a prefix length into the unit's
+/// sealed record reconstructs the exact borrowed view).
+#[derive(Debug, Clone, Copy)]
+struct LoggedEvent {
+    kind: HopKind,
+    node: u32,
+    at: u64,
+    packet: Packet,
+    hops_len: u32,
+}
+
+/// A delivery produced by a unit (emitted after the unit's hop events,
+/// exactly like the sequential engine's callback position).
+#[derive(Debug, Clone, Copy)]
+struct DeliveryRec {
+    packet: Packet,
+    node: u32,
+    at: u64,
+}
+
+/// One engine unit (= one `arrive` cascade) a shard processed, with its
+/// event/hop ranges into the shard's per-window log buffers.
+#[derive(Debug, Clone, Copy)]
+struct Unit {
+    at: u64,
+    ord: u64,
+    prog: u32,
+    injected: bool,
+    fault_drop: bool,
+    injected_node: u32,
+    injected_at: u64,
+    ev_start: u32,
+    ev_end: u32,
+    hop_start: u32,
+    hop_end: u32,
+    delivery: Option<DeliveryRec>,
+}
+
+impl Unit {
+    #[inline]
+    fn key(&self) -> (u64, u64, u32) {
+        (self.at, self.ord, self.prog)
+    }
+}
+
+/// Keyed scheduler selected per shard. An enum (not a generic) so the
+/// worker type is uniform across scheduler kinds and threads.
+enum ShardSched {
+    Calendar(CalendarQueue<ShardEvent, ShardKey>),
+    Heap(HeapSchedule<ShardEvent, ShardKey>),
+}
+
+impl ShardSched {
+    /// Build the scheduler for one shard. The adaptive calendar geometry
+    /// is derived from *this shard's own* injection spacing — a global
+    /// span would over-bucket sparse shards (the core shard sees no
+    /// injections at all and gets the default geometry).
+    fn for_shard(kind: SchedulerKind, injections: &[Injection]) -> Self {
+        match kind {
+            SchedulerKind::Calendar => {
+                let span = match (injections.first(), injections.last()) {
+                    (Some(first), Some(last)) => {
+                        last.packet.created_at.as_nanos() - first.packet.created_at.as_nanos()
+                    }
+                    _ => 0,
+                };
+                ShardSched::Calendar(CalendarQueue::for_spacing(span, injections.len()))
+            }
+            SchedulerKind::CalendarFixed {
+                bucket_ns_log2,
+                buckets_log2,
+            } => ShardSched::Calendar(CalendarQueue::with_geometry(bucket_ns_log2, buckets_log2)),
+            SchedulerKind::Heap => ShardSched::Heap(HeapSchedule::new()),
+        }
+    }
+
+    #[inline]
+    fn push_keyed(&mut self, at: SimTime, key: ShardKey, item: ShardEvent) {
+        match self {
+            ShardSched::Calendar(q) => q.push_keyed(at, key, item),
+            ShardSched::Heap(q) => q.push_keyed(at, key, item),
+        }
+    }
+
+    #[inline]
+    fn pop_keyed(&mut self) -> Option<(SimTime, ShardKey, ShardEvent)> {
+        match self {
+            ShardSched::Calendar(q) => q.pop_keyed(),
+            ShardSched::Heap(q) => q.pop_keyed(),
+        }
+    }
+
+    #[inline]
+    fn peek_key(&mut self) -> Option<(SimTime, ShardKey)> {
+        match self {
+            ShardSched::Calendar(q) => q.peek_key(),
+            ShardSched::Heap(q) => q.peek_key(),
+        }
+    }
+}
+
+/// One shard: a full clone of the network (it only *reads and writes*
+/// the queues of nodes it owns; fault transitions are replicated so every
+/// clone's owned nodes carry the right state), its own slab, keyed
+/// scheduler, fault cursor and per-window log buffers.
+struct ShardWorker<'a, F> {
+    shard: usize,
+    network: Network,
+    forwarder: &'a F,
+    shard_of: &'a [usize],
+    slab: PacketSlab,
+    schedule: ShardSched,
+    injections: Vec<Injection>,
+    next_inj: usize,
+    faults: Option<FaultState<'a>>,
+    /// Handoffs routed to this shard at the last barrier, seeded into the
+    /// slab + scheduler at the next window start.
+    inbox: Vec<Handoff>,
+    /// Handoffs this shard produced during the current window.
+    outbox: Vec<Handoff>,
+    /// Units processed this window, in keyed order.
+    units: Vec<Unit>,
+    /// Hop events logged this window (`Unit` ranges index into this).
+    events: Vec<LoggedEvent>,
+    /// Sealed hop records of this window's units (`Unit` ranges).
+    arena: Vec<Hop>,
+}
+
+impl<F: Forwarder> ShardWorker<'_, F> {
+    /// Earliest pending unit time across this shard's three sources
+    /// (injection stream, scheduler, un-seeded inbox) — the coordinator
+    /// min-reduces this into the global window start.
+    fn next_time(&mut self) -> Option<u64> {
+        let mut t = self
+            .injections
+            .get(self.next_inj)
+            .map(|i| i.packet.created_at.as_nanos());
+        if let Some((at, _)) = self.schedule.peek_key() {
+            let a = at.as_nanos();
+            t = Some(t.map_or(a, |x| x.min(a)));
+        }
+        for h in &self.inbox {
+            t = Some(t.map_or(h.at, |x| x.min(h.at)));
+        }
+        t
+    }
+
+    /// Process every unit with `at < horizon` (all remaining units when
+    /// `None`), filling the per-window log buffers.
+    fn run_window(&mut self, horizon: Option<u64>) {
+        self.units.clear();
+        self.events.clear();
+        self.arena.clear();
+        for h in std::mem::take(&mut self.inbox) {
+            let slot = self.slab.insert_with_hops(
+                h.packet,
+                h.injected_node as usize,
+                SimTime::from_nanos(h.injected_at),
+                &h.hops,
+            );
+            self.schedule.push_keyed(
+                SimTime::from_nanos(h.at),
+                (h.ord, h.prog),
+                ShardEvent { node: h.node, slot },
+            );
+        }
+        loop {
+            // Merge the injection stream against the scheduler head by
+            // full key — injections carry progress 0, scheduled events
+            // progress ≥ 1, so keys never collide.
+            let inj = self
+                .injections
+                .get(self.next_inj)
+                .map(|i| (i.packet.created_at.as_nanos(), i.ord, 0u32));
+            let sch = self
+                .schedule
+                .peek_key()
+                .map(|(at, (o, p))| (at.as_nanos(), o, p));
+            let (key, from_inj) = match (inj, sch) {
+                (Some(i), Some(s)) => {
+                    if i <= s {
+                        (i, true)
+                    } else {
+                        (s, false)
+                    }
+                }
+                (Some(i), None) => (i, true),
+                (None, Some(s)) => (s, false),
+                (None, None) => break,
+            };
+            if horizon.is_some_and(|h| key.0 >= h) {
+                break;
+            }
+            if from_inj {
+                let i = self.injections[self.next_inj];
+                self.next_inj += 1;
+                let at = i.packet.created_at;
+                let slot = self.slab.insert(i.packet, i.node, at);
+                self.unit(at, i.ord, 0, true, i.node, slot);
+            } else {
+                let (at, (ord, prog), ev) = self.schedule.pop_keyed().expect("peeked non-empty");
+                self.unit(at, ord, prog, false, ev.node as usize, ev.slot);
+            }
+        }
+    }
+
+    /// Log one deferred hop event for the live packet in `slot`.
+    #[inline]
+    fn log(&mut self, kind: HopKind, node: usize, at: SimTime, slot: SlotId) {
+        let st = self.slab.get(slot);
+        self.events.push(LoggedEvent {
+            kind,
+            node: node as u32,
+            at: at.as_nanos(),
+            packet: st.packet,
+            hops_len: st.hops().len() as u32,
+        });
+    }
+
+    /// Seal the unit's hop record into the arena (called once per unit,
+    /// after its last event is logged and before any release).
+    #[inline]
+    fn seal(&mut self, slot: SlotId) {
+        let st = self.slab.get(slot);
+        self.arena.extend_from_slice(st.hops());
+    }
+
+    /// One engine unit: the exact `SlabEngine::arrive` cascade, with hop
+    /// events logged instead of emitted and cross-shard forwards turned
+    /// into handoffs. Counter updates (drops/delivered/events/injected)
+    /// happen at *emission* on the coordinator, derived from the log, so
+    /// truncation by a [`StopFlag`] is unit-exact for every shard count.
+    fn unit(
+        &mut self,
+        at: SimTime,
+        ord: u64,
+        prog: u32,
+        injected: bool,
+        node: usize,
+        slot: SlotId,
+    ) {
+        if let Some(fs) = self.faults.as_mut() {
+            fs.advance(at, &mut self.network);
+        }
+        let ev_start = self.events.len() as u32;
+        let hop_start = self.arena.len() as u32;
+        let (injected_node, injected_at) = {
+            let st = self.slab.get(slot);
+            (st.injected_node as u32, st.injected_at.as_nanos())
+        };
+        let mut fault_drop = false;
+        let mut delivery = None;
+        self.log(HopKind::Arrive, node, at, slot);
+        if self.faults.as_ref().is_some_and(|f| f.lossy(node)) {
+            fault_drop = true;
+            self.log(HopKind::RouteDrop, node, at, slot);
+            self.seal(slot);
+            self.slab.release(slot);
+        } else {
+            let mut decision = self.forwarder.route(node, &self.slab.get(slot).packet);
+            let mut blackholed = false;
+            if let (RouteDecision::Forward(chosen), Some(fs)) = (decision, self.faults.as_ref()) {
+                if fs.is_dead(node, chosen) {
+                    let dead = fs.dead_ports(node);
+                    decision = match self.forwarder.reroute(
+                        node,
+                        &self.slab.get(slot).packet,
+                        chosen,
+                        &dead,
+                    ) {
+                        RouteDecision::Forward(alt) if !fs.is_dead(node, alt) => {
+                            RouteDecision::Forward(alt)
+                        }
+                        RouteDecision::Deliver => RouteDecision::Deliver,
+                        _ => {
+                            blackholed = true;
+                            RouteDecision::Drop
+                        }
+                    };
+                }
+            }
+            if blackholed {
+                fault_drop = true;
+            }
+            match decision {
+                RouteDecision::Drop => {
+                    self.log(HopKind::RouteDrop, node, at, slot);
+                    self.seal(slot);
+                    self.slab.release(slot);
+                }
+                RouteDecision::Deliver => delivery = Some(self.deliver(at, node, slot)),
+                RouteDecision::Forward(port_id) => {
+                    self.forwarder
+                        .on_forward(node, port_id, self.slab.packet_mut(slot));
+                    let verdict = {
+                        let port = &mut self.network.nodes[node].ports[port_id];
+                        port.queue.offer(at, &self.slab.get(slot).packet)
+                    };
+                    match verdict {
+                        Verdict::Dropped => {
+                            self.log(HopKind::QueueDrop { port: port_id }, node, at, slot);
+                            self.seal(slot);
+                            self.slab.release(slot);
+                        }
+                        Verdict::Departs(departed) => {
+                            self.log(HopKind::Enqueue { port: port_id }, node, at, slot);
+                            self.slab.push_hop(
+                                slot,
+                                Hop {
+                                    node,
+                                    port: port_id,
+                                    arrived: at,
+                                    departed,
+                                },
+                            );
+                            self.log(
+                                HopKind::Dequeue {
+                                    port: port_id,
+                                    arrived: at,
+                                },
+                                node,
+                                departed,
+                                slot,
+                            );
+                            let port = &self.network.nodes[node].ports[port_id];
+                            let (link_to, link_delay) = (port.link_to, port.link_delay);
+                            match link_to {
+                                Some(next) if self.shard_of[next] == self.shard => {
+                                    self.schedule.push_keyed(
+                                        departed + link_delay,
+                                        (ord, prog + 1),
+                                        ShardEvent {
+                                            node: next as u32,
+                                            slot,
+                                        },
+                                    );
+                                    self.seal(slot);
+                                }
+                                Some(next) => {
+                                    // Crossing the shard boundary: copy the
+                                    // flight state out and recycle the slot
+                                    // here; the destination re-seeds it.
+                                    self.seal(slot);
+                                    let st = self.slab.get(slot);
+                                    self.outbox.push(Handoff {
+                                        at: (departed + link_delay).as_nanos(),
+                                        ord,
+                                        prog: prog + 1,
+                                        node: next as u32,
+                                        packet: st.packet,
+                                        injected_node: st.injected_node as u32,
+                                        injected_at: st.injected_at.as_nanos(),
+                                        hops: st.hops().to_vec(),
+                                    });
+                                    self.slab.release(slot);
+                                }
+                                None => {
+                                    delivery =
+                                        Some(self.deliver(departed + link_delay, node, slot));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        self.units.push(Unit {
+            at: at.as_nanos(),
+            ord,
+            prog,
+            injected,
+            fault_drop,
+            injected_node,
+            injected_at,
+            ev_start,
+            ev_end: self.events.len() as u32,
+            hop_start,
+            hop_end: self.arena.len() as u32,
+            delivery,
+        });
+    }
+
+    /// Log the `Deliver` event, seal and recycle; the delivery callback
+    /// itself runs on the coordinator at emission.
+    fn deliver(&mut self, delivered_at: SimTime, node: usize, slot: SlotId) -> DeliveryRec {
+        self.log(HopKind::Deliver, node, delivered_at, slot);
+        self.seal(slot);
+        let st = self.slab.get(slot);
+        let rec = DeliveryRec {
+            packet: st.packet,
+            node: node as u32,
+            at: delivered_at.as_nanos(),
+        };
+        self.slab.release(slot);
+        rec
+    }
+}
+
+/// Coordinator emission state: the fused stats are counted *here*, from
+/// the merged stream, so every stream-observable field is shard-count
+/// invariant even under mid-run truncation.
+struct EmitState {
+    stats: NetworkRunStats,
+    watermark: Option<u64>,
+    windows: u64,
+    stalls: u64,
+}
+
+/// The windowed coordinator: compute the global safe horizon, run every
+/// shard to it (`run_all` is the inline or threaded executor), k-way
+/// merge the per-shard unit logs in `(time, ordinal, progress)` order,
+/// emit, and route the produced handoffs for the next window.
+#[allow(clippy::too_many_arguments)]
+fn drive_windows<F, S, D>(
+    workers: &[Mutex<ShardWorker<'_, F>>],
+    shard_of: &[usize],
+    lookahead: Option<u64>,
+    stop: Option<&StopFlag>,
+    sink: &mut S,
+    on_delivery: &mut D,
+    st: &mut EmitState,
+    run_all: &mut dyn FnMut(Option<u64>),
+) where
+    F: Forwarder,
+    S: HopSink,
+    D: FnMut(&StreamedDelivery<'_>),
+{
+    'run: loop {
+        if stop.is_some_and(StopFlag::is_set) {
+            break;
+        }
+        let mut t_min: Option<u64> = None;
+        for w in workers {
+            if let Some(t) = w.lock().expect("worker poisoned").next_time() {
+                t_min = Some(t_min.map_or(t, |x| x.min(t)));
+            }
+        }
+        let Some(t0) = t_min else { break };
+        // The horizon is *exclusive* and at least one tick wide, so the
+        // t0 unit is always processed: every window makes progress.
+        let horizon = lookahead.map(|l| t0.saturating_add(l.max(1)));
+        st.windows += 1;
+        run_all(horizon);
+
+        let mut guards: Vec<_> = workers
+            .iter()
+            .map(|w| w.lock().expect("worker poisoned"))
+            .collect();
+        if guards.len() > 1 {
+            st.stalls += guards.iter().filter(|g| g.units.is_empty()).count() as u64;
+        }
+        let mut cursors = vec![0usize; guards.len()];
+        loop {
+            let mut best: Option<((u64, u64, u32), usize)> = None;
+            for (i, g) in guards.iter().enumerate() {
+                if let Some(u) = g.units.get(cursors[i]) {
+                    let k = u.key();
+                    if best.is_none_or(|(bk, _)| k < bk) {
+                        best = Some((k, i));
+                    }
+                }
+            }
+            let Some((_, i)) = best else { break };
+            if stop.is_some_and(StopFlag::is_set) {
+                break 'run;
+            }
+            let g = &guards[i];
+            let u = g.units[cursors[i]];
+            cursors[i] += 1;
+            if st.watermark.is_none_or(|w| u.at > w) {
+                sink.on_watermark(SimTime::from_nanos(u.at));
+                st.watermark = Some(u.at);
+            }
+            st.stats.events += 1;
+            if u.injected {
+                st.stats.injected += 1;
+            }
+            if u.fault_drop {
+                st.stats.fault_drops += 1;
+            }
+            let hops = &g.arena[u.hop_start as usize..u.hop_end as usize];
+            for e in &g.events[u.ev_start as usize..u.ev_end as usize] {
+                match e.kind {
+                    HopKind::QueueDrop { .. } => st.stats.queue_drops[e.node as usize] += 1,
+                    HopKind::RouteDrop => st.stats.route_drops[e.node as usize] += 1,
+                    _ => {}
+                }
+                sink.on_hop(&HopEvent {
+                    kind: e.kind,
+                    node: e.node as usize,
+                    at: SimTime::from_nanos(e.at),
+                    packet: &e.packet,
+                    injected_node: u.injected_node as usize,
+                    injected_at: SimTime::from_nanos(u.injected_at),
+                    hops: &hops[..e.hops_len as usize],
+                });
+            }
+            if let Some(d) = u.delivery {
+                st.stats.delivered += 1;
+                on_delivery(&StreamedDelivery {
+                    packet: &d.packet,
+                    injected_node: u.injected_node as usize,
+                    injected_at: SimTime::from_nanos(u.injected_at),
+                    delivered_node: d.node as usize,
+                    delivered_at: SimTime::from_nanos(d.at),
+                    hops,
+                });
+            }
+        }
+        // Route this window's handoffs; their arrival times are ≥ the
+        // horizon (lookahead bound), so they belong to later windows.
+        let mut routed = Vec::new();
+        for g in guards.iter_mut() {
+            routed.append(&mut g.outbox);
+        }
+        for h in routed {
+            debug_assert!(
+                horizon.is_none_or(|hz| h.at >= hz),
+                "handoff inside its own window breaks the lookahead bound"
+            );
+            guards[shard_of[h.node as usize]].inbox.push(h);
+        }
+    }
+}
+
+/// Run the network sharded by `plan`, byte-identical to the same call
+/// with `shards == 1` — see the module docs for the determinism argument
+/// and [`NetworkRunStats`] for which fused fields are shard-count
+/// invariant.
+///
+/// The effective shard count is `shards` capped by the plan's group
+/// count; if any inter-group link has zero latency the partition admits
+/// no conservative lookahead and the run collapses to one shard (one
+/// unbounded window). With one effective shard everything runs inline on
+/// the calling thread; otherwise persistent worker threads process
+/// windows between barriers while the caller's thread merges and emits —
+/// `sink`, `on_delivery` and `stop` never leave the calling thread.
+#[allow(clippy::too_many_arguments)]
+pub fn run_network_sharded<F: Forwarder + Sync>(
+    network: Network,
+    forwarder: &F,
+    injections: impl IntoIterator<Item = (NodeId, Packet)>,
+    sink: &mut impl HopSink,
+    opts: RunOptions<'_>,
+    plan: &ShardPlan,
+    shards: usize,
+    mut on_delivery: impl FnMut(&StreamedDelivery<'_>),
+) -> ShardRunStats {
+    let n = network.nodes.len();
+    assert_eq!(
+        plan.groups().len(),
+        n,
+        "shard plan covers {} nodes, network has {n}",
+        plan.groups().len()
+    );
+    let mut groups = plan.groups().to_vec();
+    // Lookahead: minimum latency of any inter-group link. Zero admits no
+    // conservative window — collapse to one group; absent (no inter-group
+    // edges) the window is unbounded.
+    let mut lookahead: Option<u64> = None;
+    for (id, node) in network.nodes.iter().enumerate() {
+        for p in &node.ports {
+            if let Some(next) = p.link_to {
+                if groups[id] != groups[next] {
+                    let d = p.link_delay.as_nanos();
+                    lookahead = Some(lookahead.map_or(d, |l| l.min(d)));
+                }
+            }
+        }
+    }
+    if lookahead == Some(0) {
+        groups = vec![0; n];
+        lookahead = None;
+    }
+    let n_groups = groups.iter().max().map_or(1, |&m| m + 1);
+    let s = shards.max(1).min(n_groups);
+    let group_shard: Vec<usize> = (0..n_groups).map(|g| g % s).collect();
+    let shard_of: Vec<usize> = groups.iter().map(|&g| group_shard[g]).collect();
+
+    let mut inj: Vec<(NodeId, Packet)> = injections.into_iter().collect();
+    for (node, _) in &inj {
+        assert!(*node < n, "injection at unknown node {node}");
+    }
+    // The same stable time sort the sequential entry performs; the index
+    // in this order is the packet's globally unique ordinal.
+    inj.sort_by_key(|(_, p)| p.created_at);
+    let mut per_shard: Vec<Vec<Injection>> = (0..s).map(|_| Vec::new()).collect();
+    for (ord, &(node, packet)) in inj.iter().enumerate() {
+        per_shard[shard_of[node]].push(Injection {
+            node,
+            packet,
+            ord: ord as u64,
+        });
+    }
+
+    let workers: Vec<Mutex<ShardWorker<'_, F>>> = per_shard
+        .into_iter()
+        .enumerate()
+        .map(|(i, injections)| {
+            let schedule = ShardSched::for_shard(opts.scheduler, &injections);
+            Mutex::new(ShardWorker {
+                shard: i,
+                network: network.clone(),
+                forwarder,
+                shard_of: &shard_of,
+                slab: PacketSlab::new(),
+                schedule,
+                injections,
+                next_inj: 0,
+                faults: opts.faults.map(FaultState::new),
+                inbox: Vec::new(),
+                outbox: Vec::new(),
+                units: Vec::new(),
+                events: Vec::new(),
+                arena: Vec::new(),
+            })
+        })
+        .collect();
+
+    let mut st = EmitState {
+        stats: NetworkRunStats {
+            delivered: 0,
+            queue_drops: vec![0; n],
+            route_drops: vec![0; n],
+            injected: 0,
+            events: 0,
+            peak_live_slots: 0,
+            hop_allocations: 0,
+            fault_drops: 0,
+            network: Network::default(),
+        },
+        watermark: None,
+        windows: 0,
+        stalls: 0,
+    };
+
+    if s == 1 {
+        drive_windows(
+            &workers,
+            &shard_of,
+            lookahead,
+            opts.stop,
+            sink,
+            &mut on_delivery,
+            &mut st,
+            &mut |h| workers[0].lock().expect("worker poisoned").run_window(h),
+        );
+    } else {
+        // Horizon mailbox: a finite horizon is its own value; UNBOUNDED
+        // encodes `None`; SHUTDOWN ends the worker loops.
+        const UNBOUNDED: u64 = u64::MAX - 1;
+        const SHUTDOWN: u64 = u64::MAX;
+        let start = Barrier::new(s + 1);
+        let done = Barrier::new(s + 1);
+        let horizon = AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for w in &workers {
+                scope.spawn(|| loop {
+                    start.wait();
+                    let h = horizon.load(Ordering::Acquire);
+                    if h == SHUTDOWN {
+                        break;
+                    }
+                    w.lock()
+                        .expect("worker poisoned")
+                        .run_window((h != UNBOUNDED).then_some(h));
+                    done.wait();
+                });
+            }
+            drive_windows(
+                &workers,
+                &shard_of,
+                lookahead,
+                opts.stop,
+                sink,
+                &mut on_delivery,
+                &mut st,
+                &mut |h| {
+                    horizon.store(h.unwrap_or(UNBOUNDED), Ordering::Release);
+                    start.wait();
+                    done.wait();
+                },
+            );
+            horizon.store(SHUTDOWN, Ordering::Release);
+            start.wait();
+        });
+    }
+
+    let mut workers: Vec<ShardWorker<'_, F>> = workers
+        .into_iter()
+        .map(|m| m.into_inner().expect("worker poisoned"))
+        .collect();
+    for w in &workers {
+        st.stats.peak_live_slots = st.stats.peak_live_slots.max(w.slab.peak_live());
+        st.stats.hop_allocations += w.slab.hop_allocations();
+    }
+    // Fused final network: each switch's queue state from the shard that
+    // owned (and therefore exclusively mutated) it.
+    let mut fused = std::mem::take(&mut workers[0].network);
+    for (node, &sh) in shard_of.iter().enumerate() {
+        if sh != 0 {
+            fused.nodes[node] = workers[sh].network.nodes[node].clone();
+        }
+    }
+    st.stats.network = fused;
+
+    ShardRunStats {
+        stats: st.stats,
+        shards: s,
+        windows: st.windows,
+        shard_stalls: st.stalls,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::{run_network_streamed_opts, Port};
+    use crate::queue::QueueConfig;
+    use rlir_net::flow::FlowKey;
+    use rlir_net::time::SimDuration;
+    use std::net::Ipv4Addr;
+
+    /// Two switches in tandem, each its own group, 1 µs link.
+    fn tandem() -> Network {
+        let mut net = Network::default();
+        let a = net.add_node("A");
+        let b = net.add_node("B");
+        let cfg = QueueConfig::oc192();
+        net.add_port(a, Port::to_switch(cfg, b, SimDuration::from_micros(1)));
+        net.add_port(b, Port::to_host(cfg, SimDuration::from_micros(1)));
+        net
+    }
+
+    struct Chain;
+    impl Forwarder for Chain {
+        fn route(&self, _node: NodeId, _packet: &Packet) -> RouteDecision {
+            RouteDecision::Forward(0)
+        }
+    }
+
+    fn pkt(id: u64, at: u64) -> Packet {
+        Packet::regular(
+            id,
+            FlowKey::tcp(
+                Ipv4Addr::new(10, 0, 0, 1),
+                1000,
+                Ipv4Addr::new(10, 0, 0, 2),
+                2000,
+            ),
+            1000,
+            SimTime::from_nanos(at),
+        )
+    }
+
+    /// Order-sensitive digest sink over the full hop + watermark stream.
+    #[derive(Default)]
+    struct Digest(u64);
+    impl Digest {
+        fn fold(&mut self, x: u64) {
+            let mut h = self.0 ^ x;
+            h = h.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            h ^= h >> 29;
+            self.0 = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        }
+    }
+    impl HopSink for Digest {
+        fn on_hop(&mut self, ev: &HopEvent<'_>) {
+            self.fold(match ev.kind {
+                HopKind::Arrive => 1,
+                HopKind::Enqueue { port } => 2 + ((port as u64) << 8),
+                HopKind::Dequeue { port, arrived } => {
+                    (3 + ((port as u64) << 8)) ^ arrived.as_nanos()
+                }
+                HopKind::QueueDrop { port } => 4 + ((port as u64) << 8),
+                HopKind::RouteDrop => 5,
+                HopKind::Deliver => 6,
+            });
+            self.fold(ev.node as u64);
+            self.fold(ev.at.as_nanos());
+            self.fold(ev.packet.id.0);
+            self.fold(ev.hops.len() as u64);
+        }
+        fn on_watermark(&mut self, watermark: SimTime) {
+            self.fold(0xFFFF_0000 ^ watermark.as_nanos());
+        }
+    }
+
+    fn sharded_digest(shards: usize, injections: &[(NodeId, Packet)]) -> (u64, ShardRunStats) {
+        let mut sink = Digest::default();
+        let plan = ShardPlan::new(vec![0, 1]);
+        let mut deliveries = Vec::new();
+        let out = run_network_sharded(
+            tandem(),
+            &Chain,
+            injections.iter().copied(),
+            &mut sink,
+            RunOptions::default(),
+            &plan,
+            shards,
+            |d| deliveries.push((d.packet.id.0, d.delivered_at.as_nanos())),
+        );
+        let mut digest = sink;
+        for (id, at) in deliveries {
+            digest.fold(id);
+            digest.fold(at);
+        }
+        (digest.0, out)
+    }
+
+    #[test]
+    fn two_shards_match_one_shard_exactly() {
+        let injections: Vec<(NodeId, Packet)> = (0..40)
+            .map(|i| (0usize, pkt(i, (i * 313) % 7_000)))
+            .collect();
+        let (d1, s1) = sharded_digest(1, &injections);
+        let (d2, s2) = sharded_digest(2, &injections);
+        assert_eq!(d1, d2, "hop/watermark/delivery streams diverged");
+        assert_eq!(s1.stats.delivered, s2.stats.delivered);
+        assert_eq!(s1.stats.events, s2.stats.events);
+        assert_eq!(s1.stats.queue_drops, s2.stats.queue_drops);
+        assert_eq!(
+            s1.windows, s2.windows,
+            "window sequence must not depend on N"
+        );
+        assert_eq!(s2.shards, 2);
+        assert!(s1.stats.delivered > 0);
+    }
+
+    #[test]
+    fn tie_free_single_shard_matches_sequential_engine() {
+        // One packet in flight at a time ⇒ no same-time ties anywhere ⇒
+        // the keyed order coincides with the sequential push order.
+        let injections: Vec<(NodeId, Packet)> =
+            (0..20).map(|i| (0usize, pkt(i, i * 1_000_000))).collect();
+        let mut seq_sink = Digest::default();
+        let seq = run_network_streamed_opts(
+            tandem(),
+            &Chain,
+            injections.iter().copied(),
+            &mut seq_sink,
+            RunOptions::default(),
+            |_| {},
+        );
+        let (_, sharded) = sharded_digest(2, &injections);
+        let mut sh_sink = Digest::default();
+        let plan = ShardPlan::new(vec![0, 1]);
+        run_network_sharded(
+            tandem(),
+            &Chain,
+            injections.iter().copied(),
+            &mut sh_sink,
+            RunOptions::default(),
+            &plan,
+            2,
+            |_| {},
+        );
+        assert_eq!(seq_sink.0, sh_sink.0, "tie-free streams must coincide");
+        assert_eq!(seq.delivered, sharded.stats.delivered);
+        assert_eq!(seq.events, sharded.stats.events);
+    }
+
+    #[test]
+    fn shard_count_caps_at_group_count() {
+        let injections = vec![(0usize, pkt(0, 0))];
+        let (_, out) = sharded_digest(16, &injections);
+        assert_eq!(out.shards, 2, "2 groups admit at most 2 shards");
+    }
+}

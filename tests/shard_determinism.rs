@@ -1,0 +1,373 @@
+//! Byte-identity of the pod-sharded engine (proptest).
+//!
+//! The sharded engine's whole contract is that shard count is a pure
+//! performance knob: an N-shard run must produce **exactly** the stream a
+//! 1-shard run produces — every [`HopEvent`] in the same order with the
+//! same payload, every watermark, every delivery, and the same
+//! stream-observable counters — across calm, tie-heavy and drop-heavy
+//! regimes, under arbitrary mid-run [`FaultScript`]s, and when a
+//! closed-loop detector truncates the run via [`StopFlag`]. These tests
+//! drive a k=4 fat-tree partitioned by pod at 1, 2 and 4 shards (plus a
+//! deliberately oversubscribed request) and compare order-sensitive
+//! digests of everything the stream exposes.
+//!
+//! The per-shard capacity counters (`peak_live_slots`, `hop_allocations`)
+//! are *documented* as shard-count-dependent and are excluded — see the
+//! "Per-shard vs fused semantics" section on
+//! [`rlir_sim::NetworkRunStats`].
+
+use proptest::prelude::*;
+use rlir::experiment::{run_fattree_faulted, FatTreeExpConfig};
+use rlir::{build_network, DetectorConfig, FatTreeFabric};
+use rlir_net::hash::HashAlgo;
+use rlir_net::packet::Packet;
+use rlir_net::time::{SimDuration, SimTime};
+use rlir_net::FlowKey;
+use rlir_sim::{
+    run_network_sharded, FaultEvent, FaultKind, FaultScript, HopEvent, HopKind, HopSink,
+    QueueConfig, RunOptions, ShardPlan, StopFlag, StreamedDelivery,
+};
+use rlir_topo::FatTree;
+
+const K: usize = 4;
+
+fn mix(h: u64, v: u64) -> u64 {
+    let mut x = h ^ v.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^ (x >> 27)
+}
+
+/// Order-sensitive digest of the full observable stream: hop events
+/// (kind, node, timestamp, packet id, marks, hop-record length),
+/// watermarks, and deliveries.
+#[derive(Default)]
+struct Digest {
+    h: u64,
+    hops: u64,
+    marks: u64,
+    deliveries: u64,
+}
+
+impl Digest {
+    fn fold(&mut self, v: u64) {
+        self.h = mix(self.h, v);
+    }
+}
+
+impl HopSink for Digest {
+    fn on_hop(&mut self, ev: &HopEvent<'_>) {
+        self.hops += 1;
+        let kind = match ev.kind {
+            HopKind::Arrive => 1,
+            HopKind::Enqueue { port } => 2 + ((port as u64) << 8),
+            HopKind::Dequeue { port, arrived } => {
+                (3 + ((port as u64) << 8)) ^ arrived.as_nanos().rotate_left(17)
+            }
+            HopKind::QueueDrop { port } => 4 + ((port as u64) << 8),
+            HopKind::RouteDrop => 5,
+            HopKind::Deliver => 6,
+        };
+        self.fold(kind);
+        self.fold(ev.node as u64);
+        self.fold(ev.at.as_nanos());
+        self.fold(ev.packet.id.0);
+        self.fold(ev.packet.mark as u64);
+        self.fold(ev.hops.len() as u64);
+    }
+
+    fn on_watermark(&mut self, watermark: SimTime) {
+        self.marks += 1;
+        self.fold(0xABCD ^ watermark.as_nanos());
+    }
+}
+
+fn tor_flow(tree: &FatTree, src_tor: usize, dst_tor: usize, salt: u64) -> FlowKey {
+    let s = tree.host_addr(src_tor, (salt % 4) as usize);
+    let d = tree.host_addr(dst_tor, ((salt >> 2) % 4) as usize);
+    FlowKey::tcp(s, 1000 + (salt % 50) as u16, d, 80)
+}
+
+/// Workload generator: `n` packets across all ToR pairs. `spacing_ns`
+/// controls the regime — large spacing is calm, zero spacing makes every
+/// injection collide in time (tie-heavy), and `burst` concentrates
+/// packets so shallow queues overflow (drop-heavy).
+fn workload(
+    tree: &FatTree,
+    n: u64,
+    spacing_ns: u64,
+    burst: u64,
+    seed: u64,
+) -> Vec<(usize, Packet)> {
+    let tors: Vec<usize> = tree.tors().collect();
+    (0..n)
+        .map(|i| {
+            let r = mix(seed, i);
+            let src = tors[(r % tors.len() as u64) as usize];
+            let dst = tors[((r >> 8) % tors.len() as u64) as usize];
+            let at = (i / burst.max(1)) * spacing_ns;
+            let p = Packet::regular(
+                i,
+                tor_flow(tree, src, dst, r >> 16),
+                200 + (r % 1200) as u32,
+                SimTime::from_nanos(at),
+            );
+            (src, p)
+        })
+        .collect()
+}
+
+/// Map raw proptest draws onto real fat-tree fault events. Ports are
+/// folded into each node's real port count inside the engine-facing
+/// script, so every draw is a legal fault.
+fn fault_script(tree: &FatTree, raw: &[(u8, u64, u64, u64)]) -> FaultScript {
+    let n_nodes = tree.len() as u64;
+    let events: Vec<FaultEvent> = raw
+        .iter()
+        .map(|&(kind, node, at, extra)| {
+            let node = (node % n_nodes) as usize;
+            // Every fat-tree switch has at least `half` ports.
+            let port = (extra % tree.half() as u64) as usize;
+            let kind = match kind % 6 {
+                0 => FaultKind::LinkDown { node, port },
+                1 => FaultKind::LinkUp { node, port },
+                2 => FaultKind::SlowSwitch {
+                    node,
+                    extra: SimDuration::from_nanos(1 + extra % 3_000),
+                },
+                3 => FaultKind::ClearSwitch { node },
+                4 => FaultKind::LossBurstStart { node },
+                _ => FaultKind::LossBurstEnd { node },
+            };
+            FaultEvent {
+                at: SimTime::from_nanos(at),
+                kind,
+            }
+        })
+        .collect();
+    FaultScript::new(events)
+}
+
+struct RunOutput {
+    digest: u64,
+    hops: u64,
+    marks: u64,
+    deliveries: u64,
+    delivery_digest: u64,
+    delivered: u64,
+    events: u64,
+    injected: u64,
+    queue_drops: u64,
+    route_drops: u64,
+    fault_drops: u64,
+    shards: usize,
+    windows: u64,
+}
+
+/// One sharded run over the k=4 fat-tree; `stop_after` raises the
+/// [`StopFlag`] from inside the delivery callback after that many
+/// deliveries — the closed-loop detector's exact mechanism.
+fn run_sharded(
+    queue: QueueConfig,
+    injections: &[(usize, Packet)],
+    script: Option<&FaultScript>,
+    shards: usize,
+    stop_after: Option<u64>,
+) -> RunOutput {
+    let tree = FatTree::new(K, HashAlgo::default());
+    let fabric = FatTreeFabric::new(&tree, true);
+    let network = build_network(&tree, queue, SimDuration::from_micros(1), &[]);
+    let plan = ShardPlan::new(tree.pod_partition());
+    let mut sink = Digest::default();
+    let stop = StopFlag::new();
+    let mut dd = 0u64;
+    let mut seen = 0u64;
+    let out = run_network_sharded(
+        network,
+        &fabric,
+        injections.iter().copied(),
+        &mut sink,
+        RunOptions {
+            faults: script,
+            stop: Some(&stop),
+            ..RunOptions::default()
+        },
+        &plan,
+        shards,
+        |d: &StreamedDelivery<'_>| {
+            seen += 1;
+            dd = mix(dd, d.packet.id.0);
+            dd = mix(dd, d.delivered_node as u64);
+            dd = mix(dd, d.delivered_at.as_nanos());
+            dd = mix(dd, d.hops.len() as u64);
+            if stop_after.is_some_and(|n| seen >= n) {
+                stop.request_stop();
+            }
+        },
+    );
+    sink.deliveries = seen;
+    RunOutput {
+        digest: sink.h,
+        hops: sink.hops,
+        marks: sink.marks,
+        deliveries: sink.deliveries,
+        delivery_digest: dd,
+        delivered: out.stats.delivered,
+        events: out.stats.events,
+        injected: out.stats.injected,
+        queue_drops: out.stats.queue_drops.iter().sum(),
+        route_drops: out.stats.route_drops.iter().sum(),
+        fault_drops: out.stats.fault_drops,
+        shards: out.shards,
+        windows: out.windows,
+    }
+}
+
+/// Assert two runs are observation-for-observation identical.
+fn assert_identical(a: &RunOutput, b: &RunOutput) -> Result<(), TestCaseError> {
+    prop_assert_eq!(a.digest, b.digest, "hop/watermark stream diverged");
+    prop_assert_eq!(a.delivery_digest, b.delivery_digest, "deliveries diverged");
+    prop_assert_eq!(a.hops, b.hops);
+    prop_assert_eq!(a.marks, b.marks);
+    prop_assert_eq!(a.deliveries, b.deliveries);
+    prop_assert_eq!(a.delivered, b.delivered);
+    prop_assert_eq!(a.events, b.events);
+    prop_assert_eq!(a.injected, b.injected);
+    prop_assert_eq!(a.queue_drops, b.queue_drops);
+    prop_assert_eq!(a.route_drops, b.route_drops);
+    prop_assert_eq!(a.fault_drops, b.fault_drops);
+    Ok(())
+}
+
+/// Shallow queues for the drop-heavy regime.
+fn shallow() -> QueueConfig {
+    QueueConfig {
+        capacity_bytes: 4_000,
+        ..QueueConfig::oc192()
+    }
+}
+
+proptest! {
+    /// The tentpole identity: arbitrary regime (spacing × burst × queue
+    /// depth) and an arbitrary fault script, run at 1, 2 and 4 shards plus
+    /// an oversubscribed shard request — all byte-identical.
+    #[test]
+    fn n_shards_match_one_shard_under_faults(
+        seed in 0u64..1_000,
+        n in 40u64..160,
+        spacing in prop_oneof![Just(0u64), Just(40u64), Just(700u64)],
+        burst in 1u64..8,
+        deep in any::<bool>(),
+        raw_faults in proptest::collection::vec(
+            (0u8..6, 0u64..64, 0u64..120_000, 1u64..4_000), 0..10),
+    ) {
+        let tree = FatTree::new(K, HashAlgo::default());
+        let queue = if deep { QueueConfig::oc192() } else { shallow() };
+        let injections = workload(&tree, n, spacing, burst, seed);
+        let script = fault_script(&tree, &raw_faults);
+
+        let one = run_sharded(queue, &injections, Some(&script), 1, None);
+        prop_assert_eq!(one.shards, 1);
+        prop_assert_eq!(one.injected, n);
+        prop_assert!(one.hops > 0);
+        // Conservation while we're here: every packet meets one fate.
+        prop_assert_eq!(
+            one.delivered + one.queue_drops + one.route_drops,
+            n,
+            "delivered {} + queue {} + route {} != injected {}",
+            one.delivered, one.queue_drops, one.route_drops, n
+        );
+        prop_assert!(one.fault_drops <= one.route_drops);
+
+        for shards in [2usize, 4] {
+            let many = run_sharded(queue, &injections, Some(&script), shards, None);
+            prop_assert_eq!(many.shards, shards, "k=4 pods+core gives 5 groups");
+            assert_identical(&one, &many)?;
+            // Same safe-horizon window schedule regardless of shard count.
+            prop_assert_eq!(many.windows, one.windows);
+        }
+
+        // Requesting more shards than partition groups caps at the group
+        // count (k pods + the core group) and stays identical too.
+        let over = run_sharded(queue, &injections, Some(&script), 64, None);
+        prop_assert_eq!(over.shards, K + 1);
+        assert_identical(&one, &over)?;
+    }
+
+    /// Closed-loop truncation: a detector raising [`StopFlag`] mid-stream
+    /// halts every shard at the same event-time — the truncated N-shard
+    /// run is byte-identical to the truncated 1-shard run, and genuinely
+    /// shorter than the untruncated one.
+    #[test]
+    fn stop_flag_truncates_all_shards_at_the_same_point(
+        seed in 0u64..1_000,
+        n in 60u64..140,
+        stop_after in 5u64..40,
+        raw_faults in proptest::collection::vec(
+            (0u8..6, 0u64..64, 0u64..120_000, 1u64..4_000), 0..6),
+    ) {
+        let tree = FatTree::new(K, HashAlgo::default());
+        let injections = workload(&tree, n, 40, 4, seed);
+        let script = fault_script(&tree, &raw_faults);
+
+        let full = run_sharded(shallow(), &injections, Some(&script), 1, None);
+        let one = run_sharded(shallow(), &injections, Some(&script), 1, Some(stop_after));
+        for shards in [2usize, 4] {
+            let many = run_sharded(shallow(), &injections, Some(&script), shards, Some(stop_after));
+            assert_identical(&one, &many)?;
+        }
+        if full.deliveries > stop_after {
+            prop_assert!(
+                one.events < full.events,
+                "stop at delivery {} of {} did not truncate ({} vs {} events)",
+                stop_after, full.deliveries, one.events, full.events
+            );
+            prop_assert_eq!(one.deliveries, stop_after);
+        }
+    }
+}
+
+/// Scenario-level identity: the full `faults`-style experiment — two
+/// simulation phases, measurement plane, online detector — through
+/// `FatTreeExpConfig::shards`, 1 vs 2 vs 4.
+#[test]
+fn faulted_experiment_is_shard_count_invariant() {
+    let mut cfg = FatTreeExpConfig::paper(7, SimDuration::from_millis(3));
+    cfg.epoch = Some(SimDuration::from_millis(1));
+    let script = FaultScript::new(vec![FaultEvent {
+        at: SimTime::from_nanos(400_000),
+        kind: FaultKind::SlowSwitch {
+            node: 0,
+            extra: SimDuration::from_micros(120),
+        },
+    }]);
+    let detector = DetectorConfig::default();
+
+    cfg.shards = Some(1);
+    let one = run_fattree_faulted(&cfg, Some(&script), Some(&detector));
+    for shards in [2usize, 4] {
+        cfg.shards = Some(shards);
+        let many = run_fattree_faulted(&cfg, Some(&script), Some(&detector));
+        assert_eq!(many.delivered, one.delivered, "shards={shards}");
+        assert_eq!(many.events, one.events, "shards={shards}");
+        assert_eq!(many.fault_drops, one.fault_drops, "shards={shards}");
+        assert_eq!(
+            many.detection.is_some(),
+            one.detection.is_some(),
+            "shards={shards}"
+        );
+        if let (Some(a), Some(b)) = (&one.detection, &many.detection) {
+            assert_eq!(a.at, b.at, "detection time diverged at shards={shards}");
+            assert_eq!(a.tap, b.tap, "detection site diverged at shards={shards}");
+            assert_eq!(
+                a.epoch, b.epoch,
+                "detection epoch diverged at shards={shards}"
+            );
+        }
+        assert_eq!(
+            many.outcome.seg2_errors.len(),
+            one.outcome.seg2_errors.len(),
+            "shards={shards}"
+        );
+    }
+}
