@@ -21,7 +21,8 @@
 //!
 //! `--threads N` sizes the sweep worker pool (default: `RLIR_THREADS`, else
 //! available parallelism); `--shards N` runs the fat-tree scenarios
-//! (`fattree`, `faults`, `demux`) on the pod-sharded engine (default:
+//! (`fattree`, `faults`, `incast`, `localize`, `demux`) on the
+//! pod-sharded engine (default:
 //! `RLIR_SHARDS`, else the sequential engine). Results are byte-identical
 //! for any thread or shard count. Scale via
 //! `RLIR_SCALE={quick,default,full}`, `RLIR_DURATION_MS`, `RLIR_SEEDS`,

@@ -1,0 +1,135 @@
+//! Measurement-plane overhead vs tap count on the k=8 fat-tree.
+//!
+//! Fixes one fat-tree workload (the `plane_scale` harness's measured +
+//! background + reference traffic) and sweeps how much of the fabric is
+//! tapped: from a single `(switch, port)` to **every** port, all
+//! delivered-gated, all sharing the plane's arena/wheel state under one
+//! fixed pending budget. Per point it reports best-of-N wall-clock for
+//! the shared-arena layout, the same run under the pre-PR-8 per-tap
+//! layout, and each point's overhead over the curve's own 1-tap baseline
+//! — so `BENCH_plane.json` answers "what does tapping the whole fabric
+//! cost?" with a measured curve instead of an extrapolation.
+//!
+//! In-run byte-identity: at every tap count the two layouts must produce
+//! identical per-tap flow rows, epoch series, and shed/pending accounting
+//! (`PlaneScaleOutcome::report_digest` plus the aggregate counters) — the
+//! property `tests/plane_arena_differential.rs` pins on the RLIR harness,
+//! re-checked here on the exact workload being timed.
+//!
+//! Knobs: `RLIR_PLANEBENCH_MS` (trace duration, default 20),
+//! `RLIR_PLANEBENCH_REPS` (best-of, default 3), `RLIR_PLANEBENCH_K`
+//! (fat-tree arity, default 8).
+
+use rlir::experiment::{run_plane_scale, PlaneScaleConfig, PlaneScaleOutcome};
+use rlir_net::time::SimDuration;
+use std::time::Instant;
+
+fn env_u64(key: &str, default: u64) -> u64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+struct Point {
+    taps: usize,
+    shared_ns: u128,
+    per_tap_ns: u128,
+    shared: PlaneScaleOutcome,
+    per_tap: PlaneScaleOutcome,
+}
+
+/// Best-of-`reps` wall time plus the (rep-invariant) outcome.
+fn time_point(cfg: &PlaneScaleConfig, reps: u64) -> (u128, PlaneScaleOutcome) {
+    let mut best = u128::MAX;
+    let mut kept = None;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let out = run_plane_scale(cfg);
+        best = best.min(start.elapsed().as_nanos());
+        kept = Some(out);
+    }
+    (best, kept.expect("reps >= 1"))
+}
+
+fn main() {
+    let duration = SimDuration::from_millis(env_u64("RLIR_PLANEBENCH_MS", 20));
+    let reps = env_u64("RLIR_PLANEBENCH_REPS", 3).max(1);
+    let k = env_u64("RLIR_PLANEBENCH_K", 8) as usize;
+
+    let mut base = PlaneScaleConfig::fleet(0x91A7E, duration);
+    base.base.k = k;
+    let all = base.all_ports();
+
+    let mut points: Vec<Point> = Vec::new();
+    for taps in [1usize, all / 8, all / 2, all] {
+        let mut cfg = base.clone();
+        cfg.taps = Some(taps);
+        let (shared_ns, shared) = time_point(&cfg, reps);
+        let mut oracle = cfg.clone();
+        oracle.base.per_tap_plane = true;
+        let (per_tap_ns, per_tap) = time_point(&oracle, reps);
+
+        // In-run byte-identity between the layouts, on the timed workload.
+        assert_eq!(
+            shared.report_digest, per_tap.report_digest,
+            "{taps} taps: shared-arena reports diverged from the per-tap \
+             oracle — tests/plane_arena_differential.rs should have caught this"
+        );
+        assert_eq!(shared.metered, per_tap.metered);
+        assert_eq!(shared.estimated, per_tap.estimated);
+        assert_eq!(shared.shed, per_tap.shed);
+        assert_eq!(shared.peak_pending_total, per_tap.peak_pending_total);
+        assert_eq!(shared.late, 0, "window must cover the delivery lag");
+
+        points.push(Point {
+            taps,
+            shared_ns,
+            per_tap_ns,
+            shared,
+            per_tap,
+        });
+    }
+
+    // The curve's own 1-tap point is the overhead denominator: the ISSUE
+    // is "what does going from one tap to the whole fabric cost", not
+    // "what does the engine cost without a plane" (scripts/network_bench.sh
+    // times that).
+    let baseline_ns = points[0].shared_ns;
+    let head = &points[0].shared;
+    println!("{{");
+    println!(
+        "  \"bench\": \"measurement plane vs tap count: 1..{all} delivered-gated taps on the k={k} fat-tree ({}ms, best of {reps})\",",
+        duration.as_nanos() / 1_000_000
+    );
+    println!("  \"tappable_ports\": {all},");
+    println!(
+        "  \"pending_budget\": {},",
+        base.base.plane_budget.expect("fleet sets one")
+    );
+    println!("  \"delivered\": {},", head.delivered);
+    println!("  \"events\": {},", head.events);
+    println!("  \"baseline_wall_ms\": {:.3},", baseline_ns as f64 / 1e6);
+    println!("  \"byte_identical\": true,");
+    println!("  \"points\": [");
+    for (i, p) in points.iter().enumerate() {
+        let comma = if i + 1 < points.len() { "," } else { "" };
+        println!(
+            "    {{ \"taps\": {}, \"wall_ms\": {:.3}, \"per_tap_layout_wall_ms\": {:.3}, \
+             \"overhead_vs_baseline\": {:.3}, \"metered\": {}, \"estimated\": {}, \"shed\": {}, \
+             \"peak_pending_total\": {}, \"state_bytes\": {}, \"per_tap_layout_state_bytes\": {} }}{comma}",
+            p.taps,
+            p.shared_ns as f64 / 1e6,
+            p.per_tap_ns as f64 / 1e6,
+            p.shared_ns as f64 / baseline_ns as f64 - 1.0,
+            p.shared.metered,
+            p.shared.estimated,
+            p.shared.shed,
+            p.shared.peak_pending_total,
+            p.shared.peak_state_bytes,
+            p.per_tap.peak_state_bytes,
+        );
+    }
+    println!("  ]");
+    println!("}}");
+}

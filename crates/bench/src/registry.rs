@@ -17,8 +17,9 @@ use crate::figures::{
 use crate::output::{write_csv, OutputDir};
 use crate::scale::Scale;
 use rlir::experiment::{
-    run_asymmetric, run_drop_aware, run_faults, run_incast, run_localize_full, AsymmetricConfig,
-    DropAwareConfig, FaultsConfig, IncastConfig, LocalizeConfig, LossSweepConfig,
+    run_asymmetric, run_drop_aware, run_faults, run_incast, run_localize_full, run_plane_scale,
+    AsymmetricConfig, DropAwareConfig, FaultsConfig, IncastConfig, LocalizeConfig, LossSweepConfig,
+    PlaneScaleConfig,
 };
 use rlir_exec::ScenarioRegistry;
 use rlir_rli::PolicyKind;
@@ -188,7 +189,8 @@ pub fn build_registry() -> ScenarioRegistry<RunContext> {
         "incast",
         "NEW: synchronized burst fan-in on the fat-tree (per-flow accuracy vs fan-in)",
         |ctx, runner| {
-            let cfg = IncastConfig::paper(ctx.scale.base_seed, ctx.scale.fattree_duration);
+            let mut cfg = IncastConfig::paper(ctx.scale.base_seed, ctx.scale.fattree_duration);
+            cfg.base.shards = ctx.scale.shards;
             let points = run_incast(&cfg, runner);
             println!("== incast: synchronized 20%-duty bursts into one destination ToR ==");
             println!(
@@ -235,7 +237,8 @@ pub fn build_registry() -> ScenarioRegistry<RunContext> {
         "localize",
         "NEW: fabric-wide anomaly localization (random core/edge victim per point, accuracy + onset vs background load)",
         |ctx, runner| {
-            let cfg = LocalizeConfig::paper(ctx.scale.base_seed, ctx.scale.fattree_duration);
+            let mut cfg = LocalizeConfig::paper(ctx.scale.base_seed, ctx.scale.fattree_duration);
+            cfg.base.shards = ctx.scale.shards;
             let report = run_localize_full(&cfg, runner);
             println!(
                 "== localize: {} fault at one random core/edge switch per trial ==",
@@ -411,6 +414,64 @@ pub fn build_registry() -> ScenarioRegistry<RunContext> {
                 }),
             );
             ctx.out.write("scenario_faults.csv", &csv)?;
+            Ok(())
+        },
+    );
+
+    reg.register(
+        "plane_scale",
+        "NEW: fleet-scale plane — every (switch, port) of the k=8 fat-tree tapped under one shared-arena budget",
+        |ctx, _runner| {
+            let base = PlaneScaleConfig::fleet(ctx.scale.base_seed, ctx.scale.fattree_duration);
+            let all = base.all_ports();
+            println!(
+                "== plane_scale: shared-arena plane, 1 -> {all} taps on the k={} fat-tree ==",
+                base.base.k
+            );
+            println!(
+                "  {:>6} {:>9} {:>10} {:>8} {:>8} {:>13} {:>12}",
+                "taps", "metered", "estimated", "shed", "late", "peak pending", "state bytes"
+            );
+            // Deterministic series (no wall-clock — scripts/plane_bench.sh
+            // times the same curve): tap counts from one port to all of
+            // them, stride-spread over the fabric.
+            let counts = [1, all / 32, all / 8, all / 2, all];
+            let mut rows = Vec::new();
+            for &taps in &counts {
+                let mut cfg = base.clone();
+                cfg.taps = Some(taps);
+                let out = run_plane_scale(&cfg);
+                println!(
+                    "  {:>6} {:>9} {:>10} {:>8} {:>8} {:>13} {:>12}",
+                    out.taps,
+                    out.metered,
+                    out.estimated,
+                    out.shed,
+                    out.late,
+                    out.peak_pending_total,
+                    out.peak_state_bytes
+                );
+                rows.push(out);
+            }
+            let csv = write_csv(
+                "taps,metered,estimated,refs_accepted,shed,late,peak_pending,peak_pending_total,peak_state_bytes,report_digest",
+                rows.iter().map(|o| {
+                    format!(
+                        "{},{},{},{},{},{},{},{},{},{}",
+                        o.taps,
+                        o.metered,
+                        o.estimated,
+                        o.refs_accepted,
+                        o.shed,
+                        o.late,
+                        o.peak_pending,
+                        o.peak_pending_total,
+                        o.peak_state_bytes,
+                        o.report_digest
+                    )
+                }),
+            );
+            ctx.out.write("scenario_plane_scale.csv", &csv)?;
             Ok(())
         },
     );

@@ -22,7 +22,9 @@ use crate::deployment::{Deployment, CORE_SENDER_BASE};
 use crate::detect::{ClosedLoopSink, Detection, DetectorConfig};
 use crate::fabric::{build_network, FatTreeFabric};
 use crate::localization::SegmentObservation;
-use crate::plane::{DrainMode, MeasurementPlane, PlaneConfig, TapPoint, TapSpec, TruthRef};
+use crate::plane::{
+    DrainMode, MeasurementPlane, PlaneConfig, StateLayout, TapPoint, TapSpec, TruthRef,
+};
 use rlir_net::clock::ClockModel;
 use rlir_net::fxhash::FxHashMap;
 use rlir_net::packet::{Packet, ReferenceInfo, SenderId};
@@ -149,6 +151,12 @@ pub struct FatTreeExpConfig {
     /// are untouched.
     #[serde(default)]
     pub shards: Option<usize>,
+    /// Run the measurement plane in the pre-PR-8 per-tap state layout
+    /// ([`StateLayout::PerTap`]: private flow table + reorder heap per
+    /// tap) instead of the shared-arena default. Differential testing
+    /// only.
+    #[serde(default)]
+    pub per_tap_plane: bool,
 }
 
 impl FatTreeExpConfig {
@@ -175,6 +183,7 @@ impl FatTreeExpConfig {
             buffered_oracle: false,
             plane_budget: None,
             shards: None,
+            per_tap_plane: false,
         }
     }
 
@@ -660,6 +669,11 @@ fn attach_rlir_taps<'a>(
             DrainMode::BufferedSort
         } else {
             DrainMode::default()
+        },
+        layout: if cfg.per_tap_plane {
+            StateLayout::PerTap
+        } else {
+            StateLayout::SharedArena
         },
         epoch: cfg.epoch,
         pending_budget: cfg.plane_budget,

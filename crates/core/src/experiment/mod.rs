@@ -22,6 +22,9 @@
 //!   per epoch, so findings carry onset times.
 //! * [`drop_aware`] — live (non-delivered-gated) taps on a loss-heavy
 //!   path: estimator behaviour when the packets it metered die downstream.
+//! * [`plane_scale`] — the fleet-scale plane harness: every `(switch,
+//!   port)` of the fabric tapped at once under one shared-arena budget,
+//!   reporting plane overhead and state bytes versus tap count.
 //! * [`faults`] — the closed-loop robustness sweep: mid-run switch
 //!   degradation at scripted onsets, detected online with engine
 //!   termination; reports time-to-localize and false positives over
@@ -34,6 +37,7 @@ pub mod faults;
 pub mod incast;
 pub mod localize;
 pub mod loss_sweep;
+pub mod plane_scale;
 pub mod two_hop;
 
 pub use asymmetric::{
@@ -51,6 +55,7 @@ pub use localize::{
     LocalizeSweep, LocalizeTrial,
 };
 pub use loss_sweep::{run_loss_sweep, run_loss_sweep_on, LossPoint, LossSweep, LossSweepConfig};
+pub use plane_scale::{run_plane_scale, PlaneScaleConfig, PlaneScaleOutcome, StateSample};
 pub use two_hop::{
     run_two_hop, run_two_hop_on, run_two_hop_sweep, CrossSpec, TwoHopConfig, TwoHopOutcome,
     TwoHopPoint, TwoHopSweep,

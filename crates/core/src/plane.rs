@@ -77,10 +77,11 @@ use rlir_net::packet::{ReferenceInfo, SenderId};
 use rlir_net::time::{SimDuration, SimTime};
 use rlir_net::FlowKey;
 use rlir_rli::{
-    merge_epoch_series, EpochSnapshot, Interpolator, ReceiverConfig, ReceiverReport, RliReceiver,
+    merge_epoch_series, EpochSnapshot, FlowArena, Interpolator, ReceiverConfig, ReceiverReport,
+    RliReceiver,
 };
 use rlir_sim::pipeline::Delivery;
-use rlir_sim::{Hop, HopEvent, HopKind, HopSink, NodeId, PortId};
+use rlir_sim::{CalendarQueue, EventSchedule, Hop, HopEvent, HopKind, HopSink, NodeId, PortId};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -179,11 +180,36 @@ impl Default for DrainMode {
     }
 }
 
+/// How the plane lays out its hot per-tap state.
+///
+/// The fleet-scale question: with an RLI instance at *every* router
+/// (§3's deployment model), does plane state grow with tap count or with
+/// live observations? [`StateLayout::SharedArena`] — the default — pools
+/// flow accumulators into one plane-wide [`FlowArena`] keyed `(tap, flow)`
+/// and all streaming reorder windows into one shared calendar wheel keyed
+/// `(at, tie, id, tap)`, so fixed traffic costs the same no matter how
+/// many taps watch it. [`StateLayout::PerTap`] is the original private
+/// `FlowTable` + `BinaryHeap`-per-tap layout, retained as the
+/// differential oracle: `tests/plane_arena_differential.rs` pins the two
+/// byte-identical per tap.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum StateLayout {
+    /// One shared flow arena + one shared reorder wheel across all taps
+    /// (the fleet-scale default).
+    #[default]
+    SharedArena,
+    /// A private flow table and reorder heap per tap (the pre-PR-8
+    /// layout; differential oracle).
+    PerTap,
+}
+
 /// Plane-wide configuration shared by every attached tap.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PlaneConfig {
     /// Drain strategy for buffered taps.
     pub drain: DrainMode,
+    /// Hot-state layout across taps (see [`StateLayout`]).
+    pub layout: StateLayout,
     /// Epoch width: when set, every tap's receiver additionally aggregates
     /// per-epoch [`EpochSnapshot`]s and the report carries per-tap latency
     /// time-series. `None` keeps whole-run aggregates only.
@@ -304,11 +330,30 @@ impl Ord for PendingObs {
     }
 }
 
+/// Tie key of a shared-wheel entry: `(tie, packet id, tap)`. With the
+/// wheel's time dimension in front, entries drain in `(at, tie, id, tap)`
+/// order — whose per-tap projection is exactly the per-tap heap's
+/// `(at, tie, id)` order, so the shared drain feeds every receiver the
+/// byte-identical sequence.
+type WheelKey = (u64, u64, u32);
+
+/// What the shared reorder wheel moves: the owning tap plus the payload
+/// (time and tie live in the wheel's own key).
+struct WheelObs {
+    tap: u32,
+    payload: Payload,
+}
+
 struct TapState<'a> {
     spec: TapSpec<'a>,
     rx: RliReceiver,
-    /// Streaming mode: the bounded reorder window.
+    /// Streaming mode, [`StateLayout::PerTap`]: the private reorder heap.
     window: BinaryHeap<Reverse<PendingObs>>,
+    /// Streaming mode, [`StateLayout::SharedArena`]: this tap's share of
+    /// the wheel's population (drives the per-tap `max_buffer` cap and
+    /// `peak_pending` exactly as `window.len()` does in the per-tap
+    /// layout).
+    pending: usize,
     /// Oracle mode: the unbounded buffered-sort backlog.
     backlog: Vec<((SimTime, u64, u64), Payload)>,
     /// Observations with `at` below this are late (window too small).
@@ -537,6 +582,22 @@ pub struct MeasurementPlane<'a> {
     next_flush: SimTime,
     /// Plane-wide pending accounting for the global budget.
     totals: PendingTotals,
+    /// [`StateLayout::SharedArena`]: the plane-wide flow-accumulator store
+    /// (one arena tap handle per plane tap, same index).
+    arena: FlowArena,
+    /// [`StateLayout::SharedArena`]: the shared reorder wheel replacing
+    /// every per-tap heap — the watermark drain is one keyed pass.
+    wheel: CalendarQueue<WheelObs, WheelKey>,
+    /// Routing indices: which taps observe each point. Built at attach
+    /// time so an event consults only its matching taps — O(matches), not
+    /// O(taps) — which is what lets an all-ports deployment scale.
+    live_arrival: FxHashMap<NodeId, Vec<u32>>,
+    live_departure: FxHashMap<(NodeId, PortId), Vec<u32>>,
+    gated_arrival: FxHashMap<NodeId, Vec<u32>>,
+    gated_departure: FxHashMap<(NodeId, PortId), Vec<u32>>,
+    deliver_at: FxHashMap<NodeId, Vec<u32>>,
+    /// Reused candidate buffer for multi-index events (deliver/drop).
+    scratch: Vec<u32>,
 }
 
 impl<'a> MeasurementPlane<'a> {
@@ -548,8 +609,26 @@ impl<'a> MeasurementPlane<'a> {
 
     /// An empty plane with an explicit configuration.
     pub fn with_config(cfg: PlaneConfig) -> Self {
+        // Size the shared wheel's rotation to the reorder window:
+        // observations are pushed up to a full window past the watermark,
+        // so the default 1 ms rotation would send most of a 4 ms window
+        // to the overflow heap and the wheel would degenerate into the
+        // very per-tap BinaryHeap it replaces. Keep 1024 buckets and
+        // widen them until one rotation covers ~2 windows.
+        let wheel = match cfg.drain {
+            DrainMode::Streaming { reorder_window } => {
+                let window_ns = reorder_window.as_nanos().max(1);
+                let mut bucket_ns_log2 = 10u32; // 1 µs, the default geometry
+                while (1u64 << (bucket_ns_log2 + 10)) < window_ns.saturating_mul(2) {
+                    bucket_ns_log2 += 1;
+                }
+                CalendarQueue::with_geometry(bucket_ns_log2.min(39), 10)
+            }
+            DrainMode::BufferedSort => CalendarQueue::default(),
+        };
         MeasurementPlane {
             cfg,
+            wheel,
             ..Self::default()
         }
     }
@@ -577,10 +656,30 @@ impl<'a> MeasurementPlane<'a> {
             }
         };
         self.has_live_taps |= !spec.delivered_only;
+        let idx = self.taps.len() as u32;
+        if self.cfg.layout == StateLayout::SharedArena {
+            let handle = self.arena.register_tap(spec.track_quantile);
+            debug_assert_eq!(handle, idx, "arena handle is the tap index");
+        }
+        // Route the tap: which event lookups reach it (mirrors the match
+        // arms in `on_hop` exactly; `Delivery` taps observe deliveries at
+        // their node regardless of the delivered_only flag).
+        match (spec.delivered_only, spec.point) {
+            (_, TapPoint::Delivery(n)) => self.deliver_at.entry(n).or_default().push(idx),
+            (false, TapPoint::NodeArrival(n)) => self.live_arrival.entry(n).or_default().push(idx),
+            (false, TapPoint::PortDeparture(n, p)) => {
+                self.live_departure.entry((n, p)).or_default().push(idx)
+            }
+            (true, TapPoint::NodeArrival(n)) => self.gated_arrival.entry(n).or_default().push(idx),
+            (true, TapPoint::PortDeparture(n, p)) => {
+                self.gated_departure.entry((n, p)).or_default().push(idx)
+            }
+        }
         self.taps.push(TapState {
             spec,
             rx,
             window: BinaryHeap::new(),
+            pending: 0,
             backlog: Vec::new(),
             flushed_to: SimTime::ZERO,
             peak_pending: 0,
@@ -652,10 +751,13 @@ impl<'a> MeasurementPlane<'a> {
 
     /// Route one observation into tap `idx` at observation time `at` with
     /// tie-break key `(tie, id)`.
+    #[allow(clippy::too_many_arguments)]
     fn observe(
         taps: &mut [TapState<'a>],
         cfg: PlaneConfig,
         totals: &mut PendingTotals,
+        arena: &mut FlowArena,
+        wheel: &mut CalendarQueue<WheelObs, WheelKey>,
         idx: usize,
         at: SimTime,
         tie: u64,
@@ -698,7 +800,7 @@ impl<'a> MeasurementPlane<'a> {
             None => return,
         };
         if tap.spec.ordered {
-            feed(&mut tap.rx, at, &payload);
+            feed_into(cfg.layout, arena, &mut tap.rx, idx as u32, at, &payload);
             return;
         }
         match drain {
@@ -710,10 +812,14 @@ impl<'a> MeasurementPlane<'a> {
                     tap.late += 1;
                     return;
                 }
+                let buffered = match cfg.layout {
+                    StateLayout::SharedArena => tap.pending,
+                    StateLayout::PerTap => tap.window.len(),
+                };
                 let over_budget = cfg
                     .pending_budget
                     .is_some_and(|budget| totals.pending >= budget);
-                if tap.window.len() >= tap.spec.max_buffer || over_budget {
+                if buffered >= tap.spec.max_buffer || over_budget {
                     if let Payload::Regular { .. } = payload {
                         // Per-window cap or exhausted global budget: shed
                         // the observation but keep the books honest — it
@@ -725,15 +831,31 @@ impl<'a> MeasurementPlane<'a> {
                     }
                     // References are always admitted (see TapSpec docs).
                 }
-                tap.window.push(Reverse(PendingObs {
-                    key: (at, tie, ev.packet.id.0),
-                    payload,
-                }));
+                let len = match cfg.layout {
+                    StateLayout::SharedArena => {
+                        wheel.push_keyed(
+                            at,
+                            (tie, ev.packet.id.0, idx as u32),
+                            WheelObs {
+                                tap: idx as u32,
+                                payload,
+                            },
+                        );
+                        tap.pending += 1;
+                        tap.pending
+                    }
+                    StateLayout::PerTap => {
+                        tap.window.push(Reverse(PendingObs {
+                            key: (at, tie, ev.packet.id.0),
+                            payload,
+                        }));
+                        tap.window.len()
+                    }
+                };
                 totals.pending += 1;
                 if totals.pending > totals.peak {
                     totals.peak = totals.pending;
                 }
-                let len = tap.window.len();
                 tap.note_pending(len);
             }
             DrainMode::BufferedSort => {
@@ -745,7 +867,7 @@ impl<'a> MeasurementPlane<'a> {
     }
 
     /// Pop-and-feed every pending observation strictly below `bound`, in
-    /// `(at, tie, id)` order.
+    /// `(at, tie, id)` order ([`StateLayout::PerTap`] streaming drain).
     fn flush_tap(tap: &mut TapState<'a>, totals: &mut PendingTotals, bound: SimTime) {
         while let Some(Reverse(top)) = tap.window.peek() {
             if top.key.0 >= bound {
@@ -760,6 +882,32 @@ impl<'a> MeasurementPlane<'a> {
         }
     }
 
+    /// Single-pass shared-wheel drain ([`StateLayout::SharedArena`]): pop
+    /// every entry strictly below `bound` in global `(at, tie, id, tap)`
+    /// order — each tap sees exactly its per-tap `(at, tie, id)` sequence —
+    /// then advance every unordered tap's lateness bound.
+    fn flush_wheel(&mut self, bound: SimTime) {
+        while self.wheel.peek_at().is_some_and(|t| t < bound) {
+            let (at, _, obs) = self.wheel.pop_keyed().expect("peeked");
+            let tap = &mut self.taps[obs.tap as usize];
+            tap.pending -= 1;
+            self.totals.pending = self.totals.pending.saturating_sub(1);
+            feed_into(
+                StateLayout::SharedArena,
+                &mut self.arena,
+                &mut tap.rx,
+                obs.tap,
+                at,
+                &obs.payload,
+            );
+        }
+        for tap in &mut self.taps {
+            if !tap.spec.ordered && bound > tap.flushed_to {
+                tap.flushed_to = bound;
+            }
+        }
+    }
+
     /// Count a metered packet of live tap `idx` that died downstream after
     /// crossing the tap at `at`.
     fn note_drop(tap: &mut TapState<'a>, epoch_ns: Option<u64>, at: SimTime) {
@@ -769,28 +917,111 @@ impl<'a> MeasurementPlane<'a> {
         }
     }
 
+    /// Point-in-time plane-wide epoch view: merge every tap's per-epoch
+    /// snapshots produced *so far* into one series (dense union of the
+    /// epoch ranges), without stopping the run — the snapshot-query a
+    /// collector polls against a live fabric. Empty unless
+    /// [`PlaneConfig::epoch`] is set.
+    pub fn snapshot_epochs(&self) -> Vec<EpochSnapshot> {
+        let Some(epoch_ns) = self.cfg.epoch_ns() else {
+            return Vec::new();
+        };
+        let per_tap: Vec<Vec<EpochSnapshot>> = self
+            .taps
+            .iter()
+            .map(|t| t.rx.epoch_snapshots().cloned().collect())
+            .collect();
+        let slices: Vec<&[EpochSnapshot]> = per_tap.iter().map(Vec::as_slice).collect();
+        merge_epoch_series(&slices, epoch_ns)
+    }
+
+    /// Mid-run per-epoch localization over the snapshots produced so far
+    /// (see [`PlaneReport::localize_epochs`] for the post-run variant).
+    /// Empty unless the plane runs with epochs.
+    pub fn localize_now(&self, cfg: &LocalizerConfig) -> Vec<EpochFindings> {
+        let Some(epoch_ns) = self.cfg.epoch_ns() else {
+            return Vec::new();
+        };
+        let per_tap: Vec<(&str, Vec<EpochSnapshot>)> = self
+            .taps
+            .iter()
+            .map(|t| {
+                (
+                    t.spec.name.as_str(),
+                    t.rx.epoch_snapshots().cloned().collect(),
+                )
+            })
+            .collect();
+        let series: Vec<(&str, &[EpochSnapshot])> = per_tap
+            .iter()
+            .map(|(name, s)| (*name, s.as_slice()))
+            .collect();
+        localize_epoch_series(&series, epoch_ns, cfg)
+    }
+
+    /// Approximate bytes of plane hot state right now: flow accumulators
+    /// plus buffered observations (windows or backlogs). Diagnostic — the
+    /// bench's sublinearity witness, not an allocator.
+    pub fn approx_state_bytes(&self) -> usize {
+        let obs = std::mem::size_of::<PendingObs>();
+        let wheel_entry =
+            std::mem::size_of::<WheelObs>() + std::mem::size_of::<(u64, WheelKey, u64)>();
+        let mut bytes = match self.cfg.layout {
+            StateLayout::SharedArena => self.arena.approx_bytes() + self.wheel.len() * wheel_entry,
+            StateLayout::PerTap => self
+                .taps
+                .iter()
+                .map(|t| t.rx.flows().approx_bytes() + t.window.len() * obs)
+                .sum(),
+        };
+        for t in &self.taps {
+            bytes += t.backlog.capacity() * obs;
+        }
+        bytes
+    }
+
     /// Drain every tap (deterministic order) and finish every receiver.
-    pub fn finish(self) -> PlaneReport {
+    pub fn finish(mut self) -> PlaneReport {
         let epoch_ns = self.cfg.epoch_ns();
         let peak_pending_total = self.totals.peak;
+        let layout = self.cfg.layout;
+        // Drain what is still pending. The shared wheel drains globally
+        // keyed (per-tap projection identical to per-tap pops); backlogs
+        // are inherently per-tap in both layouts.
+        if let DrainMode::Streaming { .. } = self.cfg.drain {
+            if layout == StateLayout::SharedArena {
+                self.flush_wheel(SimTime::MAX);
+            }
+        }
+        let mut arena = std::mem::take(&mut self.arena);
+        for (i, t) in self.taps.iter_mut().enumerate() {
+            match self.cfg.drain {
+                DrainMode::Streaming { .. } => {
+                    while let Some(Reverse(obs)) = t.window.pop() {
+                        feed(&mut t.rx, obs.key.0, &obs.payload);
+                    }
+                }
+                DrainMode::BufferedSort => {
+                    t.backlog.sort_by_key(|(key, _)| *key);
+                    let backlog = std::mem::take(&mut t.backlog);
+                    for ((at, _, _), payload) in &backlog {
+                        feed_into(layout, &mut arena, &mut t.rx, i as u32, *at, payload);
+                    }
+                }
+            }
+        }
+        // Under the shared layout every estimate landed in the arena; tear
+        // it apart into per-tap tables bit-identical to private ones.
+        let mut tables = (layout == StateLayout::SharedArena).then(|| arena.into_tables());
         let taps = self
             .taps
             .into_iter()
-            .map(|mut t| {
-                match self.cfg.drain {
-                    DrainMode::Streaming { .. } => {
-                        while let Some(Reverse(obs)) = t.window.pop() {
-                            feed(&mut t.rx, obs.key.0, &obs.payload);
-                        }
-                    }
-                    DrainMode::BufferedSort => {
-                        t.backlog.sort_by_key(|(key, _)| *key);
-                        for ((at, _, _), payload) in &t.backlog {
-                            feed(&mut t.rx, *at, payload);
-                        }
-                    }
-                }
+            .enumerate()
+            .map(|(i, t)| {
                 let mut report = t.rx.finish();
+                if let Some(tables) = tables.as_mut() {
+                    report.flows = std::mem::take(&mut tables[i]);
+                }
                 if let (Some(e), false) = (epoch_ns, t.drops_by_epoch.is_empty()) {
                     // Join the plane's downstream-death counts into the
                     // receiver's epoch series (dense union of the ranges).
@@ -833,6 +1064,29 @@ fn feed(rx: &mut RliReceiver, at: SimTime, payload: &Payload) {
     }
 }
 
+/// [`feed`] with the per-flow aggregation routed by layout: under
+/// [`StateLayout::SharedArena`] reference-closed estimates land in the
+/// plane-wide arena under this tap's handle; under
+/// [`StateLayout::PerTap`] in the receiver's private table.
+fn feed_into(
+    layout: StateLayout,
+    arena: &mut FlowArena,
+    rx: &mut RliReceiver,
+    tap: u32,
+    at: SimTime,
+    payload: &Payload,
+) {
+    match payload {
+        Payload::Reference(info) => match layout {
+            StateLayout::SharedArena => rx.on_reference_record(at, info, |flow, est, truth| {
+                arena.record(tap, flow, est, truth)
+            }),
+            StateLayout::PerTap => rx.on_reference(at, info),
+        },
+        Payload::Regular { flow, truth } => rx.on_regular(at, *flow, *truth),
+    }
+}
+
 impl HopSink for MeasurementPlane<'_> {
     fn on_watermark(&mut self, watermark: SimTime) {
         self.watermark = watermark;
@@ -847,9 +1101,14 @@ impl HopSink for MeasurementPlane<'_> {
                 .as_nanos()
                 .saturating_sub(reorder_window.as_nanos()),
         );
-        for tap in &mut self.taps {
-            if !tap.spec.ordered {
-                Self::flush_tap(tap, &mut self.totals, bound);
+        match self.cfg.layout {
+            StateLayout::SharedArena => self.flush_wheel(bound),
+            StateLayout::PerTap => {
+                for tap in &mut self.taps {
+                    if !tap.spec.ordered {
+                        Self::flush_tap(tap, &mut self.totals, bound);
+                    }
+                }
             }
         }
         self.next_flush = watermark + SimDuration::from_nanos(reorder_window.as_nanos() / 2 + 1);
@@ -863,14 +1122,15 @@ impl HopSink for MeasurementPlane<'_> {
                 }
                 self.live_seq += 1;
                 let tie = self.live_seq;
-                for i in 0..self.taps.len() {
-                    let spec = &self.taps[i].spec;
-                    if !spec.delivered_only && spec.point == TapPoint::NodeArrival(ev.node) {
+                if let Some(idxs) = self.live_arrival.get(&ev.node) {
+                    for &i in idxs {
                         Self::observe(
                             &mut self.taps,
                             self.cfg,
                             &mut self.totals,
-                            i,
+                            &mut self.arena,
+                            &mut self.wheel,
+                            i as usize,
                             ev.at,
                             tie,
                             ev,
@@ -884,15 +1144,15 @@ impl HopSink for MeasurementPlane<'_> {
                 }
                 self.live_seq += 1;
                 let tie = self.live_seq;
-                for i in 0..self.taps.len() {
-                    let spec = &self.taps[i].spec;
-                    if !spec.delivered_only && spec.point == TapPoint::PortDeparture(ev.node, port)
-                    {
+                if let Some(idxs) = self.live_departure.get(&(ev.node, port)) {
+                    for &i in idxs {
                         Self::observe(
                             &mut self.taps,
                             self.cfg,
                             &mut self.totals,
-                            i,
+                            &mut self.arena,
+                            &mut self.wheel,
+                            i as usize,
                             ev.at,
                             tie,
                             ev,
@@ -902,8 +1162,25 @@ impl HopSink for MeasurementPlane<'_> {
             }
             HopKind::Deliver => {
                 let delivered = ev.at.as_nanos();
-                for i in 0..self.taps.len() {
-                    let spec = &self.taps[i].spec;
+                // Candidates from the routing indices; sorted+deduped tap
+                // ids reproduce the old full scan's attachment order.
+                let mut cand = std::mem::take(&mut self.scratch);
+                cand.clear();
+                if let Some(v) = self.deliver_at.get(&ev.node) {
+                    cand.extend_from_slice(v);
+                }
+                for h in ev.hops {
+                    if let Some(v) = self.gated_arrival.get(&h.node) {
+                        cand.extend_from_slice(v);
+                    }
+                    if let Some(v) = self.gated_departure.get(&(h.node, h.port)) {
+                        cand.extend_from_slice(v);
+                    }
+                }
+                cand.sort_unstable();
+                cand.dedup();
+                for &i in &cand {
+                    let spec = &self.taps[i as usize].spec;
                     let at = match spec.point {
                         TapPoint::Delivery(n) if n == ev.node => Some(ev.at),
                         TapPoint::NodeArrival(n) if spec.delivered_only => {
@@ -921,13 +1198,16 @@ impl HopSink for MeasurementPlane<'_> {
                             &mut self.taps,
                             self.cfg,
                             &mut self.totals,
-                            i,
+                            &mut self.arena,
+                            &mut self.wheel,
+                            i as usize,
                             at,
                             delivered,
                             ev,
                         );
                     }
                 }
+                self.scratch = cand;
             }
             // Drop events carry the live taps' drop-awareness: a packet
             // that dies here was already *observed* by every live tap it
@@ -938,14 +1218,28 @@ impl HopSink for MeasurementPlane<'_> {
                     return;
                 }
                 let epoch_ns = self.cfg.epoch_ns();
-                for i in 0..self.taps.len() {
-                    let spec = &self.taps[i].spec;
-                    if spec.delivered_only {
-                        continue;
+                let mut cand = std::mem::take(&mut self.scratch);
+                cand.clear();
+                // The drop node itself counts: arrival there precedes the
+                // fatal queue. Upstream crossings come from the hops.
+                if let Some(v) = self.live_arrival.get(&ev.node) {
+                    cand.extend_from_slice(v);
+                }
+                for h in ev.hops {
+                    if let Some(v) = self.live_arrival.get(&h.node) {
+                        cand.extend_from_slice(v);
                     }
-                    // Where (and when) did this tap observe the dying
-                    // packet? The drop node itself counts: arrival there
-                    // precedes the fatal queue.
+                    if let Some(v) = self.live_departure.get(&(h.node, h.port)) {
+                        cand.extend_from_slice(v);
+                    }
+                }
+                cand.sort_unstable();
+                cand.dedup();
+                for &i in &cand {
+                    let i = i as usize;
+                    let spec = &self.taps[i].spec;
+                    // Where (and when) did this live tap observe the dying
+                    // packet?
                     let at = match spec.point {
                         TapPoint::NodeArrival(n) if n == ev.node => Some(ev.at),
                         TapPoint::NodeArrival(n) => {
@@ -967,6 +1261,7 @@ impl HopSink for MeasurementPlane<'_> {
                     }
                     Self::note_drop(&mut self.taps[i], epoch_ns, at);
                 }
+                self.scratch = cand;
             }
             // Enqueue events carry no measurement semantics: RLI meters
             // what crosses a point, not what waits at it.

@@ -30,7 +30,7 @@ pub mod receiver;
 pub mod sender;
 
 pub use epoch::{merge_epoch_series, EpochSnapshot};
-pub use flowstats::{FlowAccumulator, FlowReport, FlowTable, SipFlowTable};
+pub use flowstats::{FlowAccumulator, FlowArena, FlowReport, FlowTable, SipFlowTable};
 pub use interpolate::{DelaySample, Interpolator, Segment};
 pub use policy::{
     AdaptiveConfig, AdaptivePolicy, InjectionPolicy, Policy, PolicyKind, StaticPolicy,

@@ -189,6 +189,24 @@ impl<S: BuildHasher + Default> RliReceiver<S> {
     /// A reference packet arrived: if it is ours, close the current
     /// interpolation interval and estimate everything buffered inside it.
     pub fn on_reference(&mut self, at: SimTime, info: &ReferenceInfo) {
+        // Split the borrow: route estimates into our own table while the
+        // rest of the receiver mutates through `on_reference_record`.
+        let mut flows = std::mem::take(&mut self.flows);
+        self.on_reference_record(at, info, |flow, est, truth| flows.record(flow, est, truth));
+        self.flows = flows;
+    }
+
+    /// [`RliReceiver::on_reference`] with the per-flow aggregation routed
+    /// through `record` instead of this receiver's private [`FlowTable`] —
+    /// the hook a shared-arena measurement plane uses to keep flow state in
+    /// one plane-wide store. Every other effect (counters, epochs, the
+    /// per-packet estimate log) is identical.
+    pub fn on_reference_record(
+        &mut self,
+        at: SimTime,
+        info: &ReferenceInfo,
+        mut record: impl FnMut(rlir_net::FlowKey, f64, Option<f64>),
+    ) {
         if info.sender != self.cfg.sender {
             self.counters.refs_foreign += 1;
             return;
@@ -205,7 +223,7 @@ impl<S: BuildHasher + Default> RliReceiver<S> {
             let segment = self.cfg.interpolator.segment(left, right);
             for p in self.buffer.drain(..) {
                 let est = segment.estimate_at(p.at);
-                self.flows.record(p.flow, est, p.truth_ns);
+                record(p.flow, est, p.truth_ns);
                 if let Some(t) = self.epochs.as_mut() {
                     // The estimate belongs to the epoch the packet crossed
                     // the observation point in, not the closing ref's.

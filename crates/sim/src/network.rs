@@ -452,11 +452,13 @@ pub struct NetworkRunStats {
     /// Scheduler events processed (arrivals, including the injections).
     pub events: u64,
     /// High-water mark of concurrently in-flight packets — the engine's
-    /// memory bound, independent of [`Self::injected`]. Sharded runs: max
-    /// of the per-shard peaks.
+    /// memory bound, independent of [`Self::injected`]. Sharded runs fuse
+    /// this as the max of the per-shard peaks; see
+    /// [`crate::shard::ShardRunStats::merged`] for the rationale.
     pub peak_live_slots: usize,
     /// Hop-storage (re)allocations over the whole run; amortized O(max
-    /// in-flight) thanks to slot recycling. Sharded runs: sum over shards.
+    /// in-flight) thanks to slot recycling. Sharded runs fuse this as the
+    /// sum over shards; see [`crate::shard::ShardRunStats::merged`].
     pub hop_allocations: u64,
     /// Packets dropped *because of* an injected fault (loss-burst deaths
     /// and dead-link blackholes) — a subset of the route drops. Zero for

@@ -123,6 +123,32 @@ pub struct ShardRunStats {
     pub shard_stalls: u64,
 }
 
+impl ShardRunStats {
+    /// Fold each shard's slab capacity diagnostics — `(peak_live_slots,
+    /// hop_allocations)` pairs — into the fused [`NetworkRunStats`].
+    ///
+    /// Every stream-observable field of the fused stats is shard-count
+    /// invariant and needs no aggregation rule: all shards emit the same
+    /// merged stream. The two slab diagnostics are the exception, and
+    /// this is their one documented fusion:
+    ///
+    /// * [`NetworkRunStats::peak_live_slots`] — **max** of the per-shard
+    ///   peaks. Each shard owns an independent slab (its own memory
+    ///   pool), so the bound on any one pool is the worst shard's
+    ///   high-water mark; summing would claim residency that never
+    ///   coexisted in a single slab.
+    /// * [`NetworkRunStats::hop_allocations`] — **sum** over shards.
+    ///   Every shard's hop-storage (re)allocations really happened, so
+    ///   the run-wide allocator pressure is their total.
+    pub fn merged(mut self, per_shard: impl IntoIterator<Item = (usize, u64)>) -> Self {
+        for (peak_live_slots, hop_allocations) in per_shard {
+            self.stats.peak_live_slots = self.stats.peak_live_slots.max(peak_live_slots);
+            self.stats.hop_allocations += hop_allocations;
+        }
+        self
+    }
+}
+
 /// One globally-time-sorted injection owned by a shard.
 #[derive(Debug, Clone, Copy)]
 struct Injection {
@@ -842,10 +868,6 @@ pub fn run_network_sharded<F: Forwarder + Sync>(
         .into_iter()
         .map(|m| m.into_inner().expect("worker poisoned"))
         .collect();
-    for w in &workers {
-        st.stats.peak_live_slots = st.stats.peak_live_slots.max(w.slab.peak_live());
-        st.stats.hop_allocations += w.slab.hop_allocations();
-    }
     // Fused final network: each switch's queue state from the shard that
     // owned (and therefore exclusively mutated) it.
     let mut fused = std::mem::take(&mut workers[0].network);
@@ -862,6 +884,11 @@ pub fn run_network_sharded<F: Forwarder + Sync>(
         windows: st.windows,
         shard_stalls: st.stalls,
     }
+    .merged(
+        workers
+            .iter()
+            .map(|w| (w.slab.peak_live(), w.slab.hop_allocations())),
+    )
 }
 
 #[cfg(test)]
@@ -958,6 +985,31 @@ mod tests {
             digest.fold(at);
         }
         (digest.0, out)
+    }
+
+    #[test]
+    fn merged_takes_max_of_peaks_and_sums_allocations() {
+        let stats = NetworkRunStats {
+            delivered: 0,
+            queue_drops: vec![],
+            route_drops: vec![],
+            injected: 0,
+            events: 0,
+            peak_live_slots: 3,
+            hop_allocations: 5,
+            fault_drops: 0,
+            network: tandem(),
+        };
+        let fused = ShardRunStats {
+            stats,
+            shards: 3,
+            windows: 0,
+            shard_stalls: 0,
+        }
+        .merged([(7, 10), (2, 1), (4, 100)]);
+        // Max of per-shard peaks (independent pools), sum of allocations.
+        assert_eq!(fused.stats.peak_live_slots, 7);
+        assert_eq!(fused.stats.hop_allocations, 5 + 10 + 1 + 100);
     }
 
     #[test]

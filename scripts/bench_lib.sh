@@ -1,0 +1,19 @@
+# Shared plumbing for scripts/*_bench.sh — source this, then call
+# run_bench. Every bench script is the same four lines (release build of
+# one rlir-bench binary, run it, capture stdout to the output file, echo
+# it back); this is that boilerplate, written once.
+#
+#   source "$(dirname "$0")/bench_lib.sh"
+#   run_bench <binary> <output.json>
+#
+# The caller keeps its own knob documentation and default output name;
+# the binaries themselves own the best-of-N timing loops and any in-run
+# identity asserts.
+
+run_bench() {
+  local bin="$1" out="$2"
+  cargo build --release -p rlir-bench --bin "$bin"
+  "target/release/$bin" > "$out"
+  echo "wrote $out:"
+  cat "$out"
+}

@@ -16,9 +16,5 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_detect.json}"
-
-cargo build --release -p rlir-bench --bin detect_bench
-target/release/detect_bench > "$OUT"
-echo "wrote $OUT:"
-cat "$OUT"
+source scripts/bench_lib.sh
+run_bench detect_bench "${1:-BENCH_detect.json}"

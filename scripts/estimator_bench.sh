@@ -13,9 +13,5 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_estimator.json}"
-
-cargo build --release -p rlir-bench --bin estimator_bench
-target/release/estimator_bench > "$OUT"
-echo "wrote $OUT:"
-cat "$OUT"
+source scripts/bench_lib.sh
+run_bench estimator_bench "${1:-BENCH_estimator.json}"

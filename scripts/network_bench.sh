@@ -18,9 +18,5 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_network.json}"
-
-cargo build --release -p rlir-bench --bin network_bench
-target/release/network_bench > "$OUT"
-echo "wrote $OUT:"
-cat "$OUT"
+source scripts/bench_lib.sh
+run_bench network_bench "${1:-BENCH_network.json}"

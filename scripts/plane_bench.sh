@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Measurement-plane overhead vs tap count: sweep delivered-gated taps
+# from one (switch, port) to every port of the k=8 fat-tree (544 of
+# them), all sharing the plane's arena/wheel state under one fixed
+# pending budget, and emit BENCH_plane.json with best-of-N wall-clock
+# per point, the same run under the pre-PR-8 per-tap state layout, each
+# point's overhead over the curve's 1-tap baseline, and both layouts'
+# peak state bytes. The benchmark binary asserts in-run that the two
+# layouts produced byte-identical per-tap flow rows, epoch series and
+# shed/pending accounting (the property tests/plane_arena_differential.rs
+# pins on the RLIR harness); this script records only the numbers.
+#
+# Usage: scripts/plane_bench.sh [output.json]
+# Knobs: RLIR_PLANEBENCH_MS   (trace duration, default 20)
+#        RLIR_PLANEBENCH_REPS (best-of, default 3)
+#        RLIR_PLANEBENCH_K    (fat-tree arity, default 8)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+source scripts/bench_lib.sh
+run_bench plane_bench "${1:-BENCH_plane.json}"

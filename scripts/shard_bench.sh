@@ -18,9 +18,5 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_shard.json}"
-
-cargo build --release -p rlir-bench --bin shard_bench
-target/release/shard_bench > "$OUT"
-echo "wrote $OUT:"
-cat "$OUT"
+source scripts/bench_lib.sh
+run_bench shard_bench "${1:-BENCH_shard.json}"

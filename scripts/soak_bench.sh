@@ -17,9 +17,5 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_soak.json}"
-
-cargo build --release -p rlir-bench --bin soak_bench
-target/release/soak_bench > "$OUT"
-echo "wrote $OUT:"
-cat "$OUT"
+source scripts/bench_lib.sh
+run_bench soak_bench "${1:-BENCH_soak.json}"

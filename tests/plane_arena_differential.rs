@@ -1,0 +1,160 @@
+//! Shared-arena plane vs per-tap oracle.
+//!
+//! PR 8 rebuilds the measurement plane's hot state around shared stores:
+//! one plane-wide `FlowArena` for flow accumulators (taps hold handles
+//! into one contiguous store keyed `(tap, flow)`) and one shared calendar
+//! wheel for every streaming reorder window (keyed `(at, tie, id, tap)`,
+//! drained in a single watermark pass). The pre-PR-8 layout — a private
+//! `FlowTable` plus a `BinaryHeap` reorder window per tap — is retained
+//! behind `StateLayout::PerTap` as the differential oracle.
+//!
+//! These tests pin the two layouts **byte-identical** (floats compared
+//! via `to_bits` inside the digests) on calm, burst+drop, and
+//! budget-shedding regimes: per-tap flow reports, error vectors, segment
+//! aggregates, epoch series, and the plane's shed/late/peak accounting.
+
+use rlir::experiment::{run_fattree, FatTreeExpConfig, FatTreeOutcome};
+use rlir_net::time::SimDuration;
+use rlir_rli::{EpochSnapshot, FlowTable, PolicyKind};
+use rlir_trace::BurstShape;
+
+fn fold(h: u64, bits: u64) -> u64 {
+    h.rotate_left(7) ^ bits.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Digest a per-flow table: every row's flow, counts, moments and
+/// quantiles, bit for bit.
+fn digest_flows(mut h: u64, flows: &FlowTable) -> u64 {
+    h = fold(h, flows.flow_count() as u64);
+    h = fold(h, flows.estimate_count());
+    for row in flows.report(1) {
+        h = fold(h, row.packets);
+        h = fold(h, row.est_mean.to_bits());
+        h = fold(h, row.true_mean.unwrap_or(f64::NAN).to_bits());
+        h = fold(h, row.est_std.unwrap_or(f64::NAN).to_bits());
+        h = fold(h, row.true_std.unwrap_or(f64::NAN).to_bits());
+        h = fold(h, row.est_quantile.unwrap_or(f64::NAN).to_bits());
+        h = fold(h, row.true_quantile.unwrap_or(f64::NAN).to_bits());
+    }
+    h
+}
+
+/// Digest an epoch series: counters and moments per epoch.
+fn digest_epochs(mut h: u64, epochs: &[EpochSnapshot]) -> u64 {
+    h = fold(h, epochs.len() as u64);
+    for e in epochs {
+        h = fold(h, e.epoch);
+        h = fold(h, e.regulars_seen);
+        h = fold(h, e.estimated);
+        h = fold(h, e.unestimated);
+        h = fold(h, e.refs_accepted);
+        h = fold(h, e.dropped_after_metering);
+        h = fold(h, e.est_mean().unwrap_or(f64::NAN).to_bits());
+        h = fold(h, e.true_mean().unwrap_or(f64::NAN).to_bits());
+    }
+    h
+}
+
+/// Digest everything the plane reports: per-tap flow tables and epoch
+/// series (via the per-segment views), error vectors, segment aggregates,
+/// and the shed/late/pending accounting.
+fn digest(out: &FatTreeOutcome) -> u64 {
+    let mut h = 0u64;
+    h = digest_flows(h, &out.seg1_flows);
+    h = digest_flows(h, &out.seg2_flows);
+    for errs in [&out.seg1_errors, &out.seg2_errors] {
+        h = fold(h, errs.len() as u64);
+        h = errs.iter().fold(h, |h, e| fold(h, e.to_bits()));
+    }
+    for s in &out.segments {
+        h = s.name.bytes().fold(h, |h, b| fold(h, b as u64));
+        h = fold(h, s.est_mean_ns.to_bits());
+        h = fold(h, s.true_mean_ns.to_bits());
+        h = fold(h, s.packets);
+    }
+    for (name, series) in &out.segment_epochs {
+        h = name.bytes().fold(h, |h, b| fold(h, b as u64));
+        h = digest_epochs(h, series);
+    }
+    h = digest_epochs(h, &out.seg1_epochs);
+    h = digest_epochs(h, &out.seg2_epochs);
+    h = fold(h, out.peak_pending as u64);
+    h = fold(h, out.peak_pending_total as u64);
+    h = fold(h, out.late);
+    h = fold(h, out.shed);
+    h
+}
+
+/// A drop- and tie-heavy regime: synchronized bursts overload the
+/// destination downlink (equal-timestamp clusters, queue drops).
+fn stressed(seed: u64) -> FatTreeExpConfig {
+    let mut cfg = FatTreeExpConfig::paper(seed, SimDuration::from_millis(20));
+    cfg.policy = PolicyKind::Static { n: 30 };
+    cfg.n_src_tors = 4;
+    cfg.measured_load = 0.30;
+    cfg.burst = Some(BurstShape {
+        period: SimDuration::from_millis(5),
+        duty: 0.2,
+    });
+    cfg
+}
+
+#[test]
+fn shared_arena_matches_per_tap_oracle() {
+    let mut calm = FatTreeExpConfig::paper(11, SimDuration::from_millis(20));
+    calm.policy = PolicyKind::Static { n: 30 };
+    // A budget tight enough to shed: identical shedding decisions require
+    // the two layouts to agree on the plane-wide pending count at every
+    // single observation.
+    let mut squeezed = stressed(29);
+    squeezed.plane_budget = Some(192);
+    for (label, base) in [
+        ("calm", calm),
+        ("burst+drops", stressed(17)),
+        ("budget-shed", squeezed),
+    ] {
+        let shared = run_fattree(&base);
+        let mut oracle_cfg = base.clone();
+        oracle_cfg.per_tap_plane = true;
+        let oracle = run_fattree(&oracle_cfg);
+        assert_eq!(
+            digest(&shared),
+            digest(&oracle),
+            "{label}: shared-arena plane drifted from the per-tap oracle"
+        );
+        if label == "budget-shed" {
+            assert!(shared.shed > 0, "budget regime must actually shed");
+            // References are always admitted past the budget, so the bound
+            // is on regulars: the budgeted peak must sit well below the
+            // same regime's unbudgeted peak.
+            let mut free = base.clone();
+            free.plane_budget = None;
+            let unbudgeted = run_fattree(&free);
+            assert!(
+                shared.peak_pending_total < unbudgeted.peak_pending_total / 2,
+                "budget must curb plane-wide pending: {} vs unbudgeted {}",
+                shared.peak_pending_total,
+                unbudgeted.peak_pending_total
+            );
+        } else {
+            assert_eq!(shared.late, 0, "{label}: window must cover the lag");
+        }
+    }
+}
+
+#[test]
+fn shared_arena_matches_per_tap_under_buffered_sort() {
+    // The arena also carries the flow state under the buffered-sort drain
+    // (per-tap backlogs in both layouts): pin that corner too.
+    let mut cfg = stressed(31);
+    cfg.buffered_oracle = true;
+    let shared = run_fattree(&cfg);
+    let mut oracle_cfg = cfg.clone();
+    oracle_cfg.per_tap_plane = true;
+    let oracle = run_fattree(&oracle_cfg);
+    assert_eq!(
+        digest(&shared),
+        digest(&oracle),
+        "buffered-sort: shared-arena plane drifted from the per-tap oracle"
+    );
+}
