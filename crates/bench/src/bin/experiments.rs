@@ -37,10 +37,12 @@ use rlir_bench::{
 };
 use rlir_exec::SweepRunner;
 
-const HELP: &str = "experiments <list|run <name>|fig4a|fig4b|fig4c|fig5|placement|demux|interp|sync|baselines|quantiles|localize|all> [--threads N] [--shards N]
+const HELP: &str = "experiments <list|run <name>|fig4a|fig4b|fig4c|fig5|placement|demux|interp|sync|baselines|quantiles|localize|all> [--threads N] [--shards N] [--trace <file>] [--entry-map <spec>]
 Scale: RLIR_SCALE={quick,default,full} RLIR_DURATION_MS=<ms> RLIR_SEEDS=<n> RLIR_SEED=<n>
 Threads: --threads N (default RLIR_THREADS, else available parallelism)
 Shards: --shards N pod-sharded fat-tree engine (default RLIR_SHARDS, else sequential; byte-identical for any N)
+Replay: --trace <pcap> capture to stream through `run replay` (default: generated);
+        --entry-map fixed:<node>|hash:<n0,n1,...> entry-node demux (tandem nodes are 0 and 1)
 Output: RLIR_RESULTS_DIR=<dir> (default results/)";
 
 fn emit_accuracy_figure(
@@ -259,9 +261,38 @@ fn main() -> std::io::Result<()> {
     let mut positional: Vec<String> = Vec::new();
     let mut threads: Option<usize> = None;
     let mut shards: Option<usize> = None;
+    let mut trace: Option<std::path::PathBuf> = None;
+    let mut entry_map: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
+            "--trace" => {
+                let p = args
+                    .next()
+                    .map(std::path::PathBuf::from)
+                    .unwrap_or_else(|| {
+                        eprintln!("--trace needs a capture file path\n{HELP}");
+                        std::process::exit(2);
+                    });
+                if !p.is_file() {
+                    eprintln!("--trace: {} is not a readable file\n{HELP}", p.display());
+                    std::process::exit(2);
+                }
+                trace = Some(p);
+            }
+            "--entry-map" => {
+                let spec = args.next().unwrap_or_else(|| {
+                    eprintln!(
+                        "--entry-map needs a spec (fixed:<node> or hash:<n0,n1,...>)\n{HELP}"
+                    );
+                    std::process::exit(2);
+                });
+                if let Err(e) = rlir_trace::EntryMap::parse(&spec) {
+                    eprintln!("--entry-map: {e}\n{HELP}");
+                    std::process::exit(2);
+                }
+                entry_map = Some(spec);
+            }
             "--threads" => {
                 let n = args
                     .next()
@@ -337,7 +368,12 @@ fn main() -> std::io::Result<()> {
             eprintln!("run needs a scenario name; try `experiments list`\n{HELP}");
             std::process::exit(2);
         };
-        let ctx = RunContext { scale, out };
+        let ctx = RunContext {
+            scale,
+            out,
+            trace,
+            entry_map,
+        };
         return match build_registry().run(name, &ctx, &runner) {
             Ok(()) => Ok(()),
             Err(rlir_exec::RegistryError::Io(e)) => Err(e),

@@ -18,8 +18,8 @@ use crate::output::{write_csv, OutputDir};
 use crate::scale::Scale;
 use rlir::experiment::{
     run_asymmetric, run_drop_aware, run_faults, run_incast, run_localize_full, run_plane_scale,
-    AsymmetricConfig, DropAwareConfig, FaultsConfig, IncastConfig, LocalizeConfig, LossSweepConfig,
-    PlaneScaleConfig,
+    run_replay, AsymmetricConfig, DropAwareConfig, FaultsConfig, IncastConfig, LocalizeConfig,
+    LossSweepConfig, PlaneScaleConfig, ReplayConfig,
 };
 use rlir_exec::ScenarioRegistry;
 use rlir_rli::PolicyKind;
@@ -30,6 +30,12 @@ pub struct RunContext {
     pub scale: Scale,
     /// Where CSV series land.
     pub out: OutputDir,
+    /// Capture file for the `replay` scenario (`--trace`); `None` replays
+    /// a generated capture.
+    pub trace: Option<std::path::PathBuf>,
+    /// Entry-node demux spec for `replay` (`--entry-map`), already
+    /// validated by the CLI.
+    pub entry_map: Option<String>,
 }
 
 /// Build the registry of runnable scenarios.
@@ -372,6 +378,83 @@ pub fn build_registry() -> ScenarioRegistry<RunContext> {
     );
 
     reg.register(
+        "replay",
+        "NEW: streaming pcap trace replay (--trace <file>, else generated) vs two-capture-point external ground truth",
+        |ctx, runner| {
+            let mut cfg = ReplayConfig::paper(ctx.scale.base_seed, ctx.scale.accuracy_duration);
+            cfg.trace_path = ctx.trace.clone();
+            if let Some(spec) = &ctx.entry_map {
+                cfg.entry_spec = spec.clone();
+            }
+            let o = run_replay(&cfg, runner);
+            println!(
+                "== replay: {} streamed through the tandem ({} ingest) ==",
+                match &cfg.trace_path {
+                    Some(p) => p.display().to_string(),
+                    None => "generated capture".to_string(),
+                },
+                cfg.entry_spec
+            );
+            println!(
+                "  records {} replayed {} (late {}) refs {} delivered {} peak ingest buffer {}",
+                o.records_read,
+                o.replayed,
+                o.late_dropped,
+                o.refs_emitted,
+                o.delivered,
+                o.source_peak_buffered
+            );
+            println!(
+                "  capture pair: matched {} expired {} mean {:.1} µs (vs engine truth err {:.3}%)",
+                o.capture_matched,
+                o.capture_expired,
+                o.capture_mean_ns / 1e3,
+                o.capture_vs_truth_rel_err * 100.0
+            );
+            println!(
+                "  RLI estimate {:.1} µs — {:.2}% off the capture-pair truth",
+                o.rli_est_mean_ns / 1e3,
+                o.rli_vs_capture_rel_err * 100.0
+            );
+            match o.ingest_identical {
+                Some(true) => println!("  streamed ingest byte-identical to Vec ingest: OK"),
+                Some(false) => println!("  streamed ingest DIVERGED from Vec ingest"),
+                None => {}
+            }
+            let csv = write_csv(
+                "records_read,replayed,late_dropped,source_peak_buffered,refs_emitted,delivered,capture_matched,capture_expired,capture_mean_ns,truth_mean_ns,capture_vs_truth_rel_err,rli_est_mean_ns,rli_vs_capture_rel_err,ingest_identical",
+                std::iter::once(format!(
+                    "{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                    o.records_read,
+                    o.replayed,
+                    o.late_dropped,
+                    o.source_peak_buffered,
+                    o.refs_emitted,
+                    o.delivered,
+                    o.capture_matched,
+                    o.capture_expired,
+                    o.capture_mean_ns,
+                    o.truth_mean_ns,
+                    o.capture_vs_truth_rel_err,
+                    o.rli_est_mean_ns,
+                    o.rli_vs_capture_rel_err,
+                    o.ingest_identical.map_or(-1i64, i64::from)
+                )),
+            );
+            ctx.out.write("scenario_replay.csv", &csv)?;
+            let labeled: Vec<(String, &[rlir_rli::EpochSnapshot])> =
+                vec![("replay".to_string(), o.epochs.as_slice())];
+            write_epoch_companion(&ctx.out, "scenario_replay.csv", &labeled)?;
+            if o.ingest_identical == Some(false) {
+                return Err(std::io::Error::other(
+                    "streamed ingest diverged from the Vec-ingest oracle",
+                ));
+            }
+            Ok(())
+        },
+    );
+
+    reg.register(
         "faults",
         "NEW: closed-loop robustness sweep — mid-run switch degradation, online detection, time-to-localize + false positives",
         |ctx, runner| {
@@ -555,6 +638,7 @@ mod tests {
             "localize",
             "drop_aware",
             "faults",
+            "replay",
         ] {
             assert!(names.contains(&required), "missing scenario {required}");
         }
@@ -586,6 +670,8 @@ mod tests {
                 shards: None,
             },
             out: OutputDir::at(&dir).unwrap(),
+            trace: None,
+            entry_map: None,
         };
         build_registry()
             .run("loss_sweep", &ctx, &SweepRunner::new(2))

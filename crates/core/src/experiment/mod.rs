@@ -22,6 +22,9 @@
 //!   per epoch, so findings carry onset times.
 //! * [`drop_aware`] — live (non-delivered-gated) taps on a loss-heavy
 //!   path: estimator behaviour when the packets it metered die downstream.
+//! * [`replay`] — streaming pcap trace replay through the O(buffer)
+//!   ingest path, scored against a two-capture-point external ground
+//!   truth and re-verified in-run against the Vec-ingest oracle.
 //! * [`plane_scale`] — the fleet-scale plane harness: every `(switch,
 //!   port)` of the fabric tapped at once under one shared-arena budget,
 //!   reporting plane overhead and state bytes versus tap count.
@@ -38,6 +41,7 @@ pub mod incast;
 pub mod localize;
 pub mod loss_sweep;
 pub mod plane_scale;
+pub mod replay;
 pub mod two_hop;
 
 pub use asymmetric::{
@@ -56,6 +60,7 @@ pub use localize::{
 };
 pub use loss_sweep::{run_loss_sweep, run_loss_sweep_on, LossPoint, LossSweep, LossSweepConfig};
 pub use plane_scale::{run_plane_scale, PlaneScaleConfig, PlaneScaleOutcome, StateSample};
+pub use replay::{run_replay, synth_capture, RefInterleave, ReplayConfig, ReplayOutcome};
 pub use two_hop::{
     run_two_hop, run_two_hop_on, run_two_hop_sweep, CrossSpec, TwoHopConfig, TwoHopOutcome,
     TwoHopPoint, TwoHopSweep,

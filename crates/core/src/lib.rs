@@ -5,6 +5,10 @@
 //! instances deployed at only *some* routers (ToR uplinks + cores of a
 //! fat-tree), trading localization granularity for deployment cost.
 //!
+//! * [`capture`] — two-point capture taps: per-flow latency as the
+//!   timestamp delta of the *same packet* at two fabric points (RFC 1242,
+//!   matched on 5-tuple + IP ident) — the external ground truth trace
+//!   replay scores RLI against.
 //! * [`demux`] — the receiver-side demultiplexer of §3.1: origin-ToR
 //!   identification by IP prefix matching (upstream) and traversed-core
 //!   identification by ToS packet marking or reverse-ECMP computation
@@ -41,6 +45,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod capture;
 pub mod demux;
 pub mod deployment;
 pub mod detect;
@@ -50,6 +55,7 @@ pub mod localization;
 pub mod plane;
 pub mod windowed;
 
+pub use capture::{CapturePair, CaptureReport, FlowCapture, DEFAULT_CAPTURE_TIMEOUT};
 pub use demux::{core_from_mark, core_mark, CoreDemux, RlirDemux};
 pub use deployment::{engineer_ref_key, CoreSenderSpec, Deployment, TorSenderSpec};
 pub use detect::{ClosedLoopSink, Detection, DetectorConfig, EpochDetector};

@@ -33,6 +33,11 @@
 //!   scheduler/slab/fault cursor, with cross-shard packets handed off at
 //!   window barriers and the merged stream byte-identical for any shard
 //!   count.
+//! * [`source`] — pull-based [`InjectionSource`]s: the engine's streaming
+//!   ingest path (O(source buffer), not O(run)), with the sorted-Vec
+//!   adapter kept byte-identical to the old collect-then-sort ingest as
+//!   its differential oracle. `rlir_trace`'s pcap replay source streams
+//!   captures off disk through this trait.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -45,14 +50,16 @@ pub mod queue;
 pub mod sched;
 pub mod shard;
 pub mod slab;
+pub mod source;
 
 pub use crosstraffic::{calibrate_keep_prob, CrossInjector, CrossModel};
 pub use fault::{DeadPorts, FaultEvent, FaultKind, FaultScript, StopFlag};
 pub use network::{
     run_network, run_network_engine, run_network_sched, run_network_streamed,
-    run_network_streamed_opts, run_network_streamed_sched, run_network_with, EngineKind, Forwarder,
-    Hop, HopEvent, HopKind, HopSink, NetDelivery, Network, NetworkRun, NetworkRunStats, NodeId,
-    NullSink, Port, PortId, RouteDecision, RunOptions, SchedulerKind, StreamedDelivery, SwitchNode,
+    run_network_streamed_opts, run_network_streamed_sched, run_network_streamed_source,
+    run_network_with, EngineKind, Forwarder, Hop, HopEvent, HopKind, HopSink, NetDelivery, Network,
+    NetworkRun, NetworkRunStats, NodeId, NullSink, Port, PortId, RouteDecision, RunOptions,
+    SchedulerKind, StreamDigest, StreamedDelivery, SwitchNode, TeeSink,
 };
 pub use pipeline::{
     run_tandem, run_tandem_two_pass, run_tandem_with, Delivery, TandemConfig, TandemResult,
@@ -60,5 +67,6 @@ pub use pipeline::{
 };
 pub use queue::{ClassCounters, FifoQueue, QueueConfig, Verdict};
 pub use sched::{CalendarQueue, EventSchedule, HeapSchedule};
-pub use shard::{run_network_sharded, ShardPlan, ShardRunStats};
+pub use shard::{run_network_sharded, run_network_sharded_source, ShardPlan, ShardRunStats};
 pub use slab::{FlightState, PacketSlab, SlotId};
+pub use source::{InjectionSource, SortedVecSource};

@@ -51,6 +51,7 @@ use crate::fault::{DeadPorts, FaultScript, FaultState, StopFlag};
 use crate::queue::{FifoQueue, QueueConfig, Verdict};
 use crate::sched::{CalendarQueue, EventSchedule, HeapSchedule};
 use crate::slab::{PacketSlab, SlotId};
+use crate::source::{InjectionSource, SortedVecSource};
 use rlir_net::packet::Packet;
 use rlir_net::time::{SimDuration, SimTime};
 
@@ -281,6 +282,86 @@ pub struct NullSink;
 impl HopSink for NullSink {
     #[inline(always)]
     fn on_hop(&mut self, _ev: &HopEvent<'_>) {}
+}
+
+/// Fan one hop-event stream out to two sinks (`a` first, then `b`) —
+/// events and watermarks both. The engine takes a single sink; tee lets
+/// independent observers (a measurement plane and a capture-point pair,
+/// say) share one run without knowing about each other. Nest tees for
+/// more than two.
+#[derive(Debug)]
+pub struct TeeSink<'a, A: HopSink, B: HopSink> {
+    /// First observer (sees every callback before `b`).
+    pub a: &'a mut A,
+    /// Second observer.
+    pub b: &'a mut B,
+}
+
+impl<'a, A: HopSink, B: HopSink> TeeSink<'a, A, B> {
+    /// Tee the stream into `a` then `b`.
+    pub fn new(a: &'a mut A, b: &'a mut B) -> Self {
+        TeeSink { a, b }
+    }
+}
+
+impl<A: HopSink, B: HopSink> HopSink for TeeSink<'_, A, B> {
+    fn on_hop(&mut self, ev: &HopEvent<'_>) {
+        self.a.on_hop(ev);
+        self.b.on_hop(ev);
+    }
+
+    fn on_watermark(&mut self, watermark: SimTime) {
+        self.a.on_watermark(watermark);
+        self.b.on_watermark(watermark);
+    }
+}
+
+/// Order-sensitive digest over the full hop-event + watermark stream.
+///
+/// Two runs produced the same observable stream iff their digests match —
+/// the differential tests and the trace-replay bench use this to pin
+/// streamed ingest ([`run_network_streamed_source`]) to the sorted-Vec
+/// oracle, event for event. [`fold`](Self::fold) is public so callers can
+/// mix in anything else order-sensitive (delivery records, counters).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StreamDigest(u64);
+
+impl StreamDigest {
+    /// Mix one word into the digest (order-sensitive).
+    pub fn fold(&mut self, x: u64) {
+        let mut h = self.0 ^ x;
+        h = h.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        h ^= h >> 29;
+        self.0 = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    }
+
+    /// The digest value so far.
+    pub fn value(&self) -> u64 {
+        self.0
+    }
+}
+
+impl HopSink for StreamDigest {
+    fn on_hop(&mut self, ev: &HopEvent<'_>) {
+        self.fold(match ev.kind {
+            HopKind::Arrive => 1,
+            HopKind::Enqueue { port } => 2 + ((port as u64) << 8),
+            HopKind::Dequeue { port, arrived } => (3 + ((port as u64) << 8)) ^ arrived.as_nanos(),
+            HopKind::QueueDrop { port } => 4 + ((port as u64) << 8),
+            HopKind::RouteDrop => 5,
+            HopKind::Deliver => 6,
+        });
+        self.fold(ev.node as u64);
+        self.fold(ev.at.as_nanos());
+        self.fold(ev.packet.id.0);
+        self.fold(u64::from(ev.packet.mark));
+        self.fold(ev.packet.created_at.as_nanos());
+        self.fold(ev.hops.len() as u64);
+    }
+
+    fn on_watermark(&mut self, watermark: SimTime) {
+        self.fold(0xFFFF_0000 ^ watermark.as_nanos());
+    }
 }
 
 /// Ground-truth record of a packet that exited the network.
@@ -635,14 +716,42 @@ pub fn run_network_streamed_opts(
     run_slab(network, forwarder, injections, sink, opts, &mut on_delivery)
 }
 
-/// Slab-engine entry: sort the injections by injection time (stable, so
-/// same-time injections keep their list order — exactly the moving
-/// oracle's sequence-number tie-breaking), collecting the spacing evidence
-/// the adaptive calendar geometry wants from the sorted ends instead of
-/// pre-collecting the injections into a *second* throwaway `Vec`, then
-/// drive the loop with the chosen scheduler. Pending injections live only
-/// in the caller's list: they enter the slab — and count against its peak
-/// — at injection time, not before.
+/// [`run_network_streamed_opts`] over a pull-based [`InjectionSource`]
+/// instead of a materialized injection list — the O(buffer)-ingest entry
+/// trace replay uses. The engine pulls injections lazily and merges them
+/// against the scheduler head, so ingest-side memory is whatever the
+/// source buffers (a fixed reorder window for the pcap replay source),
+/// not O(run). Passing `&mut SortedVecSource::new(injections)` here is
+/// byte-identical — deliveries, drop counters, the full
+/// `HopEvent`/watermark sequence — to handing the same `injections` to
+/// [`run_network_streamed_opts`]; `tests/trace_replay.rs` pins that.
+///
+/// Pass the source by `&mut` reference to keep it (and any counters it
+/// carries, e.g. peak buffer occupancy) after the run.
+pub fn run_network_streamed_source(
+    network: Network,
+    forwarder: &impl Forwarder,
+    mut source: impl InjectionSource,
+    sink: &mut impl HopSink,
+    opts: RunOptions<'_>,
+    mut on_delivery: impl FnMut(&StreamedDelivery<'_>),
+) -> NetworkRunStats {
+    run_slab_source(
+        network,
+        forwarder,
+        &mut source,
+        sink,
+        opts,
+        &mut on_delivery,
+    )
+}
+
+/// Slab-engine entry for `IntoIterator` injections: wrap them in a
+/// [`SortedVecSource`] (stable sort by injection time, so same-time
+/// injections keep their list order — exactly the moving oracle's
+/// sequence-number tie-breaking) and drive the source-based core. Pending
+/// injections live only in the source: they enter the slab — and count
+/// against its peak — at injection time, not before.
 fn run_slab(
     network: Network,
     forwarder: &impl Forwarder,
@@ -651,50 +760,41 @@ fn run_slab(
     opts: RunOptions<'_>,
     on_delivery: &mut impl FnMut(&StreamedDelivery<'_>),
 ) -> NetworkRunStats {
-    let n = network.nodes.len();
-    let mut injections: Vec<(NodeId, Packet)> = injections.into_iter().collect();
-    for (node, _) in &injections {
-        assert!(*node < n, "injection at unknown node {node}");
-    }
-    injections.sort_by_key(|(_, p)| p.created_at);
+    let mut source = SortedVecSource::new(injections);
+    run_slab_source(network, forwarder, &mut source, sink, opts, on_delivery)
+}
+
+/// Slab-engine core over any [`InjectionSource`]: pick the scheduler
+/// geometry from the source's span/len hints (the sorted-Vec adapter
+/// reports exactly what the old collect-then-sort path measured from the
+/// sorted ends; hint-less streaming sources get `for_spacing(0, 0)` — the
+/// default geometry), then drive the merge loop.
+fn run_slab_source(
+    network: Network,
+    forwarder: &impl Forwarder,
+    source: &mut impl InjectionSource,
+    sink: &mut impl HopSink,
+    opts: RunOptions<'_>,
+    on_delivery: &mut impl FnMut(&StreamedDelivery<'_>),
+) -> NetworkRunStats {
     match opts.scheduler {
         SchedulerKind::Calendar => {
-            let span = match (injections.first(), injections.last()) {
-                (Some((_, first)), Some((_, last))) => {
-                    last.created_at.as_nanos() - first.created_at.as_nanos()
-                }
-                _ => 0,
-            };
-            let sched = CalendarQueue::for_spacing(span, injections.len());
-            drive_slab(
-                network,
-                forwarder,
-                injections,
-                sink,
-                sched,
-                opts,
-                on_delivery,
-            )
+            let span = source.span_hint().unwrap_or(0);
+            let events = source.len_hint().unwrap_or(0);
+            let sched = CalendarQueue::for_spacing(span, events);
+            drive_slab(network, forwarder, source, sink, sched, opts, on_delivery)
         }
         SchedulerKind::CalendarFixed {
             bucket_ns_log2,
             buckets_log2,
         } => {
             let sched = CalendarQueue::with_geometry(bucket_ns_log2, buckets_log2);
-            drive_slab(
-                network,
-                forwarder,
-                injections,
-                sink,
-                sched,
-                opts,
-                on_delivery,
-            )
+            drive_slab(network, forwarder, source, sink, sched, opts, on_delivery)
         }
         SchedulerKind::Heap => drive_slab(
             network,
             forwarder,
-            injections,
+            source,
             sink,
             HeapSchedule::new(),
             opts,
@@ -875,14 +975,18 @@ impl<F: Forwarder, S: HopSink, D: FnMut(&StreamedDelivery<'_>)> SlabEngine<'_, F
     }
 }
 
-/// The slab engine's event loop: merge the time-sorted injection stream
+/// The slab engine's event loop: merge the time-ordered injection source
 /// against the scheduler head — an injection due no later than the next
 /// scheduled event wins the tie, exactly as its lower sequence number did
-/// when the moving oracle pushed all injections up front.
+/// when the moving oracle pushed all injections up front. Each pull is
+/// checked against the source contract (valid entry node, non-decreasing
+/// injection time): a misordered source would emit `Arrive` events behind
+/// the watermark and silently break every streaming consumer, so the
+/// engine fails loudly instead.
 fn drive_slab<F: Forwarder, S: HopSink, D: FnMut(&StreamedDelivery<'_>)>(
     network: Network,
     forwarder: &F,
-    injections: Vec<(NodeId, Packet)>,
+    source: &mut impl InjectionSource,
     sink: &mut S,
     mut schedule: impl EventSchedule<SlotEvent>,
     opts: RunOptions<'_>,
@@ -902,21 +1006,30 @@ fn drive_slab<F: Forwarder, S: HopSink, D: FnMut(&StreamedDelivery<'_>)>(
         watermark: None,
         faults: opts.faults.map(FaultState::new),
     };
-    let mut next = 0usize;
+    let mut injected = 0u64;
+    let mut last_injected_at = SimTime::ZERO;
     loop {
         if opts.stop.is_some_and(StopFlag::is_set) {
             break;
         }
-        let due = match (injections.get(next), schedule.peek_at()) {
-            (Some((_, p)), Some(head)) => p.created_at <= head,
+        let due = match (source.peek(), schedule.peek_at()) {
+            (Some(t), Some(head)) => t <= head,
             (Some(_), None) => true,
             (None, Some(_)) => false,
             (None, None) => break,
         };
         if due {
-            let (node, packet) = injections[next];
-            next += 1;
+            let (node, packet) = source.next_injection().expect("source peeked non-empty");
+            assert!(node < n, "injection at unknown node {node}");
             let at = packet.created_at;
+            assert!(
+                at >= last_injected_at,
+                "injection source went backwards: {} after {}",
+                at.as_nanos(),
+                last_injected_at.as_nanos()
+            );
+            last_injected_at = at;
+            injected += 1;
             let slot = eng.slab.insert(packet, node, at);
             eng.arrive(at, node, slot, &mut schedule);
         } else {
@@ -929,7 +1042,7 @@ fn drive_slab<F: Forwarder, S: HopSink, D: FnMut(&StreamedDelivery<'_>)>(
         delivered: eng.delivered,
         queue_drops: eng.queue_drops,
         route_drops: eng.route_drops,
-        injected: next as u64,
+        injected,
         events: eng.events,
         peak_live_slots: eng.slab.peak_live(),
         hop_allocations: eng.slab.hop_allocations(),

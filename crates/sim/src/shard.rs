@@ -701,10 +701,61 @@ fn drive_windows<F, S, D>(
     }
 }
 
+/// [`run_network_sharded`] over a pull-based
+/// [`InjectionSource`](crate::source::InjectionSource).
+///
+/// **The sharded engine materializes the source.** Its determinism
+/// contract tags every injection with a globally unique ordinal (its
+/// index in the time-sorted injection order) so that N shards draining
+/// their own queues reproduce the one-shard drain exactly; assigning
+/// those ordinals — and pre-partitioning each injection to the shard
+/// that owns its entry node — requires seeing the whole stream before
+/// the first window runs. So this entry drains the source into a `Vec`
+/// and delegates: O(run) ingest memory, unlike the sequential
+/// [`run_network_streamed_source`](crate::network::run_network_streamed_source)
+/// path, which stays O(source buffer). Use the sequential entry when
+/// ingest memory matters more than shard parallelism; when both matter,
+/// split the capture externally and hand each shard-sized piece to its
+/// own run. The observable stream is byte-identical to handing the same
+/// injections to [`run_network_sharded`] directly, for any shard count.
+#[allow(clippy::too_many_arguments)]
+pub fn run_network_sharded_source<F: Forwarder + Sync>(
+    network: Network,
+    forwarder: &F,
+    mut source: impl crate::source::InjectionSource,
+    sink: &mut impl HopSink,
+    opts: RunOptions<'_>,
+    plan: &ShardPlan,
+    shards: usize,
+    on_delivery: impl FnMut(&StreamedDelivery<'_>),
+) -> ShardRunStats {
+    let mut injections = Vec::new();
+    while source.peek().is_some() {
+        injections.push(source.next_injection().expect("source peeked non-empty"));
+    }
+    run_network_sharded(
+        network,
+        forwarder,
+        injections,
+        sink,
+        opts,
+        plan,
+        shards,
+        on_delivery,
+    )
+}
+
 /// Run the network sharded by `plan`, byte-identical to the same call
 /// with `shards == 1` — see the module docs for the determinism argument
 /// and [`NetworkRunStats`] for which fused fields are shard-count
 /// invariant.
+///
+/// Ingest is materialized: the whole injection stream is collected,
+/// stably time-sorted and pre-partitioned per shard before the first
+/// window runs (the per-injection global ordinal the determinism
+/// argument rests on is an index into that sorted order). Streamed
+/// sources go through [`run_network_sharded_source`], which documents
+/// the memory consequence.
 ///
 /// The effective shard count is `shards` capped by the plan's group
 /// count; if any inter-group link has zero latency the partition admits
@@ -985,6 +1036,42 @@ mod tests {
             digest.fold(at);
         }
         (digest.0, out)
+    }
+
+    #[test]
+    fn streamed_source_entry_is_byte_identical_for_any_shard_count() {
+        // The sharded engine materializes the source (ordinal assignment
+        // needs the whole stream); what must NOT change is the observable
+        // output — same digest as the iterator entry, for every shard
+        // count.
+        let injections: Vec<(NodeId, Packet)> = (0..600)
+            .map(|i| (i as usize % 2, pkt(i, (i % 7) * 900)))
+            .collect();
+        for shards in [1, 2] {
+            let (expect, _) = sharded_digest(shards, &injections);
+            let mut sink = Digest::default();
+            let mut deliveries = Vec::new();
+            let out = run_network_sharded_source(
+                tandem(),
+                &Chain,
+                crate::source::SortedVecSource::new(injections.iter().copied()),
+                &mut sink,
+                RunOptions::default(),
+                &ShardPlan::new(vec![0, 1]),
+                shards,
+                |d| deliveries.push((d.packet.id.0, d.delivered_at.as_nanos())),
+            );
+            let mut digest = sink;
+            for (id, at) in deliveries {
+                digest.fold(id);
+                digest.fold(at);
+            }
+            assert_eq!(
+                digest.0, expect,
+                "source entry diverged at {shards} shard(s)"
+            );
+            assert_eq!(out.stats.injected, injections.len() as u64);
+        }
     }
 
     #[test]

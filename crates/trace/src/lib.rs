@@ -14,7 +14,12 @@
 //! * [`flowmeter`] — YAF/NetFlow-style flow metering (feeds the Multiflow
 //!   baseline).
 //! * [`io`] — binary trace files for write-once/replay-many workloads.
-//! * [`pcap`] — libpcap export/import (inspect workloads in Wireshark).
+//! * [`pcap`] — libpcap export/import (inspect workloads in Wireshark),
+//!   including the streaming [`pcap::PcapRecords`] reader and
+//!   [`pcap::PcapWriter`] (O(1)-memory either direction).
+//! * [`replay`] — the streaming trace-replay front end: a pcap capture
+//!   off disk as a pull-based engine [`rlir_sim::InjectionSource`], with
+//!   a bounded reorder window and configurable entry-node demux.
 //! * [`stats`] — the summary numbers the paper quotes per trace.
 
 #![warn(missing_docs)]
@@ -25,11 +30,14 @@ pub mod divider;
 pub mod flowmeter;
 pub mod io;
 pub mod pcap;
+pub mod replay;
 pub mod stats;
 pub mod synthetic;
 
 pub use divider::{TrafficClass, TrafficDivider, UnmatchedPolicy};
 pub use flowmeter::{FlowMeter, FlowMeterConfig, FlowRecord};
+pub use pcap::{open_pcap, read_pcap, write_pcap, PcapError, PcapRecord, PcapRecords, PcapWriter};
+pub use replay::{EntryMap, PcapReplaySource};
 pub use stats::TraceStats;
 pub use synthetic::{
     compress_into_bursts, generate, merge, reverse, reverse_flow, BurstShape, Trace, TraceClass,

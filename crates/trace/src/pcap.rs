@@ -9,6 +9,7 @@
 //! headers.
 
 use crate::synthetic::Trace;
+use rlir_net::packet::Packet;
 use rlir_net::time::SimTime;
 use rlir_net::wire::{internet_checksum, Ipv4Header, IPV4_HEADER_LEN};
 use rlir_net::{FlowKey, Protocol};
@@ -55,52 +56,83 @@ impl core::fmt::Display for PcapError {
 
 impl std::error::Error for PcapError {}
 
-fn transport_header(flow: &FlowKey, payload_len: u16) -> Vec<u8> {
+/// Append the transport header for `flow` to `out` (TCP for anything
+/// that isn't UDP — "TCP-like for inspection").
+fn encode_transport(flow: &FlowKey, payload_len: u16, out: &mut Vec<u8>) {
     match flow.proto {
         Protocol::Udp => {
-            let mut h = Vec::with_capacity(UDP_HEADER_LEN);
-            h.extend_from_slice(&flow.sport.to_be_bytes());
-            h.extend_from_slice(&flow.dport.to_be_bytes());
-            h.extend_from_slice(&(UDP_HEADER_LEN as u16 + payload_len).to_be_bytes());
-            h.extend_from_slice(&0u16.to_be_bytes()); // checksum optional
-            h
+            out.extend_from_slice(&flow.sport.to_be_bytes());
+            out.extend_from_slice(&flow.dport.to_be_bytes());
+            out.extend_from_slice(&(UDP_HEADER_LEN as u16 + payload_len).to_be_bytes());
+            out.extend_from_slice(&0u16.to_be_bytes()); // checksum optional
         }
         _ => {
-            // TCP (and anything else rendered as TCP-like for inspection).
-            let mut h = vec![0u8; TCP_HEADER_LEN];
+            let start = out.len();
+            out.resize(start + TCP_HEADER_LEN, 0);
+            let h = &mut out[start..];
             h[0..2].copy_from_slice(&flow.sport.to_be_bytes());
             h[2..4].copy_from_slice(&flow.dport.to_be_bytes());
             h[12] = (5 << 4) as u8; // data offset: 5 words
             h[13] = 0x10; // ACK
             h[14..16].copy_from_slice(&65_535u16.to_be_bytes());
-            let csum = internet_checksum(&h);
-            h[16..18].copy_from_slice(&csum.to_be_bytes());
-            h
+            let csum = internet_checksum(&out[start..]);
+            out[start + 16..start + 18].copy_from_slice(&csum.to_be_bytes());
         }
     }
 }
 
-/// Write a trace as a nanosecond pcap (header-only snapshots).
-pub fn write_pcap<W: Write>(trace: &Trace, w: &mut W) -> Result<(), PcapError> {
-    // Global header.
-    w.write_all(&PCAP_MAGIC_NS.to_le_bytes())?;
-    w.write_all(&2u16.to_le_bytes())?; // major
-    w.write_all(&4u16.to_le_bytes())?; // minor
-    w.write_all(&0i32.to_le_bytes())?; // thiszone
-    w.write_all(&0u32.to_le_bytes())?; // sigfigs
-    w.write_all(&SNAPLEN.to_le_bytes())?;
-    w.write_all(&LINKTYPE_RAW.to_le_bytes())?;
+fn transport_len(flow: &FlowKey) -> usize {
+    match flow.proto {
+        Protocol::Udp => UDP_HEADER_LEN,
+        _ => TCP_HEADER_LEN,
+    }
+}
 
-    for p in &trace.packets {
-        let transport = transport_header(&p.flow, 0);
-        let captured = IPV4_HEADER_LEN + transport.len();
+/// Incremental nanosecond-pcap writer: the global header goes out at
+/// construction, each [`write`](Self::write) appends one record through a
+/// single reused scratch buffer. This is the streaming counterpart of
+/// [`write_pcap`] (which is now a thin loop over it): a capture of any
+/// length is produced in O(1) memory, so bench harnesses can generate
+/// multi-million-packet files chunk by chunk without ever materializing a
+/// whole [`Trace`].
+#[derive(Debug)]
+pub struct PcapWriter<W: Write> {
+    w: W,
+    scratch: Vec<u8>,
+    records: u64,
+}
+
+impl<W: Write> PcapWriter<W> {
+    /// Write the pcap global header and return the writer.
+    pub fn new(mut w: W) -> Result<Self, PcapError> {
+        w.write_all(&PCAP_MAGIC_NS.to_le_bytes())?;
+        w.write_all(&2u16.to_le_bytes())?; // major
+        w.write_all(&4u16.to_le_bytes())?; // minor
+        w.write_all(&0i32.to_le_bytes())?; // thiszone
+        w.write_all(&0u32.to_le_bytes())?; // sigfigs
+        w.write_all(&SNAPLEN.to_le_bytes())?;
+        w.write_all(&LINKTYPE_RAW.to_le_bytes())?;
+        Ok(PcapWriter {
+            w,
+            scratch: Vec::with_capacity(SNAPLEN as usize + 16),
+            records: 0,
+        })
+    }
+
+    /// Append one packet as a header-only record (timestamp from
+    /// `packet.created_at`, identity as the 16-bit IP ident, mark as ToS).
+    pub fn write(&mut self, p: &Packet) -> Result<(), PcapError> {
+        let captured = IPV4_HEADER_LEN + transport_len(&p.flow);
         let orig = (p.size as usize).max(captured);
         let ns = p.created_at.as_nanos();
-        w.write_all(&((ns / 1_000_000_000) as u32).to_le_bytes())?;
-        w.write_all(&((ns % 1_000_000_000) as u32).to_le_bytes())?;
-        w.write_all(&(captured as u32).to_le_bytes())?;
-        w.write_all(&(orig as u32).to_le_bytes())?;
-        let mut ip = Vec::with_capacity(captured);
+        self.scratch.clear();
+        self.scratch
+            .extend_from_slice(&((ns / 1_000_000_000) as u32).to_le_bytes());
+        self.scratch
+            .extend_from_slice(&((ns % 1_000_000_000) as u32).to_le_bytes());
+        self.scratch
+            .extend_from_slice(&(captured as u32).to_le_bytes());
+        self.scratch.extend_from_slice(&(orig as u32).to_le_bytes());
         Ipv4Header {
             tos: p.mark,
             total_len: orig.min(u16::MAX as usize) as u16,
@@ -110,9 +142,30 @@ pub fn write_pcap<W: Write>(trace: &Trace, w: &mut W) -> Result<(), PcapError> {
             src: p.flow.src,
             dst: p.flow.dst,
         }
-        .encode(&mut ip);
-        ip.extend_from_slice(&transport);
-        w.write_all(&ip)?;
+        .encode(&mut self.scratch);
+        encode_transport(&p.flow, 0, &mut self.scratch);
+        self.w.write_all(&self.scratch)?;
+        self.records += 1;
+        Ok(())
+    }
+
+    /// Records written so far.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Flush and return the underlying writer.
+    pub fn finish(mut self) -> Result<W, PcapError> {
+        self.w.flush()?;
+        Ok(self.w)
+    }
+}
+
+/// Write a trace as a nanosecond pcap (header-only snapshots).
+pub fn write_pcap<W: Write>(trace: &Trace, w: &mut W) -> Result<(), PcapError> {
+    let mut pw = PcapWriter::new(w)?;
+    for p in &trace.packets {
+        pw.write(p)?;
     }
     Ok(())
 }
@@ -128,38 +181,91 @@ pub struct PcapRecord {
     pub flow: FlowKey,
     /// The IPv4 ToS byte (RLIR's mark field).
     pub tos: u8,
+    /// The 16-bit IPv4 identification field — the wire-visible packet
+    /// identity ([`write_pcap`] stores the low 16 bits of the packet id
+    /// here; capture-point matching keys on 5-tuple + ident).
+    pub ident: u16,
 }
 
-/// Read a nanosecond raw-IP pcap written by [`write_pcap`] (or any capture
-/// with the same framing).
-pub fn read_pcap<R: Read>(r: &mut R) -> Result<Vec<PcapRecord>, PcapError> {
-    let mut gh = [0u8; 24];
-    r.read_exact(&mut gh)?;
-    let magic = u32::from_le_bytes(gh[0..4].try_into().expect("4"));
-    if magic != PCAP_MAGIC_NS {
-        return Err(PcapError::BadMagic(magic));
-    }
-    let linktype = u32::from_le_bytes(gh[20..24].try_into().expect("4"));
-    if linktype != LINKTYPE_RAW {
-        return Err(PcapError::BadLinkType(linktype));
+/// Streaming record iterator over a nanosecond raw-IP pcap: validates the
+/// global header up front, then decodes one record per [`Iterator::next`]
+/// through a single reused scratch buffer — O(snaplen) memory for a
+/// capture of any length, and the decode path [`read_pcap`] itself now
+/// runs on (its old implementation allocated a fresh body `Vec` per
+/// record).
+///
+/// Truncation is an error, not an end: a file that stops mid-record
+/// header or mid-body yields `Err(PcapError::BadRecord(..))` rather than
+/// being silently accepted as complete. Clean EOF at a record boundary
+/// ends the iteration.
+#[derive(Debug)]
+pub struct PcapRecords<R: Read> {
+    r: R,
+    scratch: Vec<u8>,
+    done: bool,
+}
+
+impl<R: Read> PcapRecords<R> {
+    /// Read and validate the pcap global header, returning the iterator.
+    pub fn new(mut r: R) -> Result<Self, PcapError> {
+        let mut gh = [0u8; 24];
+        r.read_exact(&mut gh)?;
+        let magic = u32::from_le_bytes(gh[0..4].try_into().expect("4"));
+        if magic != PCAP_MAGIC_NS {
+            return Err(PcapError::BadMagic(magic));
+        }
+        let linktype = u32::from_le_bytes(gh[20..24].try_into().expect("4"));
+        if linktype != LINKTYPE_RAW {
+            return Err(PcapError::BadLinkType(linktype));
+        }
+        Ok(PcapRecords {
+            r,
+            scratch: Vec::with_capacity(SNAPLEN as usize),
+            done: false,
+        })
     }
 
-    let mut out = Vec::new();
-    loop {
-        let mut rh = [0u8; 16];
-        match r.read_exact(&mut rh) {
-            Ok(()) => {}
-            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => break,
-            Err(e) => return Err(e.into()),
+    /// Fill the scratch buffer with exactly `len` bytes, distinguishing
+    /// clean EOF before the first byte (`Ok(false)`, allowed only when
+    /// `eof_ok`) from a partial read (truncated file).
+    fn read_fully(
+        &mut self,
+        len: usize,
+        eof_ok: bool,
+        what: &'static str,
+    ) -> Result<bool, PcapError> {
+        self.scratch.clear();
+        self.scratch.resize(len, 0);
+        let mut got = 0usize;
+        while got < len {
+            match self.r.read(&mut self.scratch[got..]) {
+                Ok(0) => {
+                    return if got == 0 && eof_ok {
+                        Ok(false)
+                    } else {
+                        Err(PcapError::BadRecord(what))
+                    };
+                }
+                Ok(n) => got += n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e.into()),
+            }
         }
-        let sec = u32::from_le_bytes(rh[0..4].try_into().expect("4")) as u64;
-        let nsec = u32::from_le_bytes(rh[4..8].try_into().expect("4")) as u64;
-        let incl = u32::from_le_bytes(rh[8..12].try_into().expect("4")) as usize;
-        let orig = u32::from_le_bytes(rh[12..16].try_into().expect("4"));
-        let mut body = vec![0u8; incl];
-        r.read_exact(&mut body)?;
+        Ok(true)
+    }
+
+    fn next_record(&mut self) -> Result<Option<PcapRecord>, PcapError> {
+        if !self.read_fully(16, true, "truncated record header")? {
+            return Ok(None);
+        }
+        let sec = u32::from_le_bytes(self.scratch[0..4].try_into().expect("4")) as u64;
+        let nsec = u32::from_le_bytes(self.scratch[4..8].try_into().expect("4")) as u64;
+        let incl = u32::from_le_bytes(self.scratch[8..12].try_into().expect("4")) as usize;
+        let orig = u32::from_le_bytes(self.scratch[12..16].try_into().expect("4"));
+        self.read_fully(incl, false, "truncated record body")?;
+        let body = &self.scratch[..];
         let (ip, ip_len) =
-            Ipv4Header::decode(&body).map_err(|_| PcapError::BadRecord("ipv4 header"))?;
+            Ipv4Header::decode(body).map_err(|_| PcapError::BadRecord("ipv4 header"))?;
         let (sport, dport) = match ip.proto {
             Protocol::Tcp | Protocol::Udp if body.len() >= ip_len + 4 => (
                 u16::from_be_bytes([body[ip_len], body[ip_len + 1]]),
@@ -167,7 +273,7 @@ pub fn read_pcap<R: Read>(r: &mut R) -> Result<Vec<PcapRecord>, PcapError> {
             ),
             _ => (0, 0),
         };
-        out.push(PcapRecord {
+        Ok(Some(PcapRecord {
             at: SimTime::from_nanos(sec * 1_000_000_000 + nsec),
             orig_len: orig,
             flow: FlowKey {
@@ -178,9 +284,44 @@ pub fn read_pcap<R: Read>(r: &mut R) -> Result<Vec<PcapRecord>, PcapError> {
                 dport,
             },
             tos: ip.tos,
-        });
+            ident: ip.ident,
+        }))
     }
-    Ok(out)
+}
+
+impl<R: Read> Iterator for PcapRecords<R> {
+    type Item = Result<PcapRecord, PcapError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        match self.next_record() {
+            Ok(Some(rec)) => Some(Ok(rec)),
+            Ok(None) => {
+                self.done = true;
+                None
+            }
+            Err(e) => {
+                self.done = true;
+                Some(Err(e))
+            }
+        }
+    }
+}
+
+/// Read a nanosecond raw-IP pcap written by [`write_pcap`] (or any capture
+/// with the same framing) all at once. Runs on [`PcapRecords`], so decode
+/// reuses one scratch buffer; only the output `Vec` grows with the file.
+pub fn read_pcap<R: Read>(r: &mut R) -> Result<Vec<PcapRecord>, PcapError> {
+    PcapRecords::new(r)?.collect()
+}
+
+/// Open a pcap file on disk as a buffered streaming record iterator.
+pub fn open_pcap(
+    path: &std::path::Path,
+) -> Result<PcapRecords<io::BufReader<std::fs::File>>, PcapError> {
+    PcapRecords::new(io::BufReader::new(std::fs::File::open(path)?))
 }
 
 /// Convenience: export a trace to a pcap file on disk.

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Packets/s-off-disk headline for the streaming trace-replay ingest:
+# stream-generate a multi-million-record nanosecond pcap to disk (O(chunk)
+# memory), then replay it through the full tandem measurement stack — pcap
+# decode, bounded reorder window, RLI reference interleave, all taps, the
+# two-point capture pair — twice: pull-based streamed ingest vs the legacy
+# collect-then-sort Vec ingest. Emits BENCH_trace.json with wall-clock,
+# packets/s off disk and the ingest-side peak memory of both modes. The
+# binary exits non-zero if the two runs' full event/watermark/delivery
+# digests differ (streamed must be byte-identical to the Vec oracle) or if
+# the streamed ingest buffer grew with capture size (flatness vs a 1-chunk
+# baseline replay).
+#
+# Usage: scripts/trace_bench.sh [output.json]
+# Knobs: RLIR_TRACE_TARGET_PACKETS (capture size floor, default 3000000)
+#        RLIR_TRACE_CHUNK_MS       (generator chunk, default 120)
+#        RLIR_TRACE_UTIL           (offered load vs 5 Gb/s, default 0.85)
+#        RLIR_TRACE_SLACK          (ingest-buffer growth allowance, default 1.5)
+#        RLIR_TRACE_FILE           (replay this capture instead of generating)
+#        RLIR_TRACE_KEEP           (keep the generated captures)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+source scripts/bench_lib.sh
+run_bench trace_bench "${1:-BENCH_trace.json}"
