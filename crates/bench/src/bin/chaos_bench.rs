@@ -1,0 +1,140 @@
+//! Survivability bench: seeded chaos campaigns against the measurement
+//! plane, reported as JSON on stdout (`scripts/chaos_bench.sh` captures
+//! it into `BENCH_chaos.json`).
+//!
+//! Each campaign is one reproducible storm — correlated link flaps, gray
+//! loss ramps, tap crash/recovery pairs and a hidden switch degradation —
+//! generated from a single seed and run closed-loop under the online
+//! detector. The bench reports, per campaign, detection + time-to-localize
+//! against the degradation onset, false positives against the earliest
+//! scripted onset, tap outages absorbed, observations lost while down and
+//! epochs recovered cold; plus three plane-wide invariants that **fail the
+//! bench** (non-zero exit) when violated:
+//!
+//! * the fault-free baseline run must raise no alarm;
+//! * the tenant cross-talk probe must measure exactly 0.0 ns (a flooding
+//!   tenant cannot move a victim tenant's estimates by a single bit);
+//! * lenient pcap ingest must agree record-for-record with strict on a
+//!   clean capture, and the campaigns must actually exercise recovery
+//!   (non-zero outages and recovered epochs).
+//!
+//! Knobs: `RLIR_CHAOS_SEED` (master seed, default 0xC405), `RLIR_CHAOS_MS`
+//! (per-campaign simulated duration, default 60), `RLIR_CHAOS_CAMPAIGNS`
+//! (default 3).
+
+use rlir::experiment::{run_chaos, ChaosCampaignConfig};
+use rlir_net::time::SimDuration;
+use std::time::Instant;
+
+fn env_u64(key: &str, default: u64) -> u64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let seed = env_u64("RLIR_CHAOS_SEED", 0xC405);
+    let sim_ms = env_u64("RLIR_CHAOS_MS", 60);
+    let campaigns = env_u64("RLIR_CHAOS_CAMPAIGNS", 3) as usize;
+
+    let mut cfg = ChaosCampaignConfig::paper(seed, SimDuration::from_millis(sim_ms));
+    cfg.campaigns = campaigns;
+    let start = Instant::now();
+    let rep = run_chaos(&cfg);
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    let recovered: u64 = rep.total_recovered_epochs;
+    let outages: u64 = rep.total_tap_outages;
+    let mut ok = true;
+    if rep.baseline_false_positive {
+        eprintln!("FAIL: detector alarmed on the fault-free baseline");
+        ok = false;
+    }
+    if rep.cross_talk_max_abs_ns != 0.0 {
+        eprintln!(
+            "FAIL: tenant cross-talk measured {} ns (must be exactly 0)",
+            rep.cross_talk_max_abs_ns
+        );
+        ok = false;
+    }
+    if !rep.ingest.strict_matches_lenient_on_clean {
+        eprintln!("FAIL: lenient ingest diverged from strict on a clean capture");
+        ok = false;
+    }
+    if outages == 0 || recovered == 0 {
+        eprintln!(
+            "FAIL: campaigns exercised no tap recovery (outages {outages}, recovered epochs {recovered})"
+        );
+        ok = false;
+    }
+
+    println!("{{");
+    println!(
+        "  \"bench\": \"seeded chaos campaigns (k=4 fat-tree, seed {seed}, {campaigns} campaigns x {sim_ms} ms)\","
+    );
+    println!("  \"wall_ms\": {wall_ms:.1},");
+    println!("  \"campaigns\": [");
+    for (i, c) in rep.campaigns.iter().enumerate() {
+        println!(
+            "    {{\"campaign\": {}, \"seed\": {}, \"events\": {}, \"first_onset_ns\": {}, \"tap_outages\": {}, \"recovered_epochs\": {}, \"lost_window_obs\": {}, \"fault_drops\": {}, \"shed\": {}, \"peak_pending_total\": {}, \"detected\": {}, \"false_positive\": {}, \"ttl_ns\": {}}}{}",
+            c.campaign,
+            c.seed,
+            c.events,
+            c.first_onset_ns,
+            c.tap_outages,
+            c.recovered_epochs,
+            c.lost_window_obs,
+            c.fault_drops,
+            c.shed,
+            c.peak_pending_total,
+            c.detected,
+            c.false_positive,
+            c.ttl_ns.map_or(-1i64, |t| t as i64),
+            if i + 1 == rep.campaigns.len() { "" } else { "," }
+        );
+    }
+    println!("  ],");
+    println!("  \"detected\": {},", rep.detected);
+    println!("  \"false_positives\": {},", rep.false_positives);
+    println!(
+        "  \"mean_ttl_ms\": {},",
+        if rep.mean_ttl_ns.is_nan() {
+            "null".to_string()
+        } else {
+            format!("{:.3}", rep.mean_ttl_ns / 1e6)
+        }
+    );
+    println!("  \"total_tap_outages\": {outages},");
+    println!("  \"total_recovered_epochs\": {recovered},");
+    println!(
+        "  \"total_lost_window_obs\": {},",
+        rep.total_lost_window_obs
+    );
+    println!(
+        "  \"baseline_false_positive\": {},",
+        rep.baseline_false_positive
+    );
+    println!(
+        "  \"cross_talk_max_abs_ns\": {},",
+        rep.cross_talk_max_abs_ns
+    );
+    println!(
+        "  \"ingest\": {{\"records\": {}, \"corruptions\": {}, \"emitted\": {}, \"skipped_records\": {}, \"skipped_bytes\": {}, \"resyncs\": {}, \"clamped_regressions\": {}, \"dup_capped\": {}, \"strict_matches_lenient_on_clean\": {}}},",
+        rep.ingest.records,
+        rep.ingest.corruptions,
+        rep.ingest.emitted,
+        rep.ingest.skipped_records,
+        rep.ingest.skipped_bytes,
+        rep.ingest.resyncs,
+        rep.ingest.clamped_regressions,
+        rep.ingest.dup_capped,
+        rep.ingest.strict_matches_lenient_on_clean
+    );
+    println!("  \"ok\": {ok}");
+    println!("}}");
+
+    if !ok {
+        std::process::exit(1);
+    }
+}

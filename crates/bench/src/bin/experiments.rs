@@ -37,13 +37,37 @@ use rlir_bench::{
 };
 use rlir_exec::SweepRunner;
 
-const HELP: &str = "experiments <list|run <name>|fig4a|fig4b|fig4c|fig5|placement|demux|interp|sync|baselines|quantiles|localize|all> [--threads N] [--shards N] [--trace <file>] [--entry-map <spec>]
+const HELP: &str = "experiments <list|run <name>|fig4a|fig4b|fig4c|fig5|placement|demux|interp|sync|baselines|quantiles|localize|all> [--threads N] [--shards N] [--trace <file>] [--entry-map <spec>] [--tenants w1,w2] [--chaos-seed N] [--lenient]
 Scale: RLIR_SCALE={quick,default,full} RLIR_DURATION_MS=<ms> RLIR_SEEDS=<n> RLIR_SEED=<n>
 Threads: --threads N (default RLIR_THREADS, else available parallelism)
 Shards: --shards N pod-sharded fat-tree engine (default RLIR_SHARDS, else sequential; byte-identical for any N)
 Replay: --trace <pcap> capture to stream through `run replay` (default: generated);
-        --entry-map fixed:<node>|hash:<n0,n1,...> entry-node demux (tandem nodes are 0 and 1)
+        --entry-map fixed:<node>|hash:<n0,n1,...> entry-node demux (tandem nodes are 0 and 1);
+        --lenient skip-and-count pcap ingest (damaged records resynced, regressions clamped)
+Chaos:  --chaos-seed <u64> master campaign seed for `run chaos` (default RLIR_SEED);
+        --tenants w1,w2 positive tenant weights — segment-1 taps tenant 0, segment-2 tenant 1
 Output: RLIR_RESULTS_DIR=<dir> (default results/)";
+
+/// Parse a `--tenants` spec: exactly two positive integer weights,
+/// comma-separated.
+fn parse_tenants(spec: &str) -> Result<(u64, u64), String> {
+    let parts: Vec<&str> = spec.split(',').collect();
+    if parts.len() != 2 {
+        return Err(format!(
+            "expected exactly two comma-separated weights, got {:?}",
+            spec
+        ));
+    }
+    let w: Vec<u64> = parts
+        .iter()
+        .map(|p| p.trim().parse::<u64>())
+        .collect::<Result<_, _>>()
+        .map_err(|e| format!("bad weight in {spec:?}: {e}"))?;
+    if w[0] == 0 || w[1] == 0 {
+        return Err(format!("tenant weights must be positive, got {spec:?}"));
+    }
+    Ok((w[0], w[1]))
+}
 
 fn emit_accuracy_figure(
     name: &str,
@@ -263,9 +287,33 @@ fn main() -> std::io::Result<()> {
     let mut shards: Option<usize> = None;
     let mut trace: Option<std::path::PathBuf> = None;
     let mut entry_map: Option<String> = None;
+    let mut tenants: Option<(u64, u64)> = None;
+    let mut chaos_seed: Option<u64> = None;
+    let mut lenient = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
+            "--tenants" => {
+                let spec = args.next().unwrap_or_else(|| {
+                    eprintln!("--tenants needs a spec like 3,1\n{HELP}");
+                    std::process::exit(2);
+                });
+                tenants = Some(parse_tenants(&spec).unwrap_or_else(|e| {
+                    eprintln!("--tenants: {e}\n{HELP}");
+                    std::process::exit(2);
+                }));
+            }
+            "--chaos-seed" => {
+                let n = args
+                    .next()
+                    .and_then(|v| v.parse::<u64>().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("--chaos-seed needs an unsigned 64-bit integer\n{HELP}");
+                        std::process::exit(2);
+                    });
+                chaos_seed = Some(n);
+            }
+            "--lenient" => lenient = true,
             "--trace" => {
                 let p = args
                     .next()
@@ -373,6 +421,9 @@ fn main() -> std::io::Result<()> {
             out,
             trace,
             entry_map,
+            tenants,
+            chaos_seed,
+            lenient,
         };
         return match build_registry().run(name, &ctx, &runner) {
             Ok(()) => Ok(()),
@@ -385,4 +436,25 @@ fn main() -> std::io::Result<()> {
     }
 
     run(cmd, &scale, &out, &runner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse_tenants;
+
+    #[test]
+    fn tenants_spec_accepts_two_positive_weights() {
+        assert_eq!(parse_tenants("3,1"), Ok((3, 1)));
+        assert_eq!(parse_tenants(" 10 , 2 "), Ok((10, 2)));
+    }
+
+    #[test]
+    fn tenants_spec_rejects_malformed_input() {
+        assert!(parse_tenants("3").is_err(), "one weight");
+        assert!(parse_tenants("3,1,2").is_err(), "three weights");
+        assert!(parse_tenants("0,1").is_err(), "zero weight");
+        assert!(parse_tenants("3,-1").is_err(), "negative weight");
+        assert!(parse_tenants("a,b").is_err(), "non-numeric");
+        assert!(parse_tenants("").is_err(), "empty");
+    }
 }

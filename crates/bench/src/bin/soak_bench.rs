@@ -15,14 +15,24 @@
 //! and delivery counts are reported alongside, as JSON on stdout;
 //! `scripts/soak_bench.sh` captures it into `BENCH_soak.json`.
 //!
+//! Every rung also carries a **mid-run tap outage**: the destination-ToR
+//! tap crashes at 40% of the rung's duration and cold-recovers at 60%
+//! (scaled per rung, so every run loses and rebuilds its state mid-soak).
+//! The flatness gate therefore also proves that crash/recovery leaves no
+//! memory behind — freed window slices and arena handles must return to
+//! the pool, not leak into the peaks of the longer rungs.
+//!
 //! Knobs: `RLIR_SOAK_BASE_MS` (base simulated duration, default 120),
 //! `RLIR_SOAK_MULTIPLIERS` (comma list, default `1,10,100`),
 //! `RLIR_SOAK_SLACK` (allowed growth factor, default 1.5),
 //! `RLIR_SOAK_SETTLE_MS` (baseline-rung settle floor, default 25),
-//! `RLIR_SOAK_BUDGET` (global plane pending budget, default 8192).
+//! `RLIR_SOAK_BUDGET` (global plane pending budget, default 8192),
+//! `RLIR_SOAK_OUTAGE` (0 disables the tap-outage phase, default 1).
 
 use rlir::experiment::{run_fattree_faulted, FatTreeExpConfig};
-use rlir_net::time::SimDuration;
+use rlir_net::time::{SimDuration, SimTime};
+use rlir_sim::{FaultEvent, FaultKind, FaultScript};
+use rlir_topo::FatTree;
 use std::time::Instant;
 
 fn env_u64(key: &str, default: u64) -> u64 {
@@ -58,12 +68,15 @@ struct SoakRow {
     peak_pending_tap: usize,
     shed: u64,
     late: u64,
+    tap_outages: u64,
+    lost_window_obs: u64,
 }
 
 fn main() {
     let base_ms = env_u64("RLIR_SOAK_BASE_MS", 120);
     let slack = env_f64("RLIR_SOAK_SLACK", 1.5);
     let budget = env_u64("RLIR_SOAK_BUDGET", 8_192) as usize;
+    let outage = env_u64("RLIR_SOAK_OUTAGE", 1) != 0;
     let mults = multipliers();
 
     let mut rows: Vec<SoakRow> = Vec::new();
@@ -79,8 +92,26 @@ fn main() {
         // operation needs the global budget — overflow regulars are shed
         // at the offering tap and counted, references always admitted.
         cfg.plane_budget = Some(budget);
+        // The mid-run outage phase: the destination-ToR tap (the busiest
+        // one — every measured flow terminates there) crashes at 40% and
+        // cold-recovers at 60% of this rung's duration.
+        let script = outage.then(|| {
+            let tree = FatTree::new(cfg.k, cfg.hash);
+            let tap_node = cfg.dst_tor(&tree);
+            let ns = SimDuration::from_millis(sim_ms).as_nanos();
+            FaultScript::new(vec![
+                FaultEvent {
+                    at: SimTime::from_nanos(ns * 2 / 5),
+                    kind: FaultKind::TapDown { node: tap_node },
+                },
+                FaultEvent {
+                    at: SimTime::from_nanos(ns * 3 / 5),
+                    kind: FaultKind::TapUp { node: tap_node },
+                },
+            ])
+        });
         let start = Instant::now();
-        let run = run_fattree_faulted(&cfg, None, None);
+        let run = run_fattree_faulted(&cfg, script.as_ref(), None);
         let wall_ms = start.elapsed().as_secs_f64() * 1e3;
         rows.push(SoakRow {
             multiplier: m,
@@ -93,6 +124,8 @@ fn main() {
             peak_pending_tap: run.outcome.peak_pending,
             shed: run.outcome.shed,
             late: run.outcome.late,
+            tap_outages: run.outcome.tap_outages,
+            lost_window_obs: run.outcome.lost_window_obs,
         });
     }
 
@@ -130,15 +163,26 @@ fn main() {
             flat = false;
         }
     }
+    // The outage phase must actually fire on every rung (a gate that
+    // silently skipped recovery would prove nothing about it).
+    if outage {
+        for r in &rows {
+            if r.tap_outages == 0 {
+                eprintln!("FAIL: tap-outage phase did not fire at {}x", r.multiplier);
+                flat = false;
+            }
+        }
+    }
 
     println!("{{");
     println!(
-        "  \"bench\": \"flat-memory soak (k=4 fat-tree RLIR plane, base {base_ms} ms, multipliers {mults:?}, pending budget {budget}, slack {slack})\","
+        "  \"bench\": \"flat-memory soak (k=4 fat-tree RLIR plane, base {base_ms} ms, multipliers {mults:?}, pending budget {budget}, slack {slack}, mid-run tap outage {})\",",
+        if outage { "on" } else { "off" }
     );
     println!("  \"rows\": [");
     for (i, r) in rows.iter().enumerate() {
         println!(
-            "    {{\"multiplier\": {}, \"sim_ms\": {}, \"wall_ms\": {:.1}, \"events\": {}, \"delivered\": {}, \"peak_live_slots\": {}, \"peak_pending_total\": {}, \"peak_pending_tap\": {}, \"shed\": {}, \"late\": {}}}{}",
+            "    {{\"multiplier\": {}, \"sim_ms\": {}, \"wall_ms\": {:.1}, \"events\": {}, \"delivered\": {}, \"peak_live_slots\": {}, \"peak_pending_total\": {}, \"peak_pending_tap\": {}, \"shed\": {}, \"late\": {}, \"tap_outages\": {}, \"lost_window_obs\": {}}}{}",
             r.multiplier,
             r.sim_ms,
             r.wall_ms,
@@ -149,6 +193,8 @@ fn main() {
             r.peak_pending_tap,
             r.shed,
             r.late,
+            r.tap_outages,
+            r.lost_window_obs,
             if i + 1 == rows.len() { "" } else { "," }
         );
     }

@@ -17,9 +17,9 @@ use crate::figures::{
 use crate::output::{write_csv, OutputDir};
 use crate::scale::Scale;
 use rlir::experiment::{
-    run_asymmetric, run_drop_aware, run_faults, run_incast, run_localize_full, run_plane_scale,
-    run_replay, AsymmetricConfig, DropAwareConfig, FaultsConfig, IncastConfig, LocalizeConfig,
-    LossSweepConfig, PlaneScaleConfig, ReplayConfig,
+    run_asymmetric, run_chaos, run_drop_aware, run_faults, run_incast, run_localize_full,
+    run_plane_scale, run_replay, AsymmetricConfig, ChaosCampaignConfig, DropAwareConfig,
+    FaultsConfig, IncastConfig, LocalizeConfig, LossSweepConfig, PlaneScaleConfig, ReplayConfig,
 };
 use rlir_exec::ScenarioRegistry;
 use rlir_rli::PolicyKind;
@@ -36,6 +36,14 @@ pub struct RunContext {
     /// Entry-node demux spec for `replay` (`--entry-map`), already
     /// validated by the CLI.
     pub entry_map: Option<String>,
+    /// Tenant weight split for the fat-tree plane (`--tenants w1,w2`),
+    /// already validated by the CLI: segment-1 taps become tenant 0 with
+    /// weight `w1`, segment-2 taps tenant 1 with weight `w2`.
+    pub tenants: Option<(u64, u64)>,
+    /// Master seed override for the `chaos` scenario (`--chaos-seed`).
+    pub chaos_seed: Option<u64>,
+    /// Run pcap ingest in lenient skip-and-count mode (`--lenient`).
+    pub lenient: bool,
 }
 
 /// Build the registry of runnable scenarios.
@@ -383,6 +391,7 @@ pub fn build_registry() -> ScenarioRegistry<RunContext> {
         |ctx, runner| {
             let mut cfg = ReplayConfig::paper(ctx.scale.base_seed, ctx.scale.accuracy_duration);
             cfg.trace_path = ctx.trace.clone();
+            cfg.lenient = ctx.lenient;
             if let Some(spec) = &ctx.entry_map {
                 cfg.entry_spec = spec.clone();
             }
@@ -497,6 +506,96 @@ pub fn build_registry() -> ScenarioRegistry<RunContext> {
                 }),
             );
             ctx.out.write("scenario_faults.csv", &csv)?;
+            Ok(())
+        },
+    );
+
+    reg.register(
+        "chaos",
+        "NEW: seeded chaos campaigns — flaps, gray loss, tap crash/recovery, tenant cross-talk probe, hostile-ingest leg",
+        |ctx, _runner| {
+            let seed = ctx.chaos_seed.unwrap_or(ctx.scale.base_seed);
+            let mut cfg = ChaosCampaignConfig::paper(seed, ctx.scale.fattree_duration);
+            cfg.base.tenant_split = ctx.tenants;
+            let rep = run_chaos(&cfg);
+            println!(
+                "== chaos: {} campaign(s) from seed {seed} on the k={} fabric ==",
+                rep.campaigns.len(),
+                cfg.base.k
+            );
+            println!(
+                "  {:>4} {:>20} {:>7} {:>9} {:>7} {:>12} {:>8} {:>9} {:>10}",
+                "#", "seed", "events", "outages", "recov", "lost obs", "drops", "detected", "TTL ms"
+            );
+            for c in &rep.campaigns {
+                println!(
+                    "  {:>4} {:>20} {:>7} {:>9} {:>7} {:>12} {:>8} {:>9} {:>10}",
+                    c.campaign,
+                    c.seed,
+                    c.events,
+                    c.tap_outages,
+                    c.recovered_epochs,
+                    c.lost_window_obs,
+                    c.fault_drops,
+                    if c.false_positive {
+                        "FALSE+"
+                    } else if c.detected {
+                        "yes"
+                    } else {
+                        "no"
+                    },
+                    c.ttl_ns
+                        .map_or("-".to_string(), |t| format!("{:.2}", t as f64 / 1e6)),
+                );
+            }
+            println!(
+                "  baseline false positive: {}   tenant cross-talk: {} ns   ingest: {}/{} records ({} skipped, {} resyncs, {} clamped)",
+                rep.baseline_false_positive,
+                rep.cross_talk_max_abs_ns,
+                rep.ingest.emitted,
+                rep.ingest.records,
+                rep.ingest.skipped_records,
+                rep.ingest.resyncs,
+                rep.ingest.clamped_regressions,
+            );
+            let csv = write_csv(
+                "campaign,seed,events,first_onset_ns,tap_outages,recovered_epochs,lost_window_obs,fault_drops,shed,peak_pending_total,detected,false_positive,ttl_ns",
+                rep.campaigns.iter().map(|c| {
+                    format!(
+                        "{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                        c.campaign,
+                        c.seed,
+                        c.events,
+                        c.first_onset_ns,
+                        c.tap_outages,
+                        c.recovered_epochs,
+                        c.lost_window_obs,
+                        c.fault_drops,
+                        c.shed,
+                        c.peak_pending_total,
+                        c.detected,
+                        c.false_positive,
+                        c.ttl_ns.map_or(-1i64, |t| t as i64)
+                    )
+                }),
+            );
+            ctx.out.write("scenario_chaos.csv", &csv)?;
+            if rep.baseline_false_positive {
+                return Err(std::io::Error::other(
+                    "detector raised a false positive on the fault-free baseline",
+                ));
+            }
+            if rep.cross_talk_max_abs_ns != 0.0 {
+                return Err(std::io::Error::other(format!(
+                    "tenant isolation violated: cross-talk {} ns",
+                    rep.cross_talk_max_abs_ns
+                )));
+            }
+            if !rep.ingest.strict_matches_lenient_on_clean {
+                return Err(std::io::Error::other(
+                    "lenient ingest diverged from strict on a clean capture",
+                ));
+            }
             Ok(())
         },
     );
@@ -639,6 +738,7 @@ mod tests {
             "drop_aware",
             "faults",
             "replay",
+            "chaos",
         ] {
             assert!(names.contains(&required), "missing scenario {required}");
         }
@@ -672,6 +772,9 @@ mod tests {
             out: OutputDir::at(&dir).unwrap(),
             trace: None,
             entry_map: None,
+            tenants: None,
+            chaos_seed: None,
+            lenient: false,
         };
         build_registry()
             .run("loss_sweep", &ctx, &SweepRunner::new(2))

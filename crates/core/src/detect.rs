@@ -22,7 +22,7 @@
 
 use crate::plane::{DrainMode, MeasurementPlane};
 use rlir_net::time::SimTime;
-use rlir_sim::{HopEvent, HopSink, StopFlag};
+use rlir_sim::{FaultEvent, HopEvent, HopSink, StopFlag};
 use serde::{Deserialize, Serialize};
 
 /// Configuration of the online epoch detector.
@@ -238,6 +238,10 @@ impl<'p, 'a> ClosedLoopSink<'p, 'a> {
 impl HopSink for ClosedLoopSink<'_, '_> {
     fn on_hop(&mut self, ev: &HopEvent<'_>) {
         self.plane.on_hop(ev);
+    }
+
+    fn on_fault(&mut self, ev: &FaultEvent) {
+        self.plane.on_fault(ev);
     }
 
     fn on_watermark(&mut self, watermark: SimTime) {

@@ -23,7 +23,8 @@ use crate::detect::{ClosedLoopSink, Detection, DetectorConfig};
 use crate::fabric::{build_network, FatTreeFabric};
 use crate::localization::SegmentObservation;
 use crate::plane::{
-    DrainMode, MeasurementPlane, PlaneConfig, StateLayout, TapPoint, TapSpec, TruthRef,
+    DrainMode, MeasurementPlane, PlaneConfig, StateLayout, TapPoint, TapSpec, TenantReport,
+    TruthRef,
 };
 use rlir_net::clock::ClockModel;
 use rlir_net::fxhash::FxHashMap;
@@ -157,6 +158,15 @@ pub struct FatTreeExpConfig {
     /// only.
     #[serde(default)]
     pub per_tap_plane: bool,
+    /// Tenant assignment for the plane's taps: `Some((w1, w2))` places the
+    /// segment-1 taps in tenant 0 with weight `w1` and the segment-2 taps
+    /// in tenant 1 with weight `w2` — weighted guaranteed shares of
+    /// [`FatTreeExpConfig::plane_budget`], with work-conserving borrowing
+    /// (see [`crate::plane::TenantId`]). `None` (the default) keeps every
+    /// tap in the single default tenant, byte-identical to the pre-tenant
+    /// plane.
+    #[serde(default)]
+    pub tenant_split: Option<(u64, u64)>,
 }
 
 impl FatTreeExpConfig {
@@ -184,6 +194,7 @@ impl FatTreeExpConfig {
             plane_budget: None,
             shards: None,
             per_tap_plane: false,
+            tenant_split: None,
         }
     }
 
@@ -248,6 +259,17 @@ pub struct FatTreeOutcome {
     /// High-water mark of pending observations summed across all taps —
     /// the quantity the plane budget bounds.
     pub peak_pending_total: usize,
+    /// Observations lost to tap outages, summed across taps: down-time
+    /// discards plus crash-destroyed window/estimator state.
+    pub lost_window_obs: u64,
+    /// Non-empty epochs produced at or after a cold recovery, summed
+    /// across taps (0 without tap faults).
+    pub recovered_epochs: u64,
+    /// Tap outages ([`rlir_sim::FaultKind::TapDown`]) the plane absorbed.
+    pub tap_outages: u64,
+    /// Per-tenant budget accounting, first-seen order (the single default
+    /// tenant unless [`FatTreeExpConfig::tenant_split`] was set).
+    pub tenants: Vec<TenantReport>,
 }
 
 impl FatTreeOutcome {
@@ -576,6 +598,9 @@ pub fn run_fattree_faulted(
     let mut peak_pending = 0usize;
     let mut late = 0u64;
     let mut shed = 0u64;
+    let mut lost_window_obs = 0u64;
+    let mut recovered_epochs = 0u64;
+    let mut tap_outages = 0u64;
     for (i, tap) in report.taps.into_iter().enumerate() {
         if let Some(seg) = tap.segment() {
             segments.push(seg);
@@ -583,6 +608,9 @@ pub fn run_fattree_faulted(
         peak_pending = peak_pending.max(tap.peak_pending);
         late += tap.late;
         shed += tap.shed;
+        lost_window_obs += tap.lost_window_obs;
+        recovered_epochs += tap.recovered_epochs;
+        tap_outages += u64::from(tap.outages);
         if epoch_ns.is_some() {
             segment_epochs.push((tap.name, tap.report.epochs));
         }
@@ -626,6 +654,10 @@ pub fn run_fattree_faulted(
             late,
             shed,
             peak_pending_total,
+            lost_window_obs,
+            recovered_epochs,
+            tap_outages,
+            tenants: report.tenants,
         },
         detection,
         fault_drops: stats.fault_drops,
@@ -678,6 +710,10 @@ fn attach_rlir_taps<'a>(
         epoch: cfg.epoch,
         pending_budget: cfg.plane_budget,
     });
+    if let Some((w1, w2)) = cfg.tenant_split {
+        plane.set_tenant_weight(0, w1);
+        plane.set_tenant_weight(1, w2);
+    }
 
     let seg1_keys: Vec<(TopoId, SenderId)> = if naive {
         cores.iter().map(|&c| (c, NAIVE_ID)).collect()
@@ -708,6 +744,9 @@ fn attach_rlir_taps<'a>(
         // harness opts back into delivered gating explicitly.
         tap.delivered_only = true;
         tap.truth = TruthRef::SinceInjection;
+        if cfg.tenant_split.is_some() {
+            tap.tenant = 0;
+        }
         tap.ref_map = Some(if naive {
             // The mixed receiver listens to every ToR-sender stream at
             // once (core-sender references belong to segment 2).
@@ -751,6 +790,9 @@ fn attach_rlir_taps<'a>(
         );
         tap.delivered_only = true;
         tap.truth = TruthRef::SinceArrivalAt(cores.clone());
+        if cfg.tenant_split.is_some() {
+            tap.tenant = 1;
+        }
         tap.ref_map = Some(if naive {
             Box::new(|info| {
                 (info.sender.0 >= CORE_SENDER_BASE).then_some(ReferenceInfo {

@@ -32,8 +32,12 @@
 //!   degradation at scripted onsets, detected online with engine
 //!   termination; reports time-to-localize and false positives over
 //!   onset × background load.
+//! * [`chaos`] — seeded chaos campaigns: correlated flaps, gray loss,
+//!   tap crash/recovery and a hidden degradation per campaign, plus the
+//!   tenant cross-talk byte-identity probe and a hostile-ingest leg.
 
 pub mod asymmetric;
+pub mod chaos;
 pub mod drop_aware;
 pub mod fattree;
 pub mod faults;
@@ -47,6 +51,7 @@ pub mod two_hop;
 pub use asymmetric::{
     asymmetric_traces, run_asymmetric, AsymmetricConfig, AsymmetricPoint, AsymmetricSweep,
 };
+pub use chaos::{run_chaos, ChaosCampaign, ChaosCampaignConfig, ChaosReport, IngestLeg};
 pub use drop_aware::{run_drop_aware, DropAwareConfig, DropAwarePoint, DropAwareSweep};
 pub use fattree::{
     background_injections, measured_traces, run_fattree, run_fattree_faulted, run_fattree_sweep,

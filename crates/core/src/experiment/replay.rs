@@ -76,6 +76,11 @@ pub struct ReplayConfig {
     /// compare full-stream digests (sets
     /// [`ReplayOutcome::ingest_identical`]).
     pub verify_vs_vec: bool,
+    /// Run the pcap path in lenient (skip-and-count) mode: damaged
+    /// records are skipped with resync, time regressions clamped,
+    /// duplicate wire identities capped. Strict mode (the default) fails
+    /// fast on the first bad record.
+    pub lenient: bool,
 }
 
 impl ReplayConfig {
@@ -103,6 +108,7 @@ impl ReplayConfig {
             link_delay: SimDuration::from_micros(1),
             epoch: Some(SimDuration::from_millis(5)),
             verify_vs_vec: true,
+            lenient: false,
         }
     }
 }
@@ -304,6 +310,7 @@ fn replay_streamed<R: Read>(
     entry: EntryMap,
 ) -> StreamedRun {
     let pcap = PcapReplaySource::new(records, entry, cfg.reorder_ns);
+    let pcap = if cfg.lenient { pcap.lenient() } else { pcap };
     let mut source = RefInterleave::new(pcap, mk_sender(cfg), S0);
 
     let mut plane = MeasurementPlane::with_config(PlaneConfig {
@@ -368,6 +375,7 @@ fn replay_streamed<R: Read>(
 /// the identical observable stream.
 fn replay_vec<R: Read>(cfg: &ReplayConfig, records: PcapRecords<R>, entry: EntryMap) -> u64 {
     let pcap = PcapReplaySource::new(records, entry, cfg.reorder_ns);
+    let pcap = if cfg.lenient { pcap.lenient() } else { pcap };
     let mut source = RefInterleave::new(pcap, mk_sender(cfg), S0);
     let mut injections: Vec<(NodeId, Packet)> = Vec::new();
     while source.peek().is_some() {

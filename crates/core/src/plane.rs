@@ -81,7 +81,10 @@ use rlir_rli::{
     RliReceiver,
 };
 use rlir_sim::pipeline::Delivery;
-use rlir_sim::{CalendarQueue, EventSchedule, Hop, HopEvent, HopKind, HopSink, NodeId, PortId};
+use rlir_sim::{
+    CalendarQueue, EventSchedule, FaultEvent, FaultKind, Hop, HopEvent, HopKind, HopSink, NodeId,
+    PortId,
+};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -203,6 +206,24 @@ pub enum StateLayout {
     PerTap,
 }
 
+/// Which tenant a tap belongs to (an operator-assigned opaque id).
+///
+/// The plane's multi-tenant dimension: several measurement customers —
+/// different teams, different tools — share one fabric's hop-event
+/// stream, and the plane's [`PlaneConfig::pending_budget`] becomes a
+/// *hierarchy*: the plane-wide cap is split into per-tenant weighted
+/// shares (set via [`MeasurementPlane::set_tenant_weight`]; unseen
+/// tenants default to weight 1) with work-conserving borrowing: a tenant
+/// under its share is always admitted; one over its share may borrow
+/// headroom only while every other tenant's unused share remains
+/// *reserved*. A flooding tenant therefore inflates only its own
+/// [`TenantReport::shed`] — it can never displace another tenant's
+/// guaranteed share, and the isolation tests pin a victim tenant's epoch
+/// estimates byte-identical with and without the flood. Every tap
+/// defaults to tenant `0`; a single-tenant plane reproduces the flat
+/// budget's admissions bit-for-bit.
+pub type TenantId = u32;
+
 /// Plane-wide configuration shared by every attached tap.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PlaneConfig {
@@ -224,6 +245,12 @@ pub struct PlaneConfig {
     /// collapsing. `None` (the default) leaves only the per-tap caps.
     /// Applies to [`DrainMode::Streaming`]; the buffered-sort oracle is
     /// O(run) by design and ignores it.
+    ///
+    /// With more than one [`TenantId`] attached the budget is
+    /// *hierarchical*: the cap is divided into per-tenant weighted shares
+    /// with work-conserving borrowing (see [`TenantId`] and
+    /// [`MeasurementPlane::set_tenant_weight`]). With every tap in the
+    /// default tenant this reduces exactly to the flat cap.
     pub pending_budget: Option<usize>,
 }
 
@@ -271,6 +298,9 @@ pub struct TapSpec<'a> {
     pub meter: Option<MeterFn<'a>>,
     /// Reference filter/rewrite rule.
     pub ref_map: Option<RefMapFn<'a>>,
+    /// Which tenant's budget share this tap draws on (see [`TenantId`]).
+    /// Default `0` — every tap in one tenant reproduces the flat budget.
+    pub tenant: TenantId,
 }
 
 impl<'a> TapSpec<'a> {
@@ -292,6 +322,7 @@ impl<'a> TapSpec<'a> {
             track_quantile: None,
             meter: None,
             ref_map: None,
+            tenant: 0,
         }
     }
 }
@@ -338,9 +369,16 @@ impl Ord for PendingObs {
 type WheelKey = (u64, u64, u32);
 
 /// What the shared reorder wheel moves: the owning tap plus the payload
-/// (time and tie live in the wheel's own key).
+/// (time and tie live in the wheel's own key). `generation` stamps the
+/// tap's crash epoch at push time: a [`tap_down`] bumps the tap's
+/// generation and the wheel's stale entries — already accounted as
+/// [`TapReport::lost_window_obs`] — are discarded lazily at pop, without
+/// an O(wheel) sweep on the fault path.
+///
+/// [`tap_down`]: MeasurementPlane::tap_down
 struct WheelObs {
     tap: u32,
+    generation: u32,
     payload: Payload,
 }
 
@@ -368,6 +406,28 @@ struct TapState<'a> {
     dropped_metered: u64,
     /// Per-epoch downstream deaths (epoch index → count).
     drops_by_epoch: FxHashMap<u64, u64>,
+    /// Index into the plane's tenant table (resolved at attach).
+    tenant_slot: usize,
+    /// True between a [`FaultKind::TapDown`] and its matching `TapUp`:
+    /// the measurement instance is crashed and observes nothing.
+    down: bool,
+    /// Crash epoch; bumped at every `TapDown` so stale shared-wheel
+    /// entries can be recognized and discarded lazily.
+    generation: u32,
+    /// After a recovery, observations before this time are discarded
+    /// (cold restart resumes on a clean epoch boundary). `ZERO` for taps
+    /// that never crashed — a no-op bound.
+    resume_at: SimTime,
+    /// The epoch index recovery resumed at (last outage wins); drives
+    /// [`TapReport::recovered_epochs`].
+    resume_epoch: Option<u64>,
+    /// Observations destroyed by outages: window/backlog entries freed at
+    /// crash, receiver buffer destroyed by the cold reset, and stream
+    /// observations that arrived while the tap was down (or before its
+    /// post-recovery resume boundary).
+    lost_window_obs: u64,
+    /// Completed `TapDown` transitions.
+    outages: u32,
 }
 
 impl TapState<'_> {
@@ -385,6 +445,41 @@ impl TapState<'_> {
 struct PendingTotals {
     pending: usize,
     peak: usize,
+}
+
+/// One tenant's live budget state (see [`TenantId`]).
+#[derive(Debug, Clone, Copy)]
+struct TenantState {
+    id: TenantId,
+    weight: u64,
+    /// This tenant's guaranteed slice of the plane-wide cap:
+    /// `cap × weight / Σweights` (recomputed at attach/weight change).
+    share: usize,
+    /// Live buffered observations across the tenant's taps (references
+    /// included, mirroring the plane-wide total).
+    pending: usize,
+    peak_pending: usize,
+    /// Regular observations that reached the admission decision.
+    offered: u64,
+    /// Regulars admitted into a reorder window.
+    admitted: u64,
+    /// Regulars shed (per-tap cap or budget hierarchy).
+    shed: u64,
+}
+
+impl TenantState {
+    fn new(id: TenantId) -> Self {
+        TenantState {
+            id,
+            weight: 1,
+            share: 0,
+            pending: 0,
+            peak_pending: 0,
+            offered: 0,
+            admitted: 0,
+            shed: 0,
+        }
+    }
 }
 
 /// Final output of one tap.
@@ -413,6 +508,21 @@ pub struct TapReport {
     /// being observed — the live tap's drop-awareness (always zero on
     /// delivered-gated taps).
     pub dropped_metered: u64,
+    /// The tenant this tap drew budget from.
+    pub tenant: TenantId,
+    /// Observations destroyed by tap outages: buffered window/backlog
+    /// entries freed at crash time, receiver-internal buffer destroyed by
+    /// the cold restart, and stream observations that arrived while the
+    /// tap was down or before its post-recovery epoch boundary. The
+    /// estimation error attributable to the outage is *measured*, never
+    /// silently folded into other counters.
+    pub lost_window_obs: u64,
+    /// Non-empty epochs this tap produced at-or-after its last recovery
+    /// boundary — zero for taps that never crashed, nonzero proof that a
+    /// cold restart resumed producing mergeable epoch snapshots.
+    pub recovered_epochs: u64,
+    /// Completed [`FaultKind::TapDown`] transitions this tap absorbed.
+    pub outages: u32,
 }
 
 impl TapReport {
@@ -451,10 +561,35 @@ pub struct EpochFindings {
     pub findings: Vec<AnomalyFinding>,
 }
 
+/// Final per-tenant budget accounting (see [`TenantId`]).
+#[derive(Debug, Clone, Copy)]
+pub struct TenantReport {
+    /// The tenant id.
+    pub id: TenantId,
+    /// Its configured weight.
+    pub weight: u64,
+    /// Its guaranteed share of the plane-wide cap (0 when no budget was
+    /// configured).
+    pub share: usize,
+    /// Regular observations that reached the admission decision.
+    pub offered: u64,
+    /// Regulars admitted into a reorder window. Per tenant,
+    /// `admitted + shed == offered`.
+    pub admitted: u64,
+    /// Regulars shed by per-tap caps or the budget hierarchy.
+    pub shed: u64,
+    /// High-water mark of this tenant's buffered observations.
+    pub peak_pending: usize,
+}
+
 /// Everything the plane measured, in tap-attachment order.
 pub struct PlaneReport {
     /// Per-tap reports.
     pub taps: Vec<TapReport>,
+    /// Per-tenant budget accounting, in first-seen order (tenant `0`
+    /// first on a default plane). Tenants are tracked even without a
+    /// configured budget, so the shed/admitted books are always present.
+    pub tenants: Vec<TenantReport>,
     /// The epoch width the plane ran with, ns.
     pub epoch_ns: Option<u64>,
     /// High-water mark of pending observations summed across **all** taps
@@ -582,6 +717,8 @@ pub struct MeasurementPlane<'a> {
     next_flush: SimTime,
     /// Plane-wide pending accounting for the global budget.
     totals: PendingTotals,
+    /// Per-tenant budget state, in first-seen order (see [`TenantId`]).
+    tenants: Vec<TenantState>,
     /// [`StateLayout::SharedArena`]: the plane-wide flow-accumulator store
     /// (one arena tap handle per plane tap, same index).
     arena: FlowArena,
@@ -638,6 +775,41 @@ impl<'a> MeasurementPlane<'a> {
         self.cfg
     }
 
+    /// Set a tenant's budget weight (creating the tenant if unseen) and
+    /// recompute every tenant's guaranteed share. Taps register their
+    /// tenant at [`attach`](MeasurementPlane::attach) with weight 1; call
+    /// this before or after attaching to skew the split. Shares divide
+    /// [`PlaneConfig::pending_budget`] as `cap × weight / Σweights`
+    /// (integer floor, so Σshares ≤ cap and borrowing headroom exists).
+    pub fn set_tenant_weight(&mut self, tenant: TenantId, weight: u64) {
+        let slot = self.tenant_slot(tenant);
+        self.tenants[slot].weight = weight.max(1);
+        self.recompute_shares();
+    }
+
+    /// The tenant's slot in first-seen order, creating it at weight 1.
+    fn tenant_slot(&mut self, tenant: TenantId) -> usize {
+        if let Some(i) = self.tenants.iter().position(|t| t.id == tenant) {
+            return i;
+        }
+        self.tenants.push(TenantState::new(tenant));
+        self.recompute_shares();
+        self.tenants.len() - 1
+    }
+
+    fn recompute_shares(&mut self) {
+        let Some(cap) = self.cfg.pending_budget else {
+            return;
+        };
+        let total: u64 = self.tenants.iter().map(|t| t.weight).sum();
+        if total == 0 {
+            return;
+        }
+        for t in &mut self.tenants {
+            t.share = ((cap as u64).saturating_mul(t.weight) / total) as usize;
+        }
+    }
+
     /// Attach a tap; returns its index (reports come back in attachment
     /// order).
     pub fn attach(&mut self, spec: TapSpec<'a>) -> usize {
@@ -675,6 +847,7 @@ impl<'a> MeasurementPlane<'a> {
                 self.gated_departure.entry((n, p)).or_default().push(idx)
             }
         }
+        let tenant_slot = self.tenant_slot(spec.tenant);
         self.taps.push(TapState {
             spec,
             rx,
@@ -687,6 +860,13 @@ impl<'a> MeasurementPlane<'a> {
             shed: 0,
             dropped_metered: 0,
             drops_by_epoch: FxHashMap::default(),
+            tenant_slot,
+            down: false,
+            generation: 0,
+            resume_at: SimTime::ZERO,
+            resume_epoch: None,
+            lost_window_obs: 0,
+            outages: 0,
         });
         self.taps.len() - 1
     }
@@ -756,6 +936,7 @@ impl<'a> MeasurementPlane<'a> {
         taps: &mut [TapState<'a>],
         cfg: PlaneConfig,
         totals: &mut PendingTotals,
+        tenants: &mut [TenantState],
         arena: &mut FlowArena,
         wheel: &mut CalendarQueue<WheelObs, WheelKey>,
         idx: usize,
@@ -799,6 +980,18 @@ impl<'a> MeasurementPlane<'a> {
             // Cross traffic is invisible to the measurement plane.
             None => return,
         };
+        if tap.down {
+            // The measurement instance is crashed: the crossing happened,
+            // nothing observed it. Accounted, never estimated.
+            tap.lost_window_obs += 1;
+            return;
+        }
+        if at < tap.resume_at {
+            // Recovered mid-epoch: discard until the resume boundary so
+            // the cold restart produces clean whole-epoch snapshots.
+            tap.lost_window_obs += 1;
+            return;
+        }
         if tap.spec.ordered {
             feed_into(cfg.layout, arena, &mut tap.rx, idx as u32, at, &payload);
             return;
@@ -812,24 +1005,45 @@ impl<'a> MeasurementPlane<'a> {
                     tap.late += 1;
                     return;
                 }
+                let slot = tap.tenant_slot;
+                if let Payload::Regular { .. } = payload {
+                    tenants[slot].offered += 1;
+                }
                 let buffered = match cfg.layout {
                     StateLayout::SharedArena => tap.pending,
                     StateLayout::PerTap => tap.window.len(),
                 };
-                let over_budget = cfg
-                    .pending_budget
-                    .is_some_and(|budget| totals.pending >= budget);
+                // Hierarchical budget: a tenant under its guaranteed
+                // share is always admitted; one at-or-over its share may
+                // borrow free headroom only while every other tenant's
+                // unused share stays reserved — so Σ(admissions) never
+                // exceeds the cap and no flood can displace a guaranteed
+                // share. With one tenant, share == cap and the rule is
+                // bit-identical to the flat `pending >= budget` check.
+                let over_budget = cfg.pending_budget.is_some_and(|cap| {
+                    tenants[slot].pending >= tenants[slot].share && {
+                        let reserved: usize = tenants
+                            .iter()
+                            .map(|t| t.share.saturating_sub(t.pending))
+                            .sum();
+                        totals.pending + reserved >= cap
+                    }
+                });
                 if buffered >= tap.spec.max_buffer || over_budget {
                     if let Payload::Regular { .. } = payload {
-                        // Per-window cap or exhausted global budget: shed
+                        // Per-window cap or exhausted budget share: shed
                         // the observation but keep the books honest — it
                         // was seen at the point and will never be
                         // estimated.
                         tap.shed += 1;
+                        tenants[slot].shed += 1;
                         tap.rx.on_shed(at);
                         return;
                     }
                     // References are always admitted (see TapSpec docs).
+                }
+                if let Payload::Regular { .. } = payload {
+                    tenants[slot].admitted += 1;
                 }
                 let len = match cfg.layout {
                     StateLayout::SharedArena => {
@@ -838,6 +1052,7 @@ impl<'a> MeasurementPlane<'a> {
                             (tie, ev.packet.id.0, idx as u32),
                             WheelObs {
                                 tap: idx as u32,
+                                generation: tap.generation,
                                 payload,
                             },
                         );
@@ -856,6 +1071,10 @@ impl<'a> MeasurementPlane<'a> {
                 if totals.pending > totals.peak {
                     totals.peak = totals.pending;
                 }
+                tenants[slot].pending += 1;
+                if tenants[slot].pending > tenants[slot].peak_pending {
+                    tenants[slot].peak_pending = tenants[slot].pending;
+                }
                 tap.note_pending(len);
             }
             DrainMode::BufferedSort => {
@@ -868,13 +1087,20 @@ impl<'a> MeasurementPlane<'a> {
 
     /// Pop-and-feed every pending observation strictly below `bound`, in
     /// `(at, tie, id)` order ([`StateLayout::PerTap`] streaming drain).
-    fn flush_tap(tap: &mut TapState<'a>, totals: &mut PendingTotals, bound: SimTime) {
+    fn flush_tap(
+        tap: &mut TapState<'a>,
+        totals: &mut PendingTotals,
+        tenants: &mut [TenantState],
+        bound: SimTime,
+    ) {
         while let Some(Reverse(top)) = tap.window.peek() {
             if top.key.0 >= bound {
                 break;
             }
             let Reverse(obs) = tap.window.pop().expect("peeked");
             totals.pending = totals.pending.saturating_sub(1);
+            let t = &mut tenants[tap.tenant_slot];
+            t.pending = t.pending.saturating_sub(1);
             feed(&mut tap.rx, obs.key.0, &obs.payload);
         }
         if bound > tap.flushed_to {
@@ -890,8 +1116,15 @@ impl<'a> MeasurementPlane<'a> {
         while self.wheel.peek_at().is_some_and(|t| t < bound) {
             let (at, _, obs) = self.wheel.pop_keyed().expect("peeked");
             let tap = &mut self.taps[obs.tap as usize];
+            if obs.generation != tap.generation {
+                // Pushed before a crash of this tap: its pending count was
+                // already zeroed (and the loss accounted) at TapDown time.
+                continue;
+            }
             tap.pending -= 1;
             self.totals.pending = self.totals.pending.saturating_sub(1);
+            let t = &mut self.tenants[tap.tenant_slot];
+            t.pending = t.pending.saturating_sub(1);
             feed_into(
                 StateLayout::SharedArena,
                 &mut self.arena,
@@ -914,6 +1147,80 @@ impl<'a> MeasurementPlane<'a> {
         tap.dropped_metered += 1;
         if let Some(e) = epoch_ns {
             *tap.drops_by_epoch.entry(at.as_nanos() / e).or_insert(0) += 1;
+        }
+    }
+
+    /// Crash every tap at `node`: its reorder-window slice is discarded
+    /// (shared-wheel entries lazily, via the generation stamp), its
+    /// shared-arena flow handles are freed back to the [`FlowArena`], and
+    /// its receiver is cold-reset — everything destroyed is accounted in
+    /// [`TapReport::lost_window_obs`]. Until the matching
+    /// [`tap_up`](MeasurementPlane::tap_up), crossings at the point are
+    /// counted as lost, never observed. Delivered automatically from
+    /// scripted [`FaultKind::TapDown`] events via [`HopSink::on_fault`];
+    /// public so harnesses can drive outages directly.
+    pub fn tap_down(&mut self, at: SimTime, node: NodeId) {
+        let _ = at; // the crash takes effect immediately; time is in the script
+        let streaming = matches!(self.cfg.drain, DrainMode::Streaming { .. });
+        for idx in 0..self.taps.len() {
+            if self.taps[idx].spec.point.node() != node || self.taps[idx].down {
+                continue;
+            }
+            let tap = &mut self.taps[idx];
+            tap.down = true;
+            tap.outages += 1;
+            tap.generation = tap.generation.wrapping_add(1);
+            let freed = if streaming {
+                match self.cfg.layout {
+                    StateLayout::SharedArena => std::mem::take(&mut tap.pending),
+                    StateLayout::PerTap => {
+                        let n = tap.window.len();
+                        tap.window.clear();
+                        n
+                    }
+                }
+            } else {
+                let n = tap.backlog.len();
+                tap.backlog.clear();
+                n
+            };
+            let destroyed = tap.rx.reset_cold();
+            tap.lost_window_obs += freed as u64 + destroyed;
+            let slot = tap.tenant_slot;
+            if streaming {
+                self.totals.pending = self.totals.pending.saturating_sub(freed);
+                let t = &mut self.tenants[slot];
+                t.pending = t.pending.saturating_sub(freed);
+            }
+            if self.cfg.layout == StateLayout::SharedArena {
+                self.arena.release_tap(idx as u32);
+            }
+        }
+    }
+
+    /// Recover every downed tap at `node`, cold: estimation resumes at
+    /// the next epoch boundary at-or-after `at` (at `at` itself when the
+    /// plane runs without epochs), so the restarted instance produces
+    /// clean whole-epoch snapshots that merge into its pre-crash series
+    /// via the ordinary [`EpochSnapshot`] machinery. Observations between
+    /// `at` and the boundary are counted in
+    /// [`TapReport::lost_window_obs`]. The counterpart of
+    /// [`tap_down`](MeasurementPlane::tap_down).
+    pub fn tap_up(&mut self, at: SimTime, node: NodeId) {
+        let epoch_ns = self.cfg.epoch_ns();
+        for tap in &mut self.taps {
+            if tap.spec.point.node() != node || !tap.down {
+                continue;
+            }
+            tap.down = false;
+            let resume_ns = match epoch_ns {
+                Some(e) => at.as_nanos().div_ceil(e).saturating_mul(e),
+                None => at.as_nanos(),
+            };
+            tap.resume_at = SimTime::from_nanos(resume_ns);
+            if let Some(e) = epoch_ns {
+                tap.resume_epoch = Some(resume_ns / e);
+            }
         }
     }
 
@@ -1013,6 +1320,19 @@ impl<'a> MeasurementPlane<'a> {
         // Under the shared layout every estimate landed in the arena; tear
         // it apart into per-tap tables bit-identical to private ones.
         let mut tables = (layout == StateLayout::SharedArena).then(|| arena.into_tables());
+        let tenants = self
+            .tenants
+            .iter()
+            .map(|t| TenantReport {
+                id: t.id,
+                weight: t.weight,
+                share: t.share,
+                offered: t.offered,
+                admitted: t.admitted,
+                shed: t.shed,
+                peak_pending: t.peak_pending,
+            })
+            .collect();
         let taps = self
             .taps
             .into_iter()
@@ -1037,6 +1357,15 @@ impl<'a> MeasurementPlane<'a> {
                     drop_epochs.sort_by_key(|s| s.epoch);
                     report.epochs = merge_epoch_series(&[&report.epochs, &drop_epochs], e);
                 }
+                // Non-empty epochs at-or-after the last recovery boundary:
+                // proof the cold restart resumed producing snapshots.
+                let recovered_epochs = t.resume_epoch.map_or(0, |re| {
+                    report
+                        .epochs
+                        .iter()
+                        .filter(|s| s.epoch >= re && !s.is_empty())
+                        .count() as u64
+                });
                 TapReport {
                     name: t.spec.name,
                     point: t.spec.point,
@@ -1046,11 +1375,16 @@ impl<'a> MeasurementPlane<'a> {
                     late: t.late,
                     shed: t.shed,
                     dropped_metered: t.dropped_metered,
+                    tenant: t.spec.tenant,
+                    lost_window_obs: t.lost_window_obs,
+                    recovered_epochs,
+                    outages: t.outages,
                 }
             })
             .collect();
         PlaneReport {
             taps,
+            tenants,
             epoch_ns,
             peak_pending_total,
         }
@@ -1106,7 +1440,7 @@ impl HopSink for MeasurementPlane<'_> {
             StateLayout::PerTap => {
                 for tap in &mut self.taps {
                     if !tap.spec.ordered {
-                        Self::flush_tap(tap, &mut self.totals, bound);
+                        Self::flush_tap(tap, &mut self.totals, &mut self.tenants, bound);
                     }
                 }
             }
@@ -1128,6 +1462,7 @@ impl HopSink for MeasurementPlane<'_> {
                             &mut self.taps,
                             self.cfg,
                             &mut self.totals,
+                            &mut self.tenants,
                             &mut self.arena,
                             &mut self.wheel,
                             i as usize,
@@ -1150,6 +1485,7 @@ impl HopSink for MeasurementPlane<'_> {
                             &mut self.taps,
                             self.cfg,
                             &mut self.totals,
+                            &mut self.tenants,
                             &mut self.arena,
                             &mut self.wheel,
                             i as usize,
@@ -1198,6 +1534,7 @@ impl HopSink for MeasurementPlane<'_> {
                             &mut self.taps,
                             self.cfg,
                             &mut self.totals,
+                            &mut self.tenants,
                             &mut self.arena,
                             &mut self.wheel,
                             i as usize,
@@ -1254,6 +1591,11 @@ impl HopSink for MeasurementPlane<'_> {
                         TapPoint::Delivery(_) => None,
                     };
                     let Some(at) = at else { continue };
+                    if self.taps[i].down {
+                        // A crashed instance never observed the crossing;
+                        // there is no estimate to attribute the death to.
+                        continue;
+                    }
                     if let Some(meter) = &self.taps[i].spec.meter {
                         if !meter(ev) {
                             continue;
@@ -1266,6 +1608,16 @@ impl HopSink for MeasurementPlane<'_> {
             // Enqueue events carry no measurement semantics: RLI meters
             // what crosses a point, not what waits at it.
             HopKind::Enqueue { .. } => {}
+        }
+    }
+
+    fn on_fault(&mut self, ev: &FaultEvent) {
+        match ev.kind {
+            FaultKind::TapDown { node } => self.tap_down(ev.at, node),
+            FaultKind::TapUp { node } => self.tap_up(ev.at, node),
+            // Network faults don't touch the plane directly: their effects
+            // arrive through the hop-event stream itself.
+            _ => {}
         }
     }
 }

@@ -419,6 +419,32 @@ impl FlowArena {
             + self.taps.capacity() * std::mem::size_of::<ArenaTapMeta>()
     }
 
+    /// Release every flow owned by `tap` back to the arena: entries are
+    /// dropped, the handle map is rebuilt over the survivors, and the
+    /// tap's metadata is zeroed so it restarts cold (its registration and
+    /// quantile configuration survive). Returns how many flow entries
+    /// were freed.
+    ///
+    /// This is the crash path for a downed measurement tap: O(total
+    /// flows) — a compacting sweep, acceptable for a rare fault event —
+    /// and it preserves the *other* taps' per-tap insertion order, so
+    /// their [`into_tables`](FlowArena::into_tables) output is unchanged.
+    pub fn release_tap(&mut self, tap: u32) -> usize {
+        let meta = &mut self.taps[tap as usize];
+        meta.flows = 0;
+        meta.estimates = 0;
+        let before = self.entries.len();
+        self.entries.retain(|e| e.tap != tap);
+        let freed = before - self.entries.len();
+        if freed > 0 {
+            self.index.clear();
+            for (slot, e) in self.entries.iter().enumerate() {
+                self.index.insert((e.tap, e.flow), slot as u32);
+            }
+        }
+        freed
+    }
+
     /// Tear the arena apart into one [`FlowTable`] per registered tap, rows
     /// in per-tap insertion order — each table identical to what the tap
     /// would have built privately.

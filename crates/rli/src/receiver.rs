@@ -270,6 +270,31 @@ impl<S: BuildHasher + Default> RliReceiver<S> {
         }
     }
 
+    /// Crash-restart the estimator cold, as if the receiver process died
+    /// and a fresh instance re-attached at the same point.
+    ///
+    /// Estimator *state* is discarded: the open interpolation bracket, the
+    /// pending buffer (each buffered packet is counted seen-but-unestimated
+    /// in its own epoch, so the books stay balanced), the per-flow table
+    /// (rebuilt empty with the same quantile configuration) and the
+    /// per-packet estimate log. The *accounting* — cumulative counters and
+    /// the epoch series — survives, because it is the external record of
+    /// what happened, not the crashed instance's memory. Returns how many
+    /// buffered observations the crash destroyed.
+    pub fn reset_cold(&mut self) -> u64 {
+        let dropped = self.buffer.len() as u64;
+        for p in std::mem::take(&mut self.buffer) {
+            self.count_unestimated(p.at);
+        }
+        self.left = None;
+        self.flows = match self.flows.quantile_p() {
+            Some(p) => FlowTable::with_quantile(p),
+            None => FlowTable::new(),
+        };
+        self.estimates.clear();
+        dropped
+    }
+
     /// Finish the run: packets still buffered after the last reference are
     /// unestimable. Returns the per-flow table and final counters.
     pub fn finish(mut self) -> ReceiverReport<S> {

@@ -1,0 +1,280 @@
+//! Seeded chaos-campaign generation: composing random [`FaultScript`]s.
+//!
+//! The fault layer gives the engine deterministic *scripted* degradation;
+//! this module generates the scripts themselves from a seed, so a single
+//! `u64` names an entire reproducible campaign of correlated failures:
+//!
+//! * **Correlated link flaps** — several egress ports of one switch go
+//!   down together and recover together (a line-card reseat, not six
+//!   independent cable pulls). Flap victims, port fan-out, onset and hold
+//!   time are all drawn from the seeded stream.
+//! * **Gray-loss ramps** — a switch alternates loss bursts of increasing
+//!   duty ("gray failure": intermittent, worsening, never a clean
+//!   down/up edge), the regime the paper's continuous-measurement
+//!   argument cares about most.
+//! * **Tap outages** — timed [`FaultKind::TapDown`]/[`FaultKind::TapUp`]
+//!   pairs that kill and cold-restart measurement taps mid-run, exercising
+//!   the plane's crash/recovery accounting rather than the network.
+//!
+//! Generation uses a self-contained splitmix64 stream — no global RNG, no
+//! wall clock — so `ChaosConfig::generate` is a pure function of the
+//! config: the chaos bench sweeps seeds and every campaign can be replayed
+//! bit-for-bit from its JSON row.
+
+use crate::fault::{FaultEvent, FaultKind, FaultScript};
+use crate::network::{NodeId, PortId};
+use rlir_net::time::{SimDuration, SimTime};
+
+/// Deterministic splitmix64 stream (same generator family the workload
+/// builders use) — the whole campaign derives from one seed.
+#[derive(Debug, Clone)]
+struct SplitMix(u64);
+
+impl SplitMix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, n)`; `n == 0` returns 0.
+    fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            self.next() % n
+        }
+    }
+
+    /// Uniform draw in `[lo, hi]` (inclusive).
+    fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.below(hi.saturating_sub(lo).saturating_add(1))
+    }
+}
+
+/// What a seeded campaign may inject, and where.
+///
+/// The caller supplies the *topology vocabulary* — which switches can
+/// flap which ports, which nodes host taps — and the generator supplies
+/// the timing and victim selection. Counts of zero disable an ingredient,
+/// so a config can generate (say) a taps-only campaign.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Campaign seed; equal configs with equal seeds generate equal
+    /// scripts.
+    pub seed: u64,
+    /// Candidate `(switch, its egress ports)` flap victims — typically
+    /// aggregation/core switches with their ECMP fan-out, so reroutes
+    /// exist and flaps degrade rather than partition.
+    pub flap_candidates: Vec<(NodeId, Vec<PortId>)>,
+    /// Candidate gray-loss victims.
+    pub gray_candidates: Vec<NodeId>,
+    /// Candidate tap-outage victims (nodes hosting measurement taps).
+    pub tap_candidates: Vec<NodeId>,
+    /// Number of correlated link-flap episodes to draw.
+    pub flaps: usize,
+    /// Number of gray-loss ramps to draw.
+    pub gray_ramps: usize,
+    /// Number of tap outages to draw.
+    pub tap_outages: usize,
+    /// Campaign window: faults onset inside `[start, start + span)`.
+    pub start: SimTime,
+    /// Width of the onset window.
+    pub span: SimDuration,
+    /// Shortest fault hold time (flap width, gray burst, outage length).
+    pub min_hold: SimDuration,
+    /// Longest fault hold time.
+    pub max_hold: SimDuration,
+}
+
+impl ChaosConfig {
+    /// A quiet campaign: nothing to inject until ingredients are set.
+    pub fn new(seed: u64) -> Self {
+        ChaosConfig {
+            seed,
+            flap_candidates: Vec::new(),
+            gray_candidates: Vec::new(),
+            tap_candidates: Vec::new(),
+            flaps: 0,
+            gray_ramps: 0,
+            tap_outages: 0,
+            start: SimTime::from_nanos(0),
+            span: SimDuration::from_nanos(0),
+            min_hold: SimDuration::from_nanos(1),
+            max_hold: SimDuration::from_nanos(1),
+        }
+    }
+
+    fn onset(&self, rng: &mut SplitMix) -> SimTime {
+        let off = rng.below(self.span.as_nanos().max(1));
+        SimTime::from_nanos(self.start.as_nanos() + off)
+    }
+
+    fn hold(&self, rng: &mut SplitMix) -> u64 {
+        rng.range(
+            self.min_hold.as_nanos().max(1),
+            self.max_hold
+                .as_nanos()
+                .max(self.min_hold.as_nanos().max(1)),
+        )
+    }
+
+    /// Generate the campaign script. Pure: same config, same script.
+    pub fn generate(&self) -> FaultScript {
+        let mut rng = SplitMix(self.seed ^ 0xC4A5_3C0D_E1F2_9B37);
+        let mut events = Vec::new();
+
+        // Correlated link flaps: one switch, a correlated subset of its
+        // ports, one shared down/up edge pair.
+        for _ in 0..self.flaps {
+            let Some((node, ports)) = pick(&mut rng, &self.flap_candidates) else {
+                break;
+            };
+            if ports.is_empty() {
+                continue;
+            }
+            let fan = rng.range(1, ports.len() as u64) as usize;
+            let down = self.onset(&mut rng);
+            let up = SimTime::from_nanos(down.as_nanos() + self.hold(&mut rng));
+            // Correlated subset: a contiguous rotation of the port list,
+            // so the subset is itself seed-determined.
+            let rot = rng.below(ports.len() as u64) as usize;
+            for k in 0..fan {
+                let port = ports[(rot + k) % ports.len()];
+                events.push(FaultEvent {
+                    at: down,
+                    kind: FaultKind::LinkDown { node: *node, port },
+                });
+                events.push(FaultEvent {
+                    at: up,
+                    kind: FaultKind::LinkUp { node: *node, port },
+                });
+            }
+        }
+
+        // Gray-loss ramps: bursts of increasing duty at one node.
+        for _ in 0..self.gray_ramps {
+            let Some(node) = pick(&mut rng, &self.gray_candidates) else {
+                break;
+            };
+            let mut t = self.onset(&mut rng).as_nanos();
+            let gap = self.hold(&mut rng);
+            let steps = rng.range(2, 4);
+            for step in 1..=steps {
+                // Duty grows with each step: hold × step / steps.
+                let burst = self.hold(&mut rng) * step / steps;
+                events.push(FaultEvent {
+                    at: SimTime::from_nanos(t),
+                    kind: FaultKind::LossBurstStart { node: *node },
+                });
+                events.push(FaultEvent {
+                    at: SimTime::from_nanos(t + burst.max(1)),
+                    kind: FaultKind::LossBurstEnd { node: *node },
+                });
+                t += burst.max(1) + gap;
+            }
+        }
+
+        // Tap outages: down/up pairs on tap-hosting nodes.
+        for _ in 0..self.tap_outages {
+            let Some(node) = pick(&mut rng, &self.tap_candidates) else {
+                break;
+            };
+            let down = self.onset(&mut rng);
+            let up = SimTime::from_nanos(down.as_nanos() + self.hold(&mut rng));
+            events.push(FaultEvent {
+                at: down,
+                kind: FaultKind::TapDown { node: *node },
+            });
+            events.push(FaultEvent {
+                at: up,
+                kind: FaultKind::TapUp { node: *node },
+            });
+        }
+
+        FaultScript::new(events)
+    }
+}
+
+fn pick<'a, T>(rng: &mut SplitMix, from: &'a [T]) -> Option<&'a T> {
+    if from.is_empty() {
+        None
+    } else {
+        Some(&from[rng.below(from.len() as u64) as usize])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(seed: u64) -> ChaosConfig {
+        let mut c = ChaosConfig::new(seed);
+        c.flap_candidates = vec![(3, vec![0, 1, 2, 3]), (4, vec![0, 1])];
+        c.gray_candidates = vec![5, 6];
+        c.tap_candidates = vec![7, 8];
+        c.flaps = 2;
+        c.gray_ramps = 1;
+        c.tap_outages = 2;
+        c.start = SimTime::from_nanos(1_000_000);
+        c.span = SimDuration::from_nanos(50_000_000);
+        c.min_hold = SimDuration::from_nanos(100_000);
+        c.max_hold = SimDuration::from_nanos(5_000_000);
+        c
+    }
+
+    #[test]
+    fn same_seed_same_script_different_seed_different() {
+        let a = cfg(17).generate();
+        let b = cfg(17).generate();
+        let c = cfg(18).generate();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn script_contains_each_ingredient_and_pairs_balance() {
+        let s = cfg(99).generate();
+        let mut downs = 0i64;
+        let mut bursts = 0i64;
+        let mut taps = 0i64;
+        let mut saw_flap = false;
+        let mut saw_gray = false;
+        let mut saw_tap = false;
+        for ev in s.events() {
+            match ev.kind {
+                FaultKind::LinkDown { .. } => {
+                    downs += 1;
+                    saw_flap = true;
+                }
+                FaultKind::LinkUp { .. } => downs -= 1,
+                FaultKind::LossBurstStart { .. } => {
+                    bursts += 1;
+                    saw_gray = true;
+                }
+                FaultKind::LossBurstEnd { .. } => bursts -= 1,
+                FaultKind::TapDown { .. } => {
+                    taps += 1;
+                    saw_tap = true;
+                }
+                FaultKind::TapUp { .. } => taps -= 1,
+                _ => {}
+            }
+        }
+        assert!(saw_flap && saw_gray && saw_tap);
+        // Every onset has a matching clearance somewhere in the script.
+        assert_eq!((downs, bursts, taps), (0, 0, 0));
+        // Onsets land inside the configured window.
+        let c = cfg(99);
+        let first = s.first_onset().unwrap();
+        assert!(first >= c.start);
+    }
+
+    #[test]
+    fn empty_ingredients_generate_empty_script() {
+        assert!(ChaosConfig::new(7).generate().is_empty());
+    }
+}

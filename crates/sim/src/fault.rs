@@ -75,6 +75,21 @@ pub enum FaultKind {
         /// The recovered switch.
         node: NodeId,
     },
+    /// A measurement tap at `node` crashes. Packets still flow — the
+    /// *measurement* instance dies, not the switch — so this transition is
+    /// a no-op on the network; it is delivered to the run's
+    /// [`HopSink`](crate::network::HopSink) via
+    /// [`on_fault`](crate::network::HopSink::on_fault) so a measurement
+    /// plane can discard the tap's window state and account the outage.
+    TapDown {
+        /// The node whose taps crash.
+        node: NodeId,
+    },
+    /// The measurement tap(s) at `node` recover and re-attach cold.
+    TapUp {
+        /// The node whose taps recover.
+        node: NodeId,
+    },
 }
 
 /// One timed fault transition.
@@ -183,7 +198,12 @@ impl<'a> FaultState<'a> {
     /// Apply every transition due at or before `at`. Transitions between
     /// two packet events apply lazily at the later event — equivalent,
     /// since fault state is only *read* when packets are processed.
-    pub(crate) fn advance(&mut self, at: SimTime, network: &mut Network) {
+    ///
+    /// Returns the range of script indices applied by this call so the
+    /// engine can deliver them to the sink (see
+    /// [`HopSink::on_fault`](crate::network::HopSink::on_fault)).
+    pub(crate) fn advance(&mut self, at: SimTime, network: &mut Network) -> std::ops::Range<usize> {
+        let first = self.next;
         while let Some(ev) = self.script.get(self.next) {
             if ev.at > at {
                 break;
@@ -223,8 +243,19 @@ impl<'a> FaultState<'a> {
                 FaultKind::LossBurstEnd { node } => {
                     self.lossy.remove(&node);
                 }
+                // Measurement-plane transitions: no network effect. They are
+                // surfaced to the sink via the applied-index range.
+                FaultKind::TapDown { .. } | FaultKind::TapUp { .. } => {}
             }
         }
+        first..self.next
+    }
+
+    /// The script transition at index `i` (as returned by [`advance`]).
+    ///
+    /// [`advance`]: FaultState::advance
+    pub(crate) fn event(&self, i: usize) -> FaultEvent {
+        self.script[i]
     }
 
     /// True while `node` is inside a loss burst.

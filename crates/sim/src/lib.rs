@@ -23,6 +23,9 @@
 //!   schedulers move 8-byte `Copy` handles instead of full packets and
 //!   engine memory is O(max in-flight) (the pre-slab engine is retained as
 //!   [`EngineKind::MovingOracle`]).
+//! * [`chaos`] — seeded chaos-campaign generation: composes random
+//!   fault scripts (correlated link flaps, gray-loss ramps, tap outages)
+//!   from a single `u64` seed via a self-contained splitmix64 stream.
 //! * [`fault`] — deterministic mid-run fault injection (link
 //!   failure/recovery, switch service-time degradation, loss bursts) plus
 //!   the cooperative [`StopFlag`] termination hook closed-loop detectors
@@ -42,6 +45,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod chaos;
 pub mod crosstraffic;
 pub mod fault;
 pub mod network;
@@ -52,6 +56,7 @@ pub mod shard;
 pub mod slab;
 pub mod source;
 
+pub use chaos::ChaosConfig;
 pub use crosstraffic::{calibrate_keep_prob, CrossInjector, CrossModel};
 pub use fault::{DeadPorts, FaultEvent, FaultKind, FaultScript, StopFlag};
 pub use network::{

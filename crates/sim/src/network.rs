@@ -266,6 +266,20 @@ pub trait HopSink {
     fn on_watermark(&mut self, watermark: SimTime) {
         let _ = watermark;
     }
+
+    /// A scripted [`FaultEvent`] was applied by the engine.
+    ///
+    /// Called once per applied transition, in script order, at the moment
+    /// the engine lazily applies it — i.e. immediately before the
+    /// watermark/hop callbacks of the first packet event whose processing
+    /// time is `>= ev.at`. Most transitions only matter to the network
+    /// itself; measurement-plane transitions
+    /// ([`FaultKind::TapDown`](crate::fault::FaultKind::TapDown) /
+    /// [`FaultKind::TapUp`](crate::fault::FaultKind::TapUp)) are pure
+    /// sink-side notifications. The default implementation ignores them.
+    fn on_fault(&mut self, ev: &crate::fault::FaultEvent) {
+        let _ = ev;
+    }
 }
 
 /// Closures are sinks.
@@ -313,6 +327,11 @@ impl<A: HopSink, B: HopSink> HopSink for TeeSink<'_, A, B> {
     fn on_watermark(&mut self, watermark: SimTime) {
         self.a.on_watermark(watermark);
         self.b.on_watermark(watermark);
+    }
+
+    fn on_fault(&mut self, ev: &crate::fault::FaultEvent) {
+        self.a.on_fault(ev);
+        self.b.on_fault(ev);
     }
 }
 
@@ -851,7 +870,11 @@ impl<F: Forwarder, S: HopSink, D: FnMut(&StreamedDelivery<'_>)> SlabEngine<'_, F
     ) {
         self.events += 1;
         if let Some(fs) = self.faults.as_mut() {
-            fs.advance(at, &mut self.network);
+            let applied = fs.advance(at, &mut self.network);
+            for i in applied {
+                let ev = self.faults.as_ref().expect("faults present").event(i);
+                self.sink.on_fault(&ev);
+            }
         }
         if self.watermark.is_none_or(|w| at > w) {
             self.sink.on_watermark(at);

@@ -40,7 +40,7 @@
 //! identity baseline. On tie-free workloads the keyed and sequential
 //! engines coincide exactly (differentially pinned in the test suite).
 
-use crate::fault::{FaultState, StopFlag};
+use crate::fault::{FaultScript, FaultState, StopFlag};
 use crate::network::{
     Forwarder, Hop, HopEvent, HopKind, HopSink, Network, NetworkRunStats, NodeId, RouteDecision,
     RunOptions, SchedulerKind, StreamedDelivery,
@@ -582,6 +582,12 @@ struct EmitState {
     watermark: Option<u64>,
     windows: u64,
     stalls: u64,
+    /// Next undelivered fault-script index for the *coordinator's* sink
+    /// notifications. Each shard advances its own replicated `FaultState`
+    /// for network effects; sink delivery happens once, here, from the
+    /// merged stream — at the same point in the observable order as the
+    /// sequential engine's in-line delivery.
+    fault_next: usize,
 }
 
 /// The windowed coordinator: compute the global safe horizon, run every
@@ -594,6 +600,7 @@ fn drive_windows<F, S, D>(
     shard_of: &[usize],
     lookahead: Option<u64>,
     stop: Option<&StopFlag>,
+    faults: Option<&FaultScript>,
     sink: &mut S,
     on_delivery: &mut D,
     st: &mut EmitState,
@@ -645,6 +652,21 @@ fn drive_windows<F, S, D>(
             let g = &guards[i];
             let u = g.units[cursors[i]];
             cursors[i] += 1;
+            // Deliver scripted fault transitions that became due, exactly
+            // where the sequential engine does: before the watermark/hop
+            // callbacks of the first unit whose processing time reached
+            // them. The merged stream *is* the sequential processing
+            // order, so the sink observes the same interleaving.
+            if let Some(script) = faults {
+                let evs = script.events();
+                while let Some(ev) = evs.get(st.fault_next) {
+                    if ev.at.as_nanos() > u.at {
+                        break;
+                    }
+                    st.fault_next += 1;
+                    sink.on_fault(ev);
+                }
+            }
             if st.watermark.is_none_or(|w| u.at > w) {
                 sink.on_watermark(SimTime::from_nanos(u.at));
                 st.watermark = Some(u.at);
@@ -861,6 +883,7 @@ pub fn run_network_sharded<F: Forwarder + Sync>(
         watermark: None,
         windows: 0,
         stalls: 0,
+        fault_next: 0,
     };
 
     if s == 1 {
@@ -869,6 +892,7 @@ pub fn run_network_sharded<F: Forwarder + Sync>(
             &shard_of,
             lookahead,
             opts.stop,
+            opts.faults,
             sink,
             &mut on_delivery,
             &mut st,
@@ -901,6 +925,7 @@ pub fn run_network_sharded<F: Forwarder + Sync>(
                 &shard_of,
                 lookahead,
                 opts.stop,
+                opts.faults,
                 sink,
                 &mut on_delivery,
                 &mut st,

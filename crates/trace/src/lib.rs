@@ -36,7 +36,10 @@ pub mod synthetic;
 
 pub use divider::{TrafficClass, TrafficDivider, UnmatchedPolicy};
 pub use flowmeter::{FlowMeter, FlowMeterConfig, FlowRecord};
-pub use pcap::{open_pcap, read_pcap, write_pcap, PcapError, PcapRecord, PcapRecords, PcapWriter};
+pub use pcap::{
+    open_pcap, read_pcap, write_pcap, BadRecord, IngestMode, PcapError, PcapRecord, PcapRecords,
+    PcapWriter,
+};
 pub use replay::{EntryMap, PcapReplaySource};
 pub use stats::TraceStats;
 pub use synthetic::{

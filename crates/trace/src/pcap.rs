@@ -24,6 +24,54 @@ const UDP_HEADER_LEN: usize = 8;
 /// Snapshot length: enough for IPv4 + TCP headers.
 pub const SNAPLEN: u32 = 64;
 
+/// Why a record was malformed — with absolute byte offsets into the
+/// capture, so strict-mode errors point at the damage and lenient-mode
+/// skip counts are auditable against the file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BadRecord {
+    /// EOF inside the 16-byte record header that starts at `offset`.
+    TruncatedHeader {
+        /// Absolute offset of the truncated record header.
+        offset: u64,
+    },
+    /// EOF inside a record body: the header at `offset` declared
+    /// `expected` captured bytes but only `got` were present.
+    TruncatedBody {
+        /// Absolute offset of the record's header.
+        offset: u64,
+        /// Captured length the header declared.
+        expected: u32,
+        /// Bytes actually present before EOF.
+        got: u32,
+    },
+    /// The record body at `offset` does not decode as an IPv4 header.
+    BadIpv4 {
+        /// Absolute offset of the record's header.
+        offset: u64,
+    },
+}
+
+impl core::fmt::Display for BadRecord {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            BadRecord::TruncatedHeader { offset } => {
+                write!(f, "truncated record header at offset {offset}")
+            }
+            BadRecord::TruncatedBody {
+                offset,
+                expected,
+                got,
+            } => write!(
+                f,
+                "truncated record body (header at offset {offset}: {expected} bytes declared, {got} present)"
+            ),
+            BadRecord::BadIpv4 { offset } => {
+                write!(f, "undecodable ipv4 header in record at offset {offset}")
+            }
+        }
+    }
+}
+
 /// Errors from pcap I/O.
 #[derive(Debug)]
 pub enum PcapError {
@@ -33,8 +81,8 @@ pub enum PcapError {
     BadMagic(u32),
     /// Unsupported link type.
     BadLinkType(u32),
-    /// A record was malformed.
-    BadRecord(&'static str),
+    /// A record was malformed (see [`BadRecord`] for where and why).
+    BadRecord(BadRecord),
 }
 
 impl From<io::Error> for PcapError {
@@ -187,6 +235,25 @@ pub struct PcapRecord {
     pub ident: u16,
 }
 
+/// How [`PcapRecords`] treats damaged input.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum IngestMode {
+    /// Damage is fatal: the first malformed record yields
+    /// `Err(PcapError::BadRecord(..))` and iteration ends. The hostile-
+    /// ingest oracle — on clean input, lenient mode is byte-identical to
+    /// this.
+    #[default]
+    Strict,
+    /// Skip-and-count: truncation becomes a counted clean end, a record
+    /// whose body fails IPv4 decode is skipped, and an implausible record
+    /// header triggers a byte-at-a-time **resync scan** for the next
+    /// plausible record whose body decodes as IPv4. Every decision is
+    /// counted ([`PcapRecords::skipped_records`],
+    /// [`PcapRecords::skipped_bytes`], [`PcapRecords::resyncs`]) — damage
+    /// is survived, never hidden.
+    Lenient,
+}
+
 /// Streaming record iterator over a nanosecond raw-IP pcap: validates the
 /// global header up front, then decodes one record per [`Iterator::next`]
 /// through a single reused scratch buffer — O(snaplen) memory for a
@@ -194,15 +261,27 @@ pub struct PcapRecord {
 /// runs on (its old implementation allocated a fresh body `Vec` per
 /// record).
 ///
-/// Truncation is an error, not an end: a file that stops mid-record
-/// header or mid-body yields `Err(PcapError::BadRecord(..))` rather than
-/// being silently accepted as complete. Clean EOF at a record boundary
-/// ends the iteration.
+/// In the default [`IngestMode::Strict`], truncation is an error, not an
+/// end: a file that stops mid-record header or mid-body yields
+/// `Err(PcapError::BadRecord(..))` — with the damage's byte offset —
+/// rather than being silently accepted as complete. Clean EOF at a record
+/// boundary ends the iteration. [`PcapRecords::lenient`] opts into
+/// skip-and-count survival of damaged captures.
 #[derive(Debug)]
 pub struct PcapRecords<R: Read> {
     r: R,
     scratch: Vec<u8>,
     done: bool,
+    mode: IngestMode,
+    /// Absolute offset of the next unconsumed byte (starts at 24, past
+    /// the global header).
+    offset: u64,
+    /// Bytes read ahead and given back during a lenient resync scan;
+    /// always empty in strict mode.
+    lookahead: std::collections::VecDeque<u8>,
+    skipped_records: u64,
+    skipped_bytes: u64,
+    resyncs: u64,
 }
 
 impl<R: Read> PcapRecords<R> {
@@ -222,50 +301,73 @@ impl<R: Read> PcapRecords<R> {
             r,
             scratch: Vec::with_capacity(SNAPLEN as usize),
             done: false,
+            mode: IngestMode::default(),
+            offset: 24,
+            lookahead: std::collections::VecDeque::new(),
+            skipped_records: 0,
+            skipped_bytes: 0,
+            resyncs: 0,
         })
     }
 
-    /// Fill the scratch buffer with exactly `len` bytes, distinguishing
-    /// clean EOF before the first byte (`Ok(false)`, allowed only when
-    /// `eof_ok`) from a partial read (truncated file).
-    fn read_fully(
-        &mut self,
-        len: usize,
-        eof_ok: bool,
-        what: &'static str,
-    ) -> Result<bool, PcapError> {
+    /// Switch to [`IngestMode::Lenient`] (builder style).
+    pub fn lenient(mut self) -> Self {
+        self.mode = IngestMode::Lenient;
+        self
+    }
+
+    /// Records skipped by lenient mode (always 0 in strict mode).
+    pub fn skipped_records(&self) -> u64 {
+        self.skipped_records
+    }
+
+    /// Bytes discarded by lenient mode: partial trailing records plus
+    /// garbage scanned over during resyncs.
+    pub fn skipped_bytes(&self) -> u64 {
+        self.skipped_bytes
+    }
+
+    /// Resync scans performed by lenient mode.
+    pub fn resyncs(&self) -> u64 {
+        self.resyncs
+    }
+
+    /// Fill the scratch buffer with up to `len` bytes (lookahead bytes
+    /// first, then the reader) and return how many arrived; fewer than
+    /// `len` means EOF. Advances the byte offset.
+    fn read_fully(&mut self, len: usize) -> Result<usize, PcapError> {
         self.scratch.clear();
         self.scratch.resize(len, 0);
         let mut got = 0usize;
         while got < len {
+            if let Some(b) = self.lookahead.pop_front() {
+                self.scratch[got] = b;
+                got += 1;
+                continue;
+            }
             match self.r.read(&mut self.scratch[got..]) {
-                Ok(0) => {
-                    return if got == 0 && eof_ok {
-                        Ok(false)
-                    } else {
-                        Err(PcapError::BadRecord(what))
-                    };
-                }
+                Ok(0) => break,
                 Ok(n) => got += n,
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
                 Err(e) => return Err(e.into()),
             }
         }
-        Ok(true)
+        self.scratch.truncate(got);
+        self.offset += got as u64;
+        Ok(got)
     }
 
-    fn next_record(&mut self) -> Result<Option<PcapRecord>, PcapError> {
-        if !self.read_fully(16, true, "truncated record header")? {
-            return Ok(None);
-        }
-        let sec = u32::from_le_bytes(self.scratch[0..4].try_into().expect("4")) as u64;
-        let nsec = u32::from_le_bytes(self.scratch[4..8].try_into().expect("4")) as u64;
-        let incl = u32::from_le_bytes(self.scratch[8..12].try_into().expect("4")) as usize;
-        let orig = u32::from_le_bytes(self.scratch[12..16].try_into().expect("4"));
-        self.read_fully(incl, false, "truncated record body")?;
-        let body = &self.scratch[..];
-        let (ip, ip_len) =
-            Ipv4Header::decode(body).map_err(|_| PcapError::BadRecord("ipv4 header"))?;
+    /// Could these 16 bytes be a record header of this capture? The
+    /// resync filter: captured length must fit an IPv4 header and the
+    /// 16-bit length space, and the original length can't be shorter than
+    /// the capture.
+    fn plausible_header(incl: usize, orig: u32) -> bool {
+        (IPV4_HEADER_LEN..=65_535).contains(&incl) && orig as usize >= incl
+    }
+
+    /// Decode a record body (scratch) under an already-parsed header.
+    fn decode_body(body: &[u8], sec: u64, nsec: u64, orig: u32) -> Option<PcapRecord> {
+        let (ip, ip_len) = Ipv4Header::decode(body).ok()?;
         let (sport, dport) = match ip.proto {
             Protocol::Tcp | Protocol::Udp if body.len() >= ip_len + 4 => (
                 u16::from_be_bytes([body[ip_len], body[ip_len + 1]]),
@@ -273,7 +375,7 @@ impl<R: Read> PcapRecords<R> {
             ),
             _ => (0, 0),
         };
-        Ok(Some(PcapRecord {
+        Some(PcapRecord {
             at: SimTime::from_nanos(sec * 1_000_000_000 + nsec),
             orig_len: orig,
             flow: FlowKey {
@@ -285,7 +387,111 @@ impl<R: Read> PcapRecords<R> {
             },
             tos: ip.tos,
             ident: ip.ident,
-        }))
+        })
+    }
+
+    fn parse_header(h: &[u8]) -> (u64, u64, usize, u32) {
+        (
+            u32::from_le_bytes(h[0..4].try_into().expect("4")) as u64,
+            u32::from_le_bytes(h[4..8].try_into().expect("4")) as u64,
+            u32::from_le_bytes(h[8..12].try_into().expect("4")) as usize,
+            u32::from_le_bytes(h[12..16].try_into().expect("4")),
+        )
+    }
+
+    fn next_record(&mut self) -> Result<Option<PcapRecord>, PcapError> {
+        loop {
+            let header_off = self.offset;
+            let got = self.read_fully(16)?;
+            if got == 0 {
+                return Ok(None);
+            }
+            if got < 16 {
+                if self.mode == IngestMode::Lenient {
+                    // Partial trailing header: a torn capture ends here.
+                    self.skipped_bytes += got as u64;
+                    return Ok(None);
+                }
+                return Err(PcapError::BadRecord(BadRecord::TruncatedHeader {
+                    offset: header_off,
+                }));
+            }
+            let (sec, nsec, incl, orig) = Self::parse_header(&self.scratch);
+            if self.mode == IngestMode::Lenient && !Self::plausible_header(incl, orig) {
+                // Corrupt framing: scan forward for the next record.
+                return self.resync();
+            }
+            let got_b = self.read_fully(incl)?;
+            if got_b < incl {
+                if self.mode == IngestMode::Lenient {
+                    // Torn final record.
+                    self.skipped_records += 1;
+                    self.skipped_bytes += 16 + got_b as u64;
+                    return Ok(None);
+                }
+                return Err(PcapError::BadRecord(BadRecord::TruncatedBody {
+                    offset: header_off,
+                    expected: incl as u32,
+                    got: got_b as u32,
+                }));
+            }
+            match Self::decode_body(&self.scratch, sec, nsec, orig) {
+                Some(rec) => return Ok(Some(rec)),
+                None if self.mode == IngestMode::Lenient => {
+                    // Plausible framing, rotten body: skip this record
+                    // (its bytes are consumed) and keep going.
+                    self.skipped_records += 1;
+                    self.skipped_bytes += 16 + incl as u64;
+                }
+                None => {
+                    return Err(PcapError::BadRecord(BadRecord::BadIpv4 {
+                        offset: header_off,
+                    }));
+                }
+            }
+        }
+    }
+
+    /// Lenient resync: slide a 16-byte window one byte at a time until it
+    /// parses as a plausible record header whose body decodes as IPv4 —
+    /// the "magic" this raw-IP format has (version/IHL nibble, length
+    /// consistency) — counting every discarded byte. The implausible
+    /// header that triggered the scan is in scratch on entry.
+    fn resync(&mut self) -> Result<Option<PcapRecord>, PcapError> {
+        self.resyncs += 1;
+        self.skipped_records += 1;
+        let mut win: std::collections::VecDeque<u8> = self.scratch.drain(..).collect();
+        loop {
+            win.pop_front();
+            self.skipped_bytes += 1;
+            while win.len() < 16 {
+                if self.read_fully(1)? == 0 {
+                    // EOF mid-scan: whatever is left can't be a record.
+                    self.skipped_bytes += win.len() as u64;
+                    return Ok(None);
+                }
+                win.push_back(self.scratch[0]);
+            }
+            let h: Vec<u8> = win.iter().copied().collect();
+            let (sec, nsec, incl, orig) = Self::parse_header(&h);
+            if !Self::plausible_header(incl, orig) {
+                continue;
+            }
+            let got = self.read_fully(incl)?;
+            if got == incl {
+                if let Some(rec) = Self::decode_body(&self.scratch, sec, nsec, orig) {
+                    return Ok(Some(rec));
+                }
+            }
+            // Not a record after all (body short of the claimed length,
+            // or not IPv4): give the body bytes back and keep sliding —
+            // a fake length field must not swallow the genuine records
+            // behind it.
+            self.offset -= got as u64;
+            for b in self.scratch.drain(..).rev() {
+                self.lookahead.push_front(b);
+            }
+        }
     }
 }
 
@@ -435,6 +641,144 @@ mod tests {
             read_pcap(&mut junk.as_slice()),
             Err(PcapError::BadMagic(0))
         ));
+    }
+
+    /// n TCP records: 24-byte global header then 56 bytes per record
+    /// (16 header + 20 IPv4 + 20 TCP).
+    fn tcp_capture(n: u64) -> Vec<u8> {
+        use rlir_net::packet::Packet;
+        use std::net::Ipv4Addr;
+        let mut w = PcapWriter::new(Vec::new()).unwrap();
+        for i in 0..n {
+            w.write(&Packet::regular(
+                i,
+                FlowKey::tcp(
+                    Ipv4Addr::new(10, 0, 0, 1),
+                    1000 + i as u16,
+                    Ipv4Addr::new(10, 1, 0, 1),
+                    80,
+                ),
+                1000,
+                SimTime::from_nanos(i * 100),
+            ))
+            .unwrap();
+        }
+        w.finish().unwrap()
+    }
+
+    const REC: usize = 16 + IPV4_HEADER_LEN + TCP_HEADER_LEN;
+
+    fn drain_lenient(bytes: &[u8]) -> (Vec<PcapRecord>, u64, u64, u64) {
+        let mut it = PcapRecords::new(bytes).unwrap().lenient();
+        let recs: Vec<PcapRecord> = (&mut it)
+            .map(|r| r.expect("lenient never errors"))
+            .collect();
+        (recs, it.skipped_records(), it.skipped_bytes(), it.resyncs())
+    }
+
+    #[test]
+    fn lenient_is_identical_to_strict_on_clean_capture() {
+        let t = sample();
+        let mut buf = Vec::new();
+        write_pcap(&t, &mut buf).unwrap();
+        let strict: Vec<PcapRecord> = PcapRecords::new(buf.as_slice())
+            .unwrap()
+            .map(|r| r.unwrap())
+            .collect();
+        let (lenient, skipped, bytes, resyncs) = drain_lenient(&buf);
+        assert_eq!(strict, lenient);
+        assert_eq!((skipped, bytes, resyncs), (0, 0, 0));
+    }
+
+    #[test]
+    fn lenient_skips_checksum_corrupt_record_strict_errors() {
+        let mut buf = tcp_capture(10);
+        // Flip the TTL byte of record 4's IPv4 header: framing stays
+        // plausible, the checksum no longer verifies.
+        let off = 24 + 4 * REC + 16 + 8;
+        buf[off] ^= 0xFF;
+        let strict_err = PcapRecords::new(buf.as_slice())
+            .unwrap()
+            .find_map(Result::err)
+            .expect("strict must fail");
+        assert_eq!(
+            strict_err.to_string(),
+            PcapError::BadRecord(BadRecord::BadIpv4 {
+                offset: (24 + 4 * REC) as u64
+            })
+            .to_string()
+        );
+        let (recs, skipped, bytes, resyncs) = drain_lenient(&buf);
+        assert_eq!(recs.len(), 9, "one rotten record skipped");
+        assert_eq!(skipped, 1);
+        assert_eq!(bytes, REC as u64);
+        assert_eq!(resyncs, 0, "framing was intact, no scan needed");
+        // Every surviving record is genuine.
+        assert!(recs.iter().all(|r| r.ident != 4));
+    }
+
+    #[test]
+    fn lenient_resyncs_over_injected_garbage() {
+        let clean = tcp_capture(10);
+        // Splice 13 garbage bytes between records 2 and 3: the next
+        // "header" parse sees junk and an absurd captured length.
+        let cut = 24 + 3 * REC;
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&clean[..cut]);
+        buf.extend_from_slice(&[0xFF; 13]);
+        buf.extend_from_slice(&clean[cut..]);
+        let (recs, skipped, bytes, resyncs) = drain_lenient(&buf);
+        assert_eq!(recs.len(), 10, "every real record survives the splice");
+        let idents: Vec<u16> = recs.iter().map(|r| r.ident).collect();
+        assert_eq!(idents, (0..10).collect::<Vec<u16>>());
+        assert_eq!(resyncs, 1);
+        assert_eq!(skipped, 1, "the phantom record the garbage faked");
+        assert_eq!(bytes, 13, "exactly the garbage, nothing genuine");
+    }
+
+    #[test]
+    fn truncated_body_strict_offset_lenient_clean_end() {
+        let mut buf = tcp_capture(10);
+        buf.truncate(buf.len() - 7);
+        let strict_err = PcapRecords::new(buf.as_slice())
+            .unwrap()
+            .find_map(Result::err)
+            .expect("strict must fail");
+        match strict_err {
+            PcapError::BadRecord(BadRecord::TruncatedBody {
+                offset,
+                expected,
+                got,
+            }) => {
+                assert_eq!(offset, (24 + 9 * REC) as u64);
+                assert_eq!(expected, (IPV4_HEADER_LEN + TCP_HEADER_LEN) as u32);
+                assert_eq!(got, (IPV4_HEADER_LEN + TCP_HEADER_LEN - 7) as u32);
+            }
+            other => panic!("wrong error: {other:?}"),
+        }
+        let (recs, skipped, bytes, _) = drain_lenient(&buf);
+        assert_eq!(recs.len(), 9);
+        assert_eq!(skipped, 1);
+        assert_eq!(bytes, (REC - 7) as u64);
+    }
+
+    #[test]
+    fn truncated_header_strict_offset_lenient_clean_end() {
+        let mut buf = tcp_capture(3);
+        buf.truncate(24 + 2 * REC + 10);
+        let strict_err = PcapRecords::new(buf.as_slice())
+            .unwrap()
+            .find_map(Result::err)
+            .expect("strict must fail");
+        assert!(matches!(
+            strict_err,
+            PcapError::BadRecord(BadRecord::TruncatedHeader { offset })
+                if offset == (24 + 2 * REC) as u64
+        ));
+        let (recs, skipped, bytes, _) = drain_lenient(&buf);
+        assert_eq!(recs.len(), 2);
+        assert_eq!(skipped, 0, "a torn header is not a record");
+        assert_eq!(bytes, 10);
     }
 
     #[test]

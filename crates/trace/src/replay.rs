@@ -33,11 +33,18 @@
 use crate::pcap::{open_pcap, PcapError, PcapRecord, PcapRecords};
 use rlir_net::packet::Packet;
 use rlir_net::time::SimTime;
+use rlir_net::FlowKey;
 use rlir_sim::{InjectionSource, NodeId};
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BTreeMap, BinaryHeap};
 use std::io::{BufReader, Read};
 use std::path::Path;
+
+/// Per-window cap on records sharing one wire identity in lenient mode: a
+/// hostile capture repeating one `(flow, ident)` can otherwise make every
+/// tap's duplicate-matching degenerate. Duplicates beyond the cap are
+/// counted in [`PcapReplaySource::dup_capped`] and dropped.
+const MAX_DUP_IDENT: u32 = 8;
 
 /// Maps a decoded capture record to the switch it enters the simulated
 /// fabric at — the replay equivalent of "which router port was this
@@ -136,6 +143,15 @@ pub struct PcapReplaySource<R: Read> {
     error: Option<PcapError>,
     len_hint: Option<usize>,
     span_hint: Option<u64>,
+    /// Lenient replay: clamp time regressions instead of dropping them,
+    /// cap duplicate wire identities (the record iterator is switched to
+    /// lenient decode separately, by the constructor path).
+    lenient: bool,
+    clamped_regressions: u64,
+    dup_capped: u64,
+    /// Duplicate-identity occurrence counts for the current dup window.
+    dup_counts: BTreeMap<(FlowKey, u16), u32>,
+    dup_window_start: u64,
 }
 
 impl PcapReplaySource<BufReader<std::fs::File>> {
@@ -163,7 +179,25 @@ impl<R: Read> PcapReplaySource<R> {
             error: None,
             len_hint: None,
             span_hint: None,
+            lenient: false,
+            clamped_regressions: 0,
+            dup_capped: 0,
+            dup_counts: BTreeMap::new(),
+            dup_window_start: 0,
         }
+    }
+
+    /// Hostile-ingest mode (builder style): switches the record decoder to
+    /// [`crate::pcap::IngestMode::Lenient`], clamps time regressions
+    /// beyond the reorder window to the last emitted timestamp instead of
+    /// dropping them (counted in [`clamped_regressions`]
+    /// (Self::clamped_regressions)), and caps duplicate wire identities
+    /// per reorder window (counted in [`dup_capped`](Self::dup_capped)).
+    /// On a clean capture, output is byte-identical to strict mode.
+    pub fn lenient(mut self) -> Self {
+        self.lenient = true;
+        self.records = self.records.lenient();
+        self
     }
 
     /// Provide calendar-geometry evidence (record count / capture span in
@@ -206,6 +240,9 @@ impl<R: Read> PcapReplaySource<R> {
             }
             match self.records.next() {
                 Some(Ok(rec)) => {
+                    if self.lenient && self.dup_capped_out(&rec) {
+                        continue;
+                    }
                     let buf = self.admit(&rec);
                     self.newest_read = self.newest_read.max(buf.at_ns);
                     self.heap.push(Reverse(buf));
@@ -220,13 +257,45 @@ impl<R: Read> PcapReplaySource<R> {
         }
     }
 
+    /// Lenient duplicate-identity cap: true (and counted) when this
+    /// record's `(flow, ident)` has already appeared [`MAX_DUP_IDENT`]
+    /// times within the current reorder window. The count map resets once
+    /// the read horizon moves a full window past its start, so memory is
+    /// bounded by distinct identities per window, not per capture.
+    fn dup_capped_out(&mut self, rec: &PcapRecord) -> bool {
+        let at_ns = rec.at.as_nanos();
+        if at_ns.saturating_sub(self.dup_window_start) > self.reorder_ns {
+            self.dup_counts.clear();
+            self.dup_window_start = at_ns;
+        }
+        let n = self.dup_counts.entry((rec.flow, rec.ident)).or_insert(0);
+        if *n >= MAX_DUP_IDENT {
+            self.dup_capped += 1;
+            return true;
+        }
+        *n += 1;
+        false
+    }
+
     /// Discard buffered records that would violate injection-time
     /// monotonicity (disorder beyond the window), leaving the heap
-    /// minimum emittable or the heap empty.
+    /// minimum emittable or the heap empty. Lenient mode clamps such
+    /// records to the last emitted timestamp instead — the record
+    /// survives (its latency sample is already ruined by the capture
+    /// damage, but its flow's packet count is not) and monotonicity
+    /// holds.
     fn shed_late(&mut self) {
         while let Some(Reverse(min)) = self.heap.peek() {
             if min.at_ns >= self.last_emitted {
                 break;
+            }
+            if self.lenient {
+                let Reverse(mut b) = self.heap.pop().expect("peeked");
+                b.at_ns = self.last_emitted;
+                b.packet.created_at = SimTime::from_nanos(self.last_emitted);
+                self.heap.push(Reverse(b));
+                self.clamped_regressions += 1;
+                continue;
             }
             self.heap.pop();
             self.late_dropped += 1;
@@ -264,6 +333,25 @@ impl<R: Read> PcapReplaySource<R> {
     /// that hit one still emits everything buffered before the failure.
     pub fn error(&self) -> Option<&PcapError> {
         self.error.as_ref()
+    }
+
+    /// Lenient-mode time regressions clamped to the last emitted
+    /// timestamp (always 0 in strict mode, where such records are late-
+    /// dropped instead).
+    pub fn clamped_regressions(&self) -> u64 {
+        self.clamped_regressions
+    }
+
+    /// Lenient-mode records dropped by the per-window duplicate wire
+    /// identity cap.
+    pub fn dup_capped(&self) -> u64 {
+        self.dup_capped
+    }
+
+    /// The wrapped record decoder, for its lenient-ingest counters
+    /// (skipped records/bytes, resyncs).
+    pub fn decoder(&self) -> &PcapRecords<R> {
+        &self.records
     }
 }
 
@@ -452,6 +540,91 @@ mod tests {
         assert!(EntryMap::parse("hash:").is_err());
         assert!(EntryMap::parse("nonsense").is_err());
         assert!(EntryMap::parse("hash:1,,2").is_err());
+    }
+
+    #[test]
+    fn lenient_replay_identical_to_strict_on_clean_capture() {
+        let mut packets = Vec::new();
+        for i in 0..50u64 {
+            let base = i * 300;
+            packets.push(pkt(2 * i, base + 300, 1));
+            packets.push(pkt(2 * i + 1, base + 150, 1));
+        }
+        let bytes = capture(&packets);
+        let strict = {
+            let mut src = PcapReplaySource::new(
+                PcapRecords::new(bytes.as_slice()).unwrap(),
+                EntryMap::Fixed(0),
+                300,
+            );
+            drain(&mut src)
+        };
+        let mut src = PcapReplaySource::new(
+            PcapRecords::new(bytes.as_slice()).unwrap(),
+            EntryMap::Fixed(0),
+            300,
+        )
+        .lenient();
+        let lenient = drain(&mut src);
+        assert_eq!(strict, lenient);
+        assert_eq!(src.clamped_regressions(), 0);
+        assert_eq!(src.dup_capped(), 0);
+        assert_eq!(src.decoder().skipped_records(), 0);
+    }
+
+    #[test]
+    fn lenient_clamps_time_regressions_instead_of_dropping() {
+        let packets = vec![
+            pkt(0, 10_000, 1),
+            pkt(1, 10_100, 1),
+            pkt(2, 100, 1), // hopelessly late
+            pkt(3, 10_200, 1),
+        ];
+        let bytes = capture(&packets);
+        let mut src = PcapReplaySource::new(
+            PcapRecords::new(bytes.as_slice()).unwrap(),
+            EntryMap::Fixed(0),
+            50,
+        )
+        .lenient();
+        let mut out = Vec::new();
+        while let Some(t) = src.peek() {
+            let (_, p) = src.next_injection().unwrap();
+            assert_eq!(p.created_at, t, "clamped time must be consistent");
+            out.push((p.id.0 & 0xFFFF, p.created_at.as_nanos()));
+        }
+        // Monotone, nothing lost: the late record rides at the clamp time.
+        assert_eq!(
+            out,
+            vec![(0, 10_000), (2, 10_000), (1, 10_100), (3, 10_200)]
+        );
+        assert_eq!(src.clamped_regressions(), 1);
+        assert_eq!(src.late_dropped(), 0);
+        assert_eq!(src.emitted(), 4);
+    }
+
+    #[test]
+    fn lenient_caps_duplicate_wire_identities_per_window() {
+        // Twelve records sharing one (flow, ident) inside one reorder
+        // window: the cap admits MAX_DUP_IDENT and counts the rest.
+        let packets: Vec<Packet> = (0..12).map(|i| pkt(7, i * 10, 1)).collect();
+        let bytes = capture(&packets);
+        let mut src = PcapReplaySource::new(
+            PcapRecords::new(bytes.as_slice()).unwrap(),
+            EntryMap::Fixed(0),
+            1_000,
+        )
+        .lenient();
+        let out = drain(&mut src);
+        assert_eq!(out.len(), MAX_DUP_IDENT as usize);
+        assert_eq!(src.dup_capped(), 12 - u64::from(MAX_DUP_IDENT));
+        // A strict replay admits all twelve — the cap is lenient-only.
+        let mut strict = PcapReplaySource::new(
+            PcapRecords::new(bytes.as_slice()).unwrap(),
+            EntryMap::Fixed(0),
+            1_000,
+        );
+        assert_eq!(drain(&mut strict).len(), 12);
     }
 
     #[test]

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Survivability bench: N seeded chaos campaigns (correlated link flaps,
+# gray-loss ramps, tap crash/recovery pairs, a hidden switch degradation)
+# against the k=4 fat-tree measurement plane, closed-loop under the online
+# detector. Emits BENCH_chaos.json with per-campaign detection/TTL/false
+# positives, tap-outage and recovery accounting, the tenant cross-talk
+# probe (must be exactly 0 ns) and the hostile-ingest counters. The binary
+# exits non-zero if the baseline alarms, isolation is violated, lenient
+# ingest diverges from strict on a clean capture, or no recovery was
+# exercised — so CI fails on any survivability regression.
+#
+# Usage: scripts/chaos_bench.sh [output.json]
+# Knobs: RLIR_CHAOS_SEED      (master campaign seed, default 0xC405)
+#        RLIR_CHAOS_MS        (per-campaign simulated ms, default 60)
+#        RLIR_CHAOS_CAMPAIGNS (campaigns, default 3)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+source scripts/bench_lib.sh
+run_bench chaos_bench "${1:-BENCH_chaos.json}"

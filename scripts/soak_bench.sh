@@ -7,12 +7,15 @@
 # the plane's peak pending observations (reorder-window buffering, capped
 # by the global pending budget). The binary itself exits non-zero if a
 # longer run's peaks exceed the shortest run's by more than the slack
-# factor, so CI fails on any memory-vs-duration growth.
+# factor, so CI fails on any memory-vs-duration growth. Each rung also
+# crashes the destination-ToR tap at 40% of its duration and cold-recovers
+# it at 60%, so the same flatness gate proves crash/recovery leaks nothing.
 #
 # Usage: scripts/soak_bench.sh [output.json]
 # Knobs: RLIR_SOAK_BASE_MS     (base simulated duration, default 120)
 #        RLIR_SOAK_MULTIPLIERS (comma list, default 1,10,100)
 #        RLIR_SOAK_SLACK       (allowed growth factor, default 1.5)
+#        RLIR_SOAK_OUTAGE      (0 disables the tap-outage phase, default 1)
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
